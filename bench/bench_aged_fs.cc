@@ -1,0 +1,83 @@
+// E17 — file-system aging (Section 2.2.1):
+//
+// "Sequential file read performance across aged file systems varies by up
+// to a factor of two, even when the file systems are otherwise empty.
+// However, when the file systems are recreated afresh, sequential file
+// read performance is identical across all drives in the cluster."
+//
+// Series: sequential read bandwidth of a freshly created file vs churn
+// cycles of create/delete aging, plus the mean fragmentation that causes
+// it. The 0-cycle row is the "recreated afresh" baseline.
+#include <benchmark/benchmark.h>
+
+#include "src/devices/disk.h"
+#include "src/fs/extent_fs.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+namespace {
+
+struct AgedResult {
+  double mbps = 0.0;
+  double fresh_mbps = 0.0;
+  int extents = 0;
+};
+
+AgedResult RunAged(int cycles) {
+  Simulator sim(13);
+  DiskParams dp;
+  dp.flat_bandwidth_mbps = 10.0;
+  dp.block_bytes = 4096;
+  dp.capacity_blocks = 1 << 18;
+  Disk fresh_disk(sim, "fresh", dp);
+  Disk aged_disk(sim, "aged", dp);
+  FsParams fp;
+  fp.total_blocks = 1 << 18;
+  ExtentFileSystem fresh(sim, fresh_disk, fp);
+  ExtentFileSystem aged(sim, aged_disk, fp);
+  Rng rng(11);
+  aged.Age(cycles, rng);
+
+  AgedResult out;
+  const FileId ff = fresh.CreateFile(512);
+  const FileId fa = aged.CreateFile(512);
+  out.extents = aged.ExtentCountOf(fa);
+  bool done = false;
+  fresh.ReadFile(ff, [&](double m, bool) { out.fresh_mbps = m; });
+  aged.ReadFile(fa, [&](double m, bool) {
+    out.mbps = m;
+    done = true;
+  });
+  sim.Run();
+  if (!done) {
+    out.mbps = 0.0;
+  }
+  return out;
+}
+
+void BM_AgedFsSequentialRead(benchmark::State& state) {
+  const int cycles = static_cast<int>(state.range(0));
+  AgedResult result;
+  for (auto _ : state) {
+    result = RunAged(cycles);
+  }
+  state.counters["read_MBps"] = result.mbps;
+  state.counters["fresh_MBps"] = result.fresh_mbps;
+  state.counters["slowdown"] = result.fresh_mbps / result.mbps;
+  state.counters["file_extents"] = result.extents;
+  if (cycles == 0) {
+    state.SetLabel("recreated_afresh");
+  }
+}
+BENCHMARK(BM_AgedFsSequentialRead)
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(100)
+    ->Arg(300)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,189 @@
+// E11 — the availability argument of Section 3.3, with Gray & Reuter's
+// definition: "The fraction of the offered load that is processed with
+// acceptable response times."
+//
+// Open-loop random reads against a RAID-10 volume whose first mirror
+// stutters episodically. Series: availability and tail latency across
+// read policies (always-primary vs queue-aware mirror selection) and SLA
+// settings. The fail-stutter-aware read path routes around the stutter.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/analysis/availability.h"
+#include "src/devices/hedge.h"
+#include "src/faults/perf_fault.h"
+
+namespace fst {
+namespace {
+
+struct AvailResult {
+  double availability = 0.0;
+  double p99_ms = 0.0;
+  int64_t offered = 0;
+};
+
+AvailResult RunReads(ReadSelection selection, double sla_ms,
+                     double stutter_factor) {
+  Simulator sim(19);
+  BenchVolume v(sim, 2, StriperKind::kAdaptive, 1.0, nullptr, selection);
+  v.disks[0]->AttachModulator(std::make_shared<IntermittentSlowdownModulator>(
+      sim.rng().Fork(), stutter_factor, Duration::Seconds(2.0),
+      Duration::Seconds(2.0)));
+  bool ready = false;
+  v.volume->WriteBlocks(400, [&](const BatchResult&) { ready = true; });
+  sim.Run();
+  if (!ready) {
+    return {};
+  }
+
+  AvailabilityTracker tracker(Duration::Millis(static_cast<int64_t>(sla_ms)));
+  Histogram latency;
+  Rng rng(23);
+  const SimTime horizon = sim.Now() + Duration::Seconds(30.0);
+  auto arrive = std::make_shared<std::function<void()>>();
+  *arrive = [&, arrive]() {
+    if (sim.Now() >= horizon) {
+      return;
+    }
+    v.volume->ReadBlock(rng.UniformInt(0, 399), [&](const IoResult& r) {
+      if (r.ok) {
+        tracker.RecordSuccess(r.Latency());
+        latency.AddDuration(r.Latency());
+      } else {
+        tracker.RecordFailure();
+      }
+    });
+    sim.Schedule(Duration::Seconds(rng.Exponential(1.0 / 50.0)), *arrive);
+  };
+  (*arrive)();
+  sim.Run();
+
+  AvailResult out;
+  out.availability = tracker.Value();
+  out.p99_ms = latency.P99() / 1e6;
+  out.offered = tracker.offered();
+  return out;
+}
+
+// Args: {policy (0 primary / 1 round-robin / 2 faster), stutter factor}.
+void BM_ReadAvailability(benchmark::State& state) {
+  ReadSelection selection = ReadSelection::kPrimary;
+  const char* label = "always-primary";
+  if (state.range(0) == 1) {
+    selection = ReadSelection::kRoundRobin;
+    label = "round-robin";
+  } else if (state.range(0) == 2) {
+    selection = ReadSelection::kFaster;
+    label = "queue-aware";
+  }
+  const double factor = static_cast<double>(state.range(1));
+  AvailResult result;
+  for (auto _ : state) {
+    result = RunReads(selection, 60.0, factor);
+  }
+  state.counters["availability_60ms"] = result.availability;
+  state.counters["p99_ms"] = result.p99_ms;
+  state.counters["offered"] = static_cast<double>(result.offered);
+  state.SetLabel(label);
+}
+BENCHMARK(BM_ReadAvailability)
+    ->ArgsProduct({{0, 1, 2}, {4, 8, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+// Availability as a function of the SLA bar, fixed fault: the whole
+// distribution matters, not one threshold.
+void BM_AvailabilityVsSla(benchmark::State& state) {
+  const double sla_ms = static_cast<double>(state.range(0));
+  AvailResult primary;
+  AvailResult aware;
+  for (auto _ : state) {
+    primary = RunReads(ReadSelection::kPrimary, sla_ms, 8.0);
+    aware = RunReads(ReadSelection::kFaster, sla_ms, 8.0);
+  }
+  state.counters["primary_avail"] = primary.availability;
+  state.counters["queue_aware_avail"] = aware.availability;
+}
+BENCHMARK(BM_AvailabilityVsSla)
+    ->Arg(40)
+    ->Arg(60)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+
+// Hedged reads (Shasha & Turek's "issue the work elsewhere", related
+// work): duplicate a read to the mirror if the primary has not answered
+// within the hedge delay. Tail latency collapses at a small duplicate
+// cost.
+void BM_HedgedReads(benchmark::State& state) {
+  const bool hedged = state.range(0) == 1;
+  const double hedge_ms = static_cast<double>(state.range(1));
+  double p99 = 0.0;
+  double duplicate_fraction = 0.0;
+  for (auto _ : state) {
+    Simulator sim(11);
+    Disk primary(sim, "primary", BenchDisk());
+    primary.AttachModulator(std::make_shared<IntermittentSlowdownModulator>(
+        sim.rng().Fork(), 20.0, Duration::Seconds(2.0), Duration::Seconds(2.0)));
+    Disk mirror(sim, "mirror", BenchDisk());
+    HedgedOp hedge(sim, HedgeParams{Duration::Millis(static_cast<int64_t>(hedge_ms)), 1});
+    Histogram latency;
+    Rng rng(7);
+    auto read_from = [](Disk& d, int64_t offset) {
+      return [&d, offset](IoCallback done) {
+        DiskRequest req;
+        req.kind = IoKind::kRead;
+        req.offset_blocks = offset;
+        req.nblocks = 1;
+        req.done = std::move(done);
+        d.Submit(std::move(req));
+      };
+    };
+    auto arrive = std::make_shared<std::function<void()>>();
+    const SimTime horizon = SimTime::Zero() + Duration::Seconds(30.0);
+    *arrive = [&, arrive]() {
+      if (sim.Now() >= horizon) {
+        return;
+      }
+      const int64_t offset = rng.UniformInt(0, 1 << 19);
+      auto record = [&latency](const IoResult& r) {
+        if (r.ok) {
+          latency.AddDuration(r.Latency());
+        }
+      };
+      if (hedged) {
+        hedge.Issue({read_from(primary, offset), read_from(mirror, offset)},
+                    record);
+      } else {
+        DiskRequest req;
+        req.kind = IoKind::kRead;
+        req.offset_blocks = offset;
+        req.nblocks = 1;
+        req.done = record;
+        primary.Submit(std::move(req));
+      }
+      sim.Schedule(Duration::Seconds(rng.Exponential(1.0 / 10.0)), *arrive);
+    };
+    (*arrive)();
+    sim.Run();
+    p99 = latency.P99() / 1e6;
+    duplicate_fraction =
+        hedge.stats().operations > 0
+            ? static_cast<double>(hedge.stats().hedges_launched) /
+                  static_cast<double>(hedge.stats().operations)
+            : 0.0;
+  }
+  state.counters["p99_ms"] = p99;
+  state.counters["duplicate_fraction"] = duplicate_fraction;
+  state.SetLabel(hedged ? "hedged" : "unhedged");
+}
+BENCHMARK(BM_HedgedReads)
+    ->Args({0, 0})
+    ->Args({1, 30})
+    ->Args({1, 60})
+    ->Args({1, 120})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+// E10 + E12 — the detector/classifier trade-offs of Section 3.1.
+//
+// E10: the threshold question. An aggressive policy (low enter-deficit /
+// short confirmation) reacts fast but ejects healthy-but-noisy components,
+// wasting "a large fraction of their expected rate"; a lax policy tolerates
+// long stutters. Series: detection latency and false-positive rate vs the
+// confirmation window count, under benign jitter plus one real fault.
+//
+// E12: "erratic performance may be an early indicator of impending
+// failure" — lead time between stutter detection and absolute failure for
+// a drifting disk.
+//
+// Also reported: the notification suppression ratio (observations per
+// published state change), the cost argument for not broadcasting blips.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/registry.h"
+#include "src/faults/injector.h"
+#include "src/faults/perf_fault.h"
+
+namespace fst {
+namespace {
+
+// Streams writes through `count` disks; disk 0 carries a real intermittent
+// fault, the rest only benign log-normal jitter. Returns (detection delay
+// of the real fault, number of healthy disks ever flagged, obs/notify).
+struct DetectionResult {
+  double detect_delay_s = -1.0;
+  int false_positives = 0;
+  double suppression = 0.0;
+};
+
+DetectionResult RunDetection(int enter_windows, double enter_deficit,
+                             double jitter_sigma) {
+  Simulator sim(47);
+  DetectorParams dp;
+  dp.window = Duration::Millis(500);
+  dp.enter_windows = enter_windows;
+  dp.exit_windows = enter_windows;
+  dp.enter_deficit = enter_deficit;
+  dp.exit_deficit = enter_deficit * 0.8;
+  PerformanceStateRegistry registry(dp);
+  FaultInjector injector(sim);
+
+  const int kDisks = 8;
+  std::vector<std::unique_ptr<Disk>> disks;
+  for (int i = 0; i < kDisks; ++i) {
+    disks.push_back(
+        std::make_unique<Disk>(sim, "disk" + std::to_string(i), BenchDisk()));
+    registry.Register(disks.back()->name(),
+                      PerformanceSpec::RateBand(10e6, 0.25));
+    injector.InjectJitter(*disks.back(), jitter_sigma);
+  }
+  // The real fault: persistent 3x slowdown starting at t=10s on disk 0.
+  const SimTime onset = SimTime::Zero() + Duration::Seconds(10.0);
+  injector.InjectStepChange(*disks[0], {{onset, 3.0}});
+
+  for (auto& d : disks) {
+    Disk* disk = d.get();
+    auto pump = std::make_shared<std::function<void(int64_t)>>();
+    *pump = [&sim, &registry, disk, pump](int64_t offset) {
+      if (sim.Now() > SimTime::Zero() + Duration::Seconds(40.0)) {
+        return;
+      }
+      DiskRequest req;
+      req.kind = IoKind::kWrite;
+      req.offset_blocks = offset;
+      req.nblocks = 1;
+      req.done = [&sim, &registry, disk, pump, offset](const IoResult& r) {
+        registry.Observe(disk->name(), sim.Now(), 65536.0, r.Latency());
+        (*pump)(offset + 1);
+      };
+      disk->Submit(std::move(req));
+    };
+    (*pump)(0);
+  }
+  sim.Run();
+
+  DetectionResult out;
+  const StutterDetector* det = registry.detector("disk0");
+  if (det != nullptr && det->ever_stuttered()) {
+    out.detect_delay_s = (det->last_stutter_entry() - onset).ToSeconds();
+  }
+  for (int i = 1; i < kDisks; ++i) {
+    const StutterDetector* healthy = registry.detector("disk" + std::to_string(i));
+    if (healthy != nullptr && healthy->ever_stuttered()) {
+      ++out.false_positives;
+    }
+  }
+  out.suppression = registry.history().empty()
+                        ? static_cast<double>(registry.observations())
+                        : static_cast<double>(registry.observations()) /
+                              static_cast<double>(registry.history().size());
+  return out;
+}
+
+// Args: {enter_windows, enter_deficit x100, jitter_sigma x100}.
+void BM_DetectionTradeoff(benchmark::State& state) {
+  DetectionResult result;
+  for (auto _ : state) {
+    result = RunDetection(static_cast<int>(state.range(0)),
+                          static_cast<double>(state.range(1)) / 100.0,
+                          static_cast<double>(state.range(2)) / 100.0);
+  }
+  state.counters["detect_delay_s"] = result.detect_delay_s;
+  state.counters["false_positives"] = result.false_positives;
+  state.counters["obs_per_notification"] = result.suppression;
+}
+BENCHMARK(BM_DetectionTradeoff)
+    ->ArgsProduct({{1, 3, 8}, {120, 150, 200}, {10, 40}})
+    ->Unit(benchmark::kMillisecond);
+
+// E12 — lead time between first stutter flag and absolute death for a
+// disk whose service time drifts upward until it fails.
+void BM_EarlyFailureIndicator(benchmark::State& state) {
+  const double slope_per_hour = static_cast<double>(state.range(0));
+  double lead_s = -1.0;
+  for (auto _ : state) {
+    Simulator sim(53);
+    PerformanceStateRegistry registry;
+    FaultInjector injector(sim);
+    Disk disk(sim, "dying", BenchDisk());
+    registry.Register("dying", PerformanceSpec::RateBand(10e6, 0.25));
+    const SimTime death = SimTime::Zero() + Duration::Seconds(120.0);
+    injector.InjectDrift(disk, SimTime::Zero(), slope_per_hour);
+    injector.ScheduleFailStop(disk, death);
+    auto pump = std::make_shared<std::function<void(int64_t)>>();
+    *pump = [&](int64_t offset) {
+      DiskRequest req;
+      req.kind = IoKind::kWrite;
+      req.offset_blocks = offset;
+      req.nblocks = 1;
+      req.done = [&, offset](const IoResult& r) {
+        if (!r.ok) {
+          registry.ObserveFailure("dying", sim.Now());
+          return;
+        }
+        registry.Observe("dying", sim.Now(), 65536.0, r.Latency());
+        (*pump)(offset + 1);
+      };
+      disk.Submit(std::move(req));
+    };
+    (*pump)(0);
+    sim.Run();
+    const StutterDetector* det = registry.detector("dying");
+    lead_s = det != nullptr && det->ever_stuttered()
+                 ? (death - det->last_stutter_entry()).ToSeconds()
+                 : -1.0;
+  }
+  state.counters["lead_time_s"] = lead_s;
+}
+BENCHMARK(BM_EarlyFailureIndicator)
+    ->Arg(60)
+    ->Arg(120)
+    ->Arg(240)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

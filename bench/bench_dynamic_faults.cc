@@ -1,0 +1,89 @@
+// E2 + E5 — performance that changes over time.
+//
+// E2 (Section 3.2 scenario 2's failure mode): "if any disk does not
+// perform as expected over time, performance again tracks the slow disk."
+// A pair slows 3x shortly AFTER install-time calibration; the proportional
+// design keeps writing stale shares while the adaptive design re-tracks.
+//
+// E5 (Bolosky et al.): thermal recalibration takes one mirror offline at
+// random intervals; adaptive placement absorbs the stalls.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/faults/catalog.h"
+#include "src/faults/perf_fault.h"
+
+namespace fst {
+namespace {
+
+// Args: {striper, change-factor x10}. The step fires 3 s in, after the
+// calibration batch completed.
+void BM_PostCalibrationStep(benchmark::State& state) {
+  const StriperKind kind = StriperFromArg(state.range(0));
+  const double factor = static_cast<double>(state.range(1)) / 10.0;
+  double mbps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(17);
+    BenchVolume v(sim, 4, kind);
+    v.disks[0]->AttachModulator(std::make_shared<StepModulator>(
+        std::vector<StepModulator::Step>{
+            {SimTime::Zero() + Duration::Seconds(3.0), factor}}));
+    mbps = v.WriteBatch(sim, 3200);
+  }
+  state.counters["measured_MBps"] = mbps;
+  // Post-change available bandwidth (the batch mostly runs post-step).
+  state.counters["available_MBps"] = 30.0 + 10.0 / factor;
+  state.SetLabel(StriperArgName(state.range(0)));
+}
+BENCHMARK(BM_PostCalibrationStep)
+    ->ArgsProduct({{0, 1, 2}, {20, 30, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+// Args: {striper}. One mirror suffers thermal recalibrations (0.5 s
+// offline, ~every 10 s — accelerated from the catalog's 60 s so a single
+// batch sees several).
+void BM_ThermalRecalibration(benchmark::State& state) {
+  const StriperKind kind = StriperFromArg(state.range(0));
+  double mbps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(21);
+    BenchVolume v(sim, 4, kind);
+    v.disks[0]->AttachModulator(std::make_shared<PeriodicOfflineModulator>(
+        sim.rng().Fork(), Duration::Seconds(10.0), Duration::Millis(500)));
+    mbps = v.WriteBatch(sim, 3200);
+  }
+  state.counters["measured_MBps"] = mbps;
+  state.counters["fault_free_MBps"] = 40.0;
+  state.SetLabel(StriperArgName(state.range(0)));
+}
+BENCHMARK(BM_ThermalRecalibration)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Intermittent (Markov) slowdown on one mirror: the episodic fault class
+// the paper calls particularly harmful when long-lived.
+void BM_IntermittentSlowdown(benchmark::State& state) {
+  const StriperKind kind = StriperFromArg(state.range(0));
+  double mbps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(23);
+    BenchVolume v(sim, 4, kind);
+    v.disks[0]->AttachModulator(std::make_shared<IntermittentSlowdownModulator>(
+        sim.rng().Fork(), 4.0, Duration::Seconds(4.0), Duration::Seconds(4.0)));
+    mbps = v.WriteBatch(sim, 3200);
+  }
+  state.counters["measured_MBps"] = mbps;
+  state.SetLabel(StriperArgName(state.range(0)));
+}
+BENCHMARK(BM_IntermittentSlowdown)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// E8 — Gribble et al. (Section 2.2.1): "untimely garbage collection causes
+// one node to fall behind its mirror in a replicated update. The result is
+// that one machine over-saturates and thus is the bottleneck."
+//
+// Series: ack p99 latency and Gray & Reuter availability for sync-both vs
+// quorum-one replication as the GC pause length grows, plus the mirror
+// backlog that quorum-one trades for its latency.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/analysis/availability.h"
+#include "src/devices/node.h"
+#include "src/faults/catalog.h"
+#include "src/workload/dds.h"
+
+namespace fst {
+namespace {
+
+DdsResult RunStore(ReplicationMode mode, Duration pause) {
+  Simulator sim(23);
+  NodeParams np;
+  np.cpu_rate = 1e6;
+  Node primary(sim, "replica0", np);
+  Node mirror(sim, "replica1", np);
+  if (!pause.IsZero()) {
+    mirror.AttachModulator(
+        MakeGarbageCollector(sim.rng().Fork(), Duration::Seconds(1.0), pause));
+  }
+  DdsParams params;
+  params.arrivals_per_sec = 300.0;
+  params.work_per_op = 1000.0;
+  params.run_for = Duration::Seconds(20.0);
+  params.mode = mode;
+  ReplicatedStore store(sim, params, &primary, &mirror);
+  DdsResult result;
+  store.Run([&](const DdsResult& r) { result = r; });
+  sim.Run();
+  return result;
+}
+
+// Args: {mode (0 sync / 1 quorum), GC pause ms}.
+void BM_GcReplication(benchmark::State& state) {
+  const ReplicationMode mode = state.range(0) == 0 ? ReplicationMode::kSyncBoth
+                                                   : ReplicationMode::kQuorumOne;
+  const Duration pause = Duration::Millis(state.range(1));
+  DdsResult result;
+  for (auto _ : state) {
+    result = RunStore(mode, pause);
+  }
+  state.counters["p50_ms"] = result.ack_latency.P50() / 1e6;
+  state.counters["p99_ms"] = result.ack_latency.P99() / 1e6;
+  state.counters["avail_20ms_sla"] =
+      Availability(result.ack_latency, result.ops_issued, Duration::Millis(20));
+  state.counters["peak_mirror_lag_ops"] =
+      static_cast<double>(result.max_mirror_backlog);
+  state.SetLabel(mode == ReplicationMode::kSyncBoth ? "sync-both"
+                                                    : "quorum-one");
+}
+BENCHMARK(BM_GcReplication)
+    ->ArgsProduct({{0, 1}, {0, 50, 150, 400}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// E9 + E14 — the true costs and the manageability payoff of scenario 3.
+//
+// E9 (Section 3.2): "this approach increases the amount of bookkeeping:
+// because these proportions may change over time, the controller must
+// record where each block is written." Measures AddressMap lookup cost
+// and resident memory as the mapped-block count scales — this is the only
+// bench that times host-CPU work rather than virtual time.
+//
+// E14 (Section 3.3, manageability): "adding these faster components to
+// incrementally scale the system is handled naturally, because the older
+// components simply appear to be performance-faulty versions of the new
+// ones." A volume grown with one faster pair: the static design wastes the
+// upgrade; the adaptive design absorbs it.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/raid/address_map.h"
+
+namespace fst {
+namespace {
+
+void BM_AddressMapInsert(benchmark::State& state) {
+  const int64_t entries = state.range(0);
+  for (auto _ : state) {
+    AddressMap map(8);
+    for (int64_t b = 0; b < entries; ++b) {
+      map.RecordNext(b, static_cast<int>(b % 8));
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  AddressMap map(8);
+  for (int64_t b = 0; b < entries; ++b) {
+    map.RecordNext(b, static_cast<int>(b % 8));
+  }
+  state.counters["entries"] = static_cast<double>(entries);
+  state.counters["resident_MB"] =
+      static_cast<double>(map.EstimatedMemoryBytes()) / 1e6;
+  state.counters["bytes_per_block_mapped"] =
+      static_cast<double>(map.EstimatedMemoryBytes()) /
+      static_cast<double>(entries);
+  state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_AddressMapInsert)->Range(1 << 10, 1 << 20);
+
+void BM_AddressMapLookup(benchmark::State& state) {
+  const int64_t entries = state.range(0);
+  AddressMap map(8);
+  for (int64_t b = 0; b < entries; ++b) {
+    map.RecordNext(b, static_cast<int>(b % 8));
+  }
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Lookup(key));
+    key = (key + 7919) % entries;  // prime stride, scattered access
+  }
+  state.counters["entries"] = static_cast<double>(entries);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressMapLookup)->Range(1 << 10, 1 << 20);
+
+// The algebraic location computation the bookkeeping-free designs use, as
+// the baseline cost to compare E9 against.
+void BM_AlgebraicLocation(benchmark::State& state) {
+  int64_t key = 0;
+  int64_t sink = 0;
+  for (auto _ : state) {
+    sink += key % 8 + key / 8;  // pair = b mod N, physical = b div N
+    benchmark::DoNotOptimize(sink);
+    key += 7919;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AlgebraicLocation);
+
+// E14 — heterogeneous growth: pairs 0-2 at 10 MB/s, pair 3 upgraded to
+// `fast_mbps`. Counter `upgrade_capture` is the fraction of the upgrade's
+// extra bandwidth the design actually delivers.
+void BM_HeterogeneousGrowth(benchmark::State& state) {
+  const StriperKind kind = StriperFromArg(state.range(0));
+  const double fast_mbps = static_cast<double>(state.range(1));
+  double mbps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(29);
+    std::vector<std::unique_ptr<Disk>> disks;
+    for (int i = 0; i < 8; ++i) {
+      const double rate = i >= 6 ? fast_mbps : 10.0;
+      disks.push_back(std::make_unique<Disk>(sim, "disk" + std::to_string(i),
+                                             BenchDisk(rate)));
+    }
+    std::vector<Disk*> raw;
+    for (auto& d : disks) {
+      raw.push_back(d.get());
+    }
+    VolumeConfig config;
+    config.block_bytes = 65536;
+    config.striper = kind;
+    Raid10Volume volume(sim, config, raw);
+    auto write = [&]() {
+      volume.WriteBlocks(3200, [&](const BatchResult& r) {
+        mbps = r.ThroughputMbps();
+      });
+    };
+    if (kind == StriperKind::kProportional) {
+      volume.Calibrate(write);
+    } else {
+      write();
+    }
+    sim.Run();
+  }
+  const double baseline = 40.0;  // all-10MB/s volume
+  const double available = 30.0 + fast_mbps;
+  state.counters["measured_MBps"] = mbps;
+  state.counters["available_MBps"] = available;
+  state.counters["upgrade_capture"] =
+      (mbps - baseline) / (available - baseline);
+  state.SetLabel(StriperArgName(state.range(0)));
+}
+BENCHMARK(BM_HeterogeneousGrowth)
+    ->ArgsProduct({{0, 1, 2}, {20, 40}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

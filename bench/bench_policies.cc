@@ -1,0 +1,131 @@
+// Policy ablation — the resource-waste argument of Section 3.1.
+//
+// "In many cases, devices may often perform at a large fraction of their
+// expected rate; if many components behave this way, treating them as
+// absolutely failed components leads to a large waste of system
+// resources."
+//
+// Series: batch throughput for three reactions to a persistently slow
+// mirror pair (static striping, so the policy is the only difference):
+//   ignore-stutter      — the fail-stop illusion: drag at N*b;
+//   eject-on-stutter    — treat stutter as death: (N-1)*B, wasting b;
+//   proportional-share  — reweight: ~(N-1)*B + b, wasting nothing.
+// Swept over the slowdown factor; "waste_MBps" quantifies what ejection
+// leaves on the table relative to the reweighting policy.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/raid/supervisor.h"
+
+namespace fst {
+namespace {
+
+std::unique_ptr<ReactionPolicy> MakePolicy(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return std::make_unique<IgnoreStutterPolicy>();
+    case 1:
+      return std::make_unique<EjectOnStutterPolicy>();
+    default:
+      return std::make_unique<ProportionalSharePolicy>(8.0);
+  }
+}
+
+const char* PolicyName(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return "ignore-stutter";
+    case 1:
+      return "eject-on-stutter";
+    default:
+      return "proportional-share";
+  }
+}
+
+struct PolicyRun {
+  double mbps = 0.0;
+  int ejections = 0;
+  int reweights = 0;
+};
+
+PolicyRun RunPolicy(int64_t policy_arg, double slow_factor) {
+  Simulator sim(3);
+  PerformanceStateRegistry registry;
+  BenchVolume v(sim, 4, StriperKind::kStatic, slow_factor, &registry);
+  VolumeSupervisor supervisor(sim, *v.volume, registry, MakePolicy(policy_arg));
+  PolicyRun out;
+  bool finished = false;
+  v.volume->WriteBlocks(6000, [&](const BatchResult& r) {
+    finished = true;
+    out.mbps = r.ThroughputMbps();
+  });
+  sim.Run();
+  if (!finished) {
+    out.mbps = 0.0;
+  }
+  out.ejections = supervisor.ejections();
+  out.reweights = supervisor.reweights();
+  return out;
+}
+
+// Args: {policy, slowdown x10}.
+void BM_PolicyAblation(benchmark::State& state) {
+  const double slow_factor = static_cast<double>(state.range(1)) / 10.0;
+  PolicyRun result;
+  for (auto _ : state) {
+    result = RunPolicy(state.range(0), slow_factor);
+  }
+  const double b = 10.0 / slow_factor;
+  state.counters["measured_MBps"] = result.mbps;
+  state.counters["available_MBps"] = 30.0 + b;
+  // What ejecting the still-working pair forgoes (scenario's b).
+  state.counters["slow_pair_rate_MBps"] = b;
+  state.counters["ejections"] = result.ejections;
+  state.counters["reweights"] = result.reweights;
+  state.SetLabel(PolicyName(state.range(0)));
+}
+BENCHMARK(BM_PolicyAblation)
+    ->ArgsProduct({{0, 1, 2}, {20, 30, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+// Detector-parameter ablation driving the same loop: how the confirmation
+// window (enter_windows) trades reaction speed against batch throughput.
+void BM_ConfirmationWindowAblation(benchmark::State& state) {
+  const int enter_windows = static_cast<int>(state.range(0));
+  double mbps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(5);
+    DetectorParams dp;
+    dp.window = Duration::Millis(500);
+    dp.enter_windows = enter_windows;
+    dp.exit_windows = enter_windows;
+    PerformanceStateRegistry registry(dp);
+    BenchVolume v(sim, 4, StriperKind::kStatic, 3.0, &registry);
+    VolumeSupervisor supervisor(sim, *v.volume, registry,
+                                std::make_unique<ProportionalSharePolicy>());
+    bool finished = false;
+    v.volume->WriteBlocks(6000, [&](const BatchResult& r) {
+      finished = true;
+      mbps = r.ThroughputMbps();
+    });
+    sim.Run();
+    if (!finished) {
+      mbps = 0.0;
+    }
+  }
+  state.counters["measured_MBps"] = mbps;
+  state.counters["enter_windows"] = enter_windows;
+}
+BENCHMARK(BM_ConfirmationWindowAblation)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(6)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

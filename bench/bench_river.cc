@@ -1,0 +1,120 @@
+// E18 — the River distributed queue (related work, [7]): "mechanisms to
+// enable consistent and high performance in spite of erratic performance
+// in underlying components."
+//
+// Series: records/s for the credit-balanced DQ vs fixed round-robin
+// dispatch as one consumer's slowdown grows; the DQ should track the sum
+// of consumer rates while round-robin tracks N x the slowest.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/devices/modulators.h"
+#include "src/devices/network.h"
+#include "src/devices/node.h"
+#include "src/river/distributed_queue.h"
+#include "src/river/graduated_decluster.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+namespace {
+
+double RunDq(DqDispatch dispatch, double slow_factor) {
+  Simulator sim(3);
+  SwitchParams sp;
+  sp.ports = 8;
+  sp.link_mbps = 100.0;
+  sp.fabric_buffer_bytes = 8 << 20;
+  Switch net(sim, sp);
+  NodeParams np;
+  np.cpu_rate = 1e6;
+  std::vector<std::unique_ptr<Node>> consumers;
+  std::vector<Node*> raw;
+  for (int i = 0; i < 4; ++i) {
+    consumers.push_back(
+        std::make_unique<Node>(sim, "consumer" + std::to_string(i), np));
+    raw.push_back(consumers.back().get());
+  }
+  if (slow_factor > 1.0) {
+    consumers[0]->AttachModulator(
+        std::make_shared<ConstantFactorModulator>(slow_factor));
+  }
+  DqParams params;
+  params.records_per_producer = 1000;
+  params.record_bytes = 8192;
+  params.work_per_record = 1000.0;
+  params.credits_per_consumer = 4;
+  params.dispatch = dispatch;
+  DistributedQueue dq(sim, net, {0, 1, 2, 3}, {4, 5, 6, 7}, raw, params);
+  double rps = 0.0;
+  dq.Run([&](const DqResult& r) { rps = r.records_per_sec; });
+  sim.Run();
+  return rps;
+}
+
+// Args: {dispatch (0 credit / 1 rr), slowdown x10}.
+void BM_DistributedQueue(benchmark::State& state) {
+  const DqDispatch dispatch = state.range(0) == 0 ? DqDispatch::kCreditBalanced
+                                                  : DqDispatch::kRoundRobin;
+  const double slow_factor = static_cast<double>(state.range(1)) / 10.0;
+  double rps = 0.0;
+  for (auto _ : state) {
+    rps = RunDq(dispatch, slow_factor);
+  }
+  // Each healthy consumer processes 1000 records/s of CPU work; the slow
+  // one 1000/slow_factor.
+  state.counters["records_per_s"] = rps;
+  state.counters["sum_of_rates"] = 3000.0 + 1000.0 / slow_factor;
+  state.counters["n_times_slowest"] = 4000.0 / slow_factor;
+  state.SetLabel(dispatch == DqDispatch::kCreditBalanced ? "credit-dq"
+                                                         : "round-robin");
+}
+BENCHMARK(BM_DistributedQueue)
+    ->ArgsProduct({{0, 1}, {10, 20, 40, 80}})
+    ->Unit(benchmark::kMillisecond);
+
+
+// Graduated declustering (River's read-side mechanism): mirrored segments
+// stream from both replicas at their own completion-driven pace.
+void BM_GraduatedDecluster(benchmark::State& state) {
+  const ReplicaChoice choice = state.range(0) == 0 ? ReplicaChoice::kGraduated
+                                                   : ReplicaChoice::kFixedPrimary;
+  const double slow_factor = static_cast<double>(state.range(1)) / 10.0;
+  double mbps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(3);
+    DiskParams dp;
+    dp.flat_bandwidth_mbps = 10.0;
+    dp.block_bytes = 65536;
+    dp.capacity_blocks = 1 << 20;
+    std::vector<std::unique_ptr<Disk>> disks;
+    std::vector<Disk*> raw;
+    for (int i = 0; i < 8; ++i) {
+      disks.push_back(std::make_unique<Disk>(sim, "gd" + std::to_string(i), dp));
+      raw.push_back(disks.back().get());
+    }
+    if (slow_factor > 1.0) {
+      disks[2]->AttachModulator(
+          std::make_shared<ConstantFactorModulator>(slow_factor));
+    }
+    GdParams gp;
+    gp.blocks_per_segment = 512;
+    gp.chunk_blocks = 16;
+    gp.choice = choice;
+    GraduatedDecluster gd(sim, raw, gp);
+    gd.Run([&](const GdResult& r) { mbps = r.aggregate_mbps; });
+    sim.Run();
+  }
+  state.counters["agg_MBps"] = mbps;
+  state.counters["n_times_slowest"] = 8.0 * 10.0 / slow_factor;
+  state.SetLabel(choice == ReplicaChoice::kGraduated ? "graduated"
+                                                     : "fixed-primary");
+}
+BENCHMARK(BM_GraduatedDecluster)
+    ->ArgsProduct({{0, 1}, {10, 20, 30, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E1 + E13 — the Section 3.2 scenario sweep and the multi-zone geometry
+// differential.
+//
+// Regenerates the paper's central analytic claims as a measured series:
+//   static:        N*b
+//   proportional:  (N-1)*B + b
+//   adaptive:      (N-1)*B + b
+// for b/B in {0.1 .. 1.0}, N = 4 pairs, B = 10 MB/s. The counters on each
+// row carry the measured and predicted MB/s; the shape holds when
+// measured/predicted ~= 1 for every row.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/devices/disk_params.h"
+#include "src/faults/catalog.h"
+#include "src/workload/mixes.h"
+
+namespace fst {
+namespace {
+
+constexpr int kPairs = 4;
+constexpr double kBandwidth = 10.0;  // B, MB/s per pair
+constexpr int64_t kBlocks = 2000;    // D
+
+// Args: {striper (0/1/2), b/B percent}.
+void BM_ScenarioThroughput(benchmark::State& state) {
+  const StriperKind kind = StriperFromArg(state.range(0));
+  const double ratio = static_cast<double>(state.range(1)) / 100.0;
+  const double slow_factor = 1.0 / ratio;
+  double mbps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(42);
+    BenchVolume v(sim, kPairs, kind, slow_factor);
+    mbps = v.WriteBatch(sim, kBlocks);
+  }
+  const double b = kBandwidth * ratio;
+  const double predicted = kind == StriperKind::kStatic
+                               ? kPairs * b
+                               : (kPairs - 1) * kBandwidth + b;
+  state.counters["measured_MBps"] = mbps;
+  state.counters["paper_MBps"] = predicted;
+  state.counters["ratio_vs_paper"] = mbps / predicted;
+  state.SetLabel(StriperArgName(state.range(0)));
+}
+BENCHMARK(BM_ScenarioThroughput)
+    ->ArgsProduct({{0, 1, 2}, {10, 25, 50, 75, 100}})
+    ->Unit(benchmark::kMillisecond);
+
+// E13 — Van Meter zones: sequential scan bandwidth outer vs inner zone
+// ("performance across zones differing by up to a factor of two").
+void BM_ZoneScan(benchmark::State& state) {
+  const bool inner = state.range(0) == 1;
+  double mbps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(1);
+    Disk disk(sim, "zoned",
+              MakeZonedDiskParams(10.0, kZoneBandwidthRatio, 8, 1 << 20));
+    // Scan 4096 blocks in the outermost or innermost zone.
+    const int64_t start = inner ? (1 << 20) - 4096 : 0;
+    DiskRequest seek;  // position the head at the zone start
+    seek.offset_blocks = start;
+    seek.nblocks = 1;
+    disk.Submit(std::move(seek));
+    const SimTime t0 = sim.Now();
+    int64_t remaining = 4096;
+    SimTime t_end;
+    for (int64_t i = 0; i < 4096; i += 64) {
+      DiskRequest req;
+      req.kind = IoKind::kRead;
+      req.offset_blocks = start + 1 + i;
+      req.nblocks = 64;
+      req.done = [&](const IoResult& r) {
+        remaining -= 64;
+        if (remaining <= 0) {
+          t_end = r.completed;
+        }
+      };
+      disk.Submit(std::move(req));
+    }
+    sim.Run();
+    const double bytes =
+        4096.0 * static_cast<double>(disk.params().block_bytes);
+    mbps = bytes / 1e6 / (t_end - t0).ToSeconds();
+  }
+  state.counters["scan_MBps"] = mbps;
+  state.SetLabel(inner ? "inner_zone" : "outer_zone");
+}
+BENCHMARK(BM_ZoneScan)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Sanity row: the degraded Hawk anecdote end-to-end (5.5 -> ~5.0 MB/s).
+void BM_HawkScan(benchmark::State& state) {
+  const bool degraded = state.range(0) == 1;
+  double mbps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(1);
+    Disk disk(sim, "hawk",
+              degraded ? MakeDegradedHawkParams() : MakeSeagateHawkParams());
+    if (degraded) {
+      ApplyHawkBadBlockAnecdote(disk, 99);
+    }
+    RunSequentialScan(sim, disk, 1 << 16, [&](double m) { mbps = m; });
+    sim.Run();
+  }
+  state.counters["scan_MBps"] = mbps;
+  state.SetLabel(degraded ? "remapped_hawk" : "clean_hawk");
+}
+BENCHMARK(BM_HawkScan)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

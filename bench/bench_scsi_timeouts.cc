@@ -1,0 +1,109 @@
+// E4 — Talagala & Patterson (Section 2.1.2): "a timeout or parity error
+// occurs roughly two times per day on average. These errors often lead to
+// SCSI bus resets, affecting the performance of all disks on the degraded
+// SCSI chain."
+//
+// Series: Gray & Reuter availability of a disk farm under open-loop random
+// reads, sweeping the per-chain timeout rate. The paper's 2/day is the
+// leftmost non-zero point; higher rates show the trend. The run simulates
+// 2 hours of virtual time, so daily rates are scaled accordingly.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analysis/availability.h"
+#include "src/devices/scsi_bus.h"
+#include "src/faults/injector.h"
+
+namespace fst {
+namespace {
+
+constexpr int kChains = 8;
+constexpr int kDisksPerChain = 5;
+
+struct FarmResult {
+  double availability = 1.0;
+  int resets = 0;
+  double p99_ms = 0.0;
+};
+
+FarmResult RunFarm(double timeouts_per_day) {
+  Simulator sim(31);
+  FaultInjector injector(sim);
+  std::vector<std::unique_ptr<Disk>> disks;
+  std::vector<std::unique_ptr<ScsiChain>> chains;
+  const SimTime horizon = SimTime::Zero() + Duration::Hours(2.0);
+  for (int c = 0; c < kChains; ++c) {
+    chains.push_back(std::make_unique<ScsiChain>(
+        sim, "chain" + std::to_string(c), Duration::Millis(750)));
+    for (int d = 0; d < kDisksPerChain; ++d) {
+      disks.push_back(std::make_unique<Disk>(
+          sim, "c" + std::to_string(c) + "d" + std::to_string(d), BenchDisk()));
+      chains.back()->Attach(*disks.back());
+    }
+    if (timeouts_per_day > 0.0) {
+      injector.ScheduleScsiTimeouts(*chains.back(), timeouts_per_day, horizon);
+    }
+  }
+
+  AvailabilityTracker tracker(Duration::Millis(100));
+  Histogram latency;
+  Rng rng(37);
+  auto arrive = std::make_shared<std::function<void()>>();
+  *arrive = [&, arrive]() {
+    if (sim.Now() >= horizon) {
+      return;
+    }
+    Disk& d = *disks[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(disks.size()) - 1))];
+    DiskRequest req;
+    req.kind = IoKind::kRead;
+    req.offset_blocks = rng.UniformInt(0, 1 << 19);
+    req.nblocks = 1;
+    req.done = [&](const IoResult& r) {
+      if (r.ok) {
+        tracker.RecordSuccess(r.Latency());
+        latency.AddDuration(r.Latency());
+      } else {
+        tracker.RecordFailure();
+      }
+    };
+    d.Submit(std::move(req));
+    sim.Schedule(Duration::Seconds(rng.Exponential(1.0 / 200.0)), *arrive);
+  };
+  (*arrive)();
+  sim.Run();
+
+  FarmResult out;
+  out.availability = tracker.Value();
+  for (const auto& chain : chains) {
+    out.resets += chain->resets();
+  }
+  out.p99_ms = latency.P99() / 1e6;
+  return out;
+}
+
+void BM_ScsiTimeoutAvailability(benchmark::State& state) {
+  const double per_day = static_cast<double>(state.range(0));
+  FarmResult result;
+  for (auto _ : state) {
+    result = RunFarm(per_day);
+  }
+  state.counters["availability"] = result.availability;
+  state.counters["bus_resets"] = result.resets;
+  state.counters["p99_ms"] = result.p99_ms;
+  state.SetLabel(per_day == 2.0 ? "paper_rate_2_per_day" : "");
+}
+BENCHMARK(BM_ScsiTimeoutAvailability)
+    ->Arg(0)
+    ->Arg(2)     // the paper's observed rate
+    ->Arg(24)
+    ->Arg(96)
+    ->Arg(384)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

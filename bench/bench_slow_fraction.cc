@@ -1,0 +1,86 @@
+// E3 — Rivera & Chien (Section 2.1.2): "four of them [of 64 machines] had
+// about 30% slower I/O performance. Therefore, we excluded them from our
+// subsequent experiments."
+//
+// Series: cluster-write throughput vs number of slow nodes (0..16 of 64)
+// for three designs:
+//   static    — equal partition, job gated by the slowest node;
+//   exclude   — the authors' workaround: drop the slow nodes entirely
+//               (waste their remaining 70%);
+//   adaptive  — fail-stutter design: keep them, feed them less.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/faults/catalog.h"
+#include "src/workload/parallel_write.h"
+
+namespace fst {
+namespace {
+
+constexpr int kNodes = 64;
+constexpr int64_t kBlocks = 6400;
+
+enum class Design { kStatic, kExclude, kAdaptive };
+
+double RunCluster(Design design, int slow_nodes) {
+  Simulator sim(9);
+  std::vector<std::unique_ptr<Disk>> disks;
+  for (int i = 0; i < kNodes; ++i) {
+    disks.push_back(
+        std::make_unique<Disk>(sim, "node" + std::to_string(i), BenchDisk()));
+    if (i < slow_nodes) {
+      disks.back()->AttachModulator(
+          std::make_shared<ConstantFactorModulator>(kRiveraChienSlowdown));
+    }
+  }
+  std::vector<Disk*> raw;
+  for (int i = 0; i < kNodes; ++i) {
+    if (design == Design::kExclude && i < slow_nodes) {
+      continue;  // the Rivera-Chien workaround: leave slow machines out
+    }
+    raw.push_back(disks[static_cast<size_t>(i)].get());
+  }
+  ClusterJobParams params;
+  params.total_blocks = kBlocks;
+  params.block_bytes = 65536;
+  params.adaptive = design == Design::kAdaptive;
+  params.pull_batch = 8;
+  ClusterWriteJob job(sim, params, raw);
+  double mbps = 0.0;
+  job.Run([&](const ClusterJobResult& r) { mbps = r.throughput_mbps; });
+  sim.Run();
+  return mbps;
+}
+
+void BM_SlowFraction(benchmark::State& state) {
+  const Design design = static_cast<Design>(state.range(0));
+  const int slow = static_cast<int>(state.range(1));
+  double mbps = 0.0;
+  for (auto _ : state) {
+    mbps = RunCluster(design, slow);
+  }
+  state.counters["agg_MBps"] = mbps;
+  // Ideal fail-stutter bound: healthy nodes at 10 + slow nodes at 7.
+  state.counters["available_MBps"] = (kNodes - slow) * 10.0 + slow * 7.0;
+  switch (design) {
+    case Design::kStatic:
+      state.SetLabel("static");
+      break;
+    case Design::kExclude:
+      state.SetLabel("exclude-slow");
+      break;
+    case Design::kAdaptive:
+      state.SetLabel("adaptive");
+      break;
+  }
+}
+BENCHMARK(BM_SlowFraction)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 4, 8, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// E7 — NOW-Sort (Section 2.2.2): "A node with excess CPU load reduces
+// global sorting performance by a factor of two."
+//
+// Series: records/s for static vs adaptive partitioning as the number of
+// CPU-hogged nodes grows; plus the memory-hog variant (Brown & Mowry's
+// 40x swap penalty applied to one node).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/devices/node.h"
+#include "src/faults/catalog.h"
+#include "src/workload/sort.h"
+
+namespace fst {
+namespace {
+
+constexpr int kNodes = 8;
+
+struct SortFleet {
+  SortFleet(Simulator& sim) {
+    NodeParams np;
+    np.cpu_rate = 1e6;
+    np.memory_mb = 256.0;
+    for (int i = 0; i < kNodes; ++i) {
+      disks.push_back(
+          std::make_unique<Disk>(sim, "disk" + std::to_string(i), BenchDisk()));
+      nodes.push_back(
+          std::make_unique<Node>(sim, "cpu" + std::to_string(i), np));
+    }
+  }
+  std::vector<Disk*> raw_disks() {
+    std::vector<Disk*> out;
+    for (auto& d : disks) {
+      out.push_back(d.get());
+    }
+    return out;
+  }
+  std::vector<Node*> raw_nodes() {
+    std::vector<Node*> out;
+    for (auto& n : nodes) {
+      out.push_back(n.get());
+    }
+    return out;
+  }
+  std::vector<std::unique_ptr<Disk>> disks;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+SortParams BenchSort(bool adaptive) {
+  SortParams p;
+  p.total_records = 1 << 18;
+  p.record_bytes = 100;
+  p.records_per_batch = 2048;
+  p.work_per_record = 200.0;
+  p.adaptive = adaptive;
+  return p;
+}
+
+void BM_SortCpuHogs(benchmark::State& state) {
+  const bool adaptive = state.range(0) == 1;
+  const int hogs = static_cast<int>(state.range(1));
+  double rps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(5);
+    SortFleet fleet(sim);
+    for (int i = 0; i < hogs; ++i) {
+      fleet.nodes[static_cast<size_t>(i)]->AttachModulator(MakeCpuHog());
+    }
+    SortJob job(sim, BenchSort(adaptive), fleet.raw_disks(), fleet.raw_nodes());
+    job.Run([&](const SortResult& r) { rps = r.records_per_sec; });
+    sim.Run();
+  }
+  state.counters["records_per_s"] = rps;
+  state.SetLabel(adaptive ? "adaptive" : "static");
+}
+BENCHMARK(BM_SortCpuHogs)
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+// One node competes with an out-of-core memory hog (40x compute penalty
+// while over-committed) — the harsher interference class of Section 2.2.2.
+void BM_SortMemoryHog(benchmark::State& state) {
+  const bool adaptive = state.range(0) == 1;
+  double rps = 0.0;
+  for (auto _ : state) {
+    Simulator sim(7);
+    SortFleet fleet(sim);
+    ApplyMemoryHog(*fleet.nodes[0], 512.0);  // 512 MB demand on a 256 MB node
+    SortJob job(sim, BenchSort(adaptive), fleet.raw_disks(), fleet.raw_nodes());
+    job.Run([&](const SortResult& r) { rps = r.records_per_sec; });
+    sim.Run();
+  }
+  state.counters["records_per_s"] = rps;
+  state.SetLabel(adaptive ? "adaptive" : "static");
+}
+BENCHMARK(BM_SortMemoryHog)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

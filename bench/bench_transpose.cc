@@ -1,0 +1,95 @@
+// E6 — Brewer & Kuszmaul (Section 2.1.3): slow receivers in an all-to-all
+// transpose let "messages accumulate in the network and cause excessive
+// network contention, reducing transpose performance by almost a factor of
+// three."
+//
+// Series: healthy-receiver completion time and goodput for the blast and
+// paced schedules as the number of slow receivers grows (0..4 of 16).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/devices/network.h"
+#include "src/faults/catalog.h"
+#include "src/workload/transpose.h"
+
+namespace fst {
+namespace {
+
+constexpr int kPorts = 16;
+
+TransposeResult RunTranspose(TransposeSchedule schedule, int slow_receivers) {
+  Simulator sim(41);
+  SwitchParams sp;
+  sp.ports = kPorts;
+  sp.link_mbps = 40.0;
+  sp.fabric_buffer_bytes = (1 << 20) + (512 << 10);
+  sp.per_message_overhead = Duration::Micros(5);
+  Switch net(sim, sp);
+  std::vector<int> slow;
+  for (int i = 0; i < slow_receivers; ++i) {
+    slow.push_back(i);
+    net.SetReceiverSpeed(i, kSlowReceiverSpeed);
+  }
+  TransposeParams tp;
+  tp.bytes_per_pair = 512 << 10;
+  tp.chunk_bytes = 32 << 10;
+  tp.schedule = schedule;
+  tp.paced_window = 6;
+  TransposeJob job(sim, tp, net, slow);
+  TransposeResult result;
+  job.Run([&](const TransposeResult& r) { result = r; });
+  sim.Run();
+  return result;
+}
+
+void BM_Transpose(benchmark::State& state) {
+  const TransposeSchedule schedule = state.range(0) == 0
+                                         ? TransposeSchedule::kBlast
+                                         : TransposeSchedule::kPaced;
+  const int slow = static_cast<int>(state.range(1));
+  TransposeResult result;
+  for (auto _ : state) {
+    result = RunTranspose(schedule, slow);
+  }
+  state.counters["healthy_done_ms"] = result.healthy_completion.ToSeconds() * 1e3;
+  state.counters["full_done_ms"] = result.full_completion.ToSeconds() * 1e3;
+  state.counters["healthy_goodput_MBps"] = result.healthy_goodput_mbps;
+  state.SetLabel(schedule == TransposeSchedule::kBlast ? "blast" : "paced");
+}
+BENCHMARK(BM_Transpose)
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+// The Myrinet deadlock anecdote: a 2 s recovery stall in the middle of a
+// transpose (Section 2.1.3, "halting all switch traffic for two seconds").
+void BM_DeadlockStall(benchmark::State& state) {
+  const bool stall = state.range(0) == 1;
+  TransposeResult result;
+  for (auto _ : state) {
+    Simulator sim(43);
+    SwitchParams sp;
+    sp.ports = 8;
+    sp.link_mbps = 40.0;
+    Switch net(sim, sp);
+    if (stall) {
+      sim.Schedule(Duration::Millis(10), [&net]() {
+        net.Stall(Duration::Seconds(kDeadlockStallSeconds));
+      });
+    }
+    TransposeParams tp;
+    tp.bytes_per_pair = 256 << 10;
+    tp.chunk_bytes = 32 << 10;
+    tp.schedule = TransposeSchedule::kPaced;
+    TransposeJob job(sim, tp, net, {});
+    job.Run([&](const TransposeResult& r) { result = r; });
+    sim.Run();
+  }
+  state.counters["full_done_ms"] = result.full_completion.ToSeconds() * 1e3;
+  state.SetLabel(stall ? "with_2s_deadlock" : "clean");
+}
+BENCHMARK(BM_DeadlockStall)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

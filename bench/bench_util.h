@@ -1,0 +1,99 @@
+// Shared builders for the benchmark harness. Every bench constructs its
+// simulated cluster through these helpers so experiment parameters stay
+// consistent across the derived-experiment index in DESIGN.md.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/registry.h"
+#include "src/devices/disk.h"
+#include "src/devices/modulators.h"
+#include "src/raid/raid10.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+inline DiskParams BenchDisk(double mbps = 10.0) {
+  DiskParams p;
+  p.flat_bandwidth_mbps = mbps;
+  p.block_bytes = 65536;
+  p.capacity_blocks = 1 << 20;
+  return p;
+}
+
+// A RAID-10 volume over 2*n_pairs fresh disks; disk 0 optionally slowed.
+struct BenchVolume {
+  BenchVolume(Simulator& sim, int n_pairs, StriperKind kind,
+              double slow_factor = 1.0,
+              PerformanceStateRegistry* registry = nullptr,
+              ReadSelection read_selection = ReadSelection::kRoundRobin) {
+    for (int i = 0; i < 2 * n_pairs; ++i) {
+      disks.push_back(std::make_unique<Disk>(sim, "disk" + std::to_string(i),
+                                             BenchDisk()));
+    }
+    if (slow_factor > 1.0) {
+      disks[0]->AttachModulator(
+          std::make_shared<ConstantFactorModulator>(slow_factor));
+    }
+    std::vector<Disk*> raw;
+    for (auto& d : disks) {
+      raw.push_back(d.get());
+    }
+    VolumeConfig config;
+    config.block_bytes = 65536;
+    config.striper = kind;
+    config.read_selection = read_selection;
+    volume = std::make_unique<Raid10Volume>(sim, config, raw, registry);
+  }
+
+  // Runs one batch write (with calibration for the proportional design)
+  // and returns the delivered throughput in MB/s.
+  double WriteBatch(Simulator& sim, int64_t blocks) {
+    double mbps = 0.0;
+    auto write = [&]() {
+      volume->WriteBlocks(blocks, [&](const BatchResult& r) {
+        mbps = r.ThroughputMbps();
+      });
+    };
+    if (volume->config().striper == StriperKind::kProportional) {
+      volume->Calibrate(write);
+    } else {
+      write();
+    }
+    sim.Run();
+    return mbps;
+  }
+
+  std::vector<std::unique_ptr<Disk>> disks;
+  std::unique_ptr<Raid10Volume> volume;
+};
+
+inline const char* StriperArgName(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return "static";
+    case 1:
+      return "proportional";
+    case 2:
+      return "adaptive";
+  }
+  return "?";
+}
+
+inline StriperKind StriperFromArg(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return StriperKind::kStatic;
+    case 1:
+      return StriperKind::kProportional;
+    default:
+      return StriperKind::kAdaptive;
+  }
+}
+
+}  // namespace fst
+
+#endif  // BENCH_BENCH_UTIL_H_

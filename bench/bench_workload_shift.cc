@@ -1,0 +1,103 @@
+// E19 — workload imbalance as a manageability problem (Section 3.3):
+//
+// "new workloads (and the imbalances they may bring) can be introduced
+// into the system without fear, as those imbalances are handled by the
+// performance-fault tolerance mechanisms."
+//
+// A Zipf hotspot concentrates read demand on a few segments of a mirrored
+// cluster. To a fixed-primary layout the hot disk looks exactly like a
+// slow one (overloaded = stuttering); graduated declustering spills the
+// hot segments onto their mirror replicas. Series: completion time and
+// per-disk service spread vs Zipf skew.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/devices/disk.h"
+#include "src/river/graduated_decluster.h"
+#include "src/simcore/rng.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+namespace {
+
+constexpr int kDisks = 8;
+constexpr int64_t kTotalBlocks = 8 * 512;
+
+struct ShiftResult {
+  double makespan_s = 0.0;
+  double agg_mbps = 0.0;
+  int64_t hottest_served = 0;
+  int64_t coldest_served = 0;
+};
+
+ShiftResult RunShift(ReplicaChoice choice, double zipf_s) {
+  Simulator sim(7);
+  DiskParams dp;
+  dp.flat_bandwidth_mbps = 10.0;
+  dp.block_bytes = 65536;
+  dp.capacity_blocks = 1 << 20;
+  std::vector<std::unique_ptr<Disk>> disks;
+  std::vector<Disk*> raw;
+  for (int i = 0; i < kDisks; ++i) {
+    disks.push_back(std::make_unique<Disk>(sim, "d" + std::to_string(i), dp));
+    raw.push_back(disks.back().get());
+  }
+  // Zipf demand over segments, same total as the uniform case.
+  const ZipfGenerator zipf(kDisks, zipf_s);
+  std::vector<int64_t> demand(kDisks, 0);
+  int64_t assigned = 0;
+  for (int s = 0; s < kDisks; ++s) {
+    demand[static_cast<size_t>(s)] =
+        static_cast<int64_t>(zipf.ProbabilityOf(s) * kTotalBlocks);
+    assigned += demand[static_cast<size_t>(s)];
+  }
+  demand[0] += kTotalBlocks - assigned;  // rounding remainder to the hot zone
+
+  GdParams gp;
+  gp.chunk_blocks = 16;
+  gp.choice = choice;
+  gp.segment_demand = demand;
+  GraduatedDecluster gd(sim, raw, gp);
+  ShiftResult out;
+  gd.Run([&](const GdResult& r) {
+    out.makespan_s = r.makespan.ToSeconds();
+    out.agg_mbps = r.aggregate_mbps;
+    out.hottest_served =
+        *std::max_element(r.blocks_served_by_disk.begin(),
+                          r.blocks_served_by_disk.end());
+    out.coldest_served =
+        *std::min_element(r.blocks_served_by_disk.begin(),
+                          r.blocks_served_by_disk.end());
+  });
+  sim.Run();
+  return out;
+}
+
+// Args: {choice (0 graduated / 1 fixed), zipf_s x10}.
+void BM_WorkloadShift(benchmark::State& state) {
+  const ReplicaChoice choice = state.range(0) == 0 ? ReplicaChoice::kGraduated
+                                                   : ReplicaChoice::kFixedPrimary;
+  const double zipf_s = static_cast<double>(state.range(1)) / 10.0;
+  ShiftResult result;
+  for (auto _ : state) {
+    result = RunShift(choice, zipf_s);
+  }
+  state.counters["makespan_s"] = result.makespan_s;
+  state.counters["agg_MBps"] = result.agg_mbps;
+  state.counters["hottest_disk_blocks"] =
+      static_cast<double>(result.hottest_served);
+  state.counters["coldest_disk_blocks"] =
+      static_cast<double>(result.coldest_served);
+  state.SetLabel(choice == ReplicaChoice::kGraduated ? "graduated"
+                                                     : "fixed-primary");
+}
+BENCHMARK(BM_WorkloadShift)
+    ->ArgsProduct({{0, 1}, {0, 5, 10, 15}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// The NOW-Sort story (Section 2.2.2): a cluster sort where one node picks
+// up a CPU hog mid-run. Static partitioning loses half its throughput to
+// one sick node; adaptive batch-pulling loses almost nothing.
+//
+//   $ ./examples/cluster_sort [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/table.h"
+#include "src/devices/disk.h"
+#include "src/devices/node.h"
+#include "src/faults/catalog.h"
+#include "src/simcore/simulator.h"
+#include "src/workload/sort.h"
+
+namespace {
+
+struct Fleet {
+  Fleet(fst::Simulator& sim, int n) {
+    fst::DiskParams dp;
+    dp.flat_bandwidth_mbps = 10.0;
+    dp.block_bytes = 65536;
+    fst::NodeParams np;
+    np.cpu_rate = 1e6;
+    for (int i = 0; i < n; ++i) {
+      disks.push_back(std::make_unique<fst::Disk>(
+          sim, "disk" + std::to_string(i), dp));
+      nodes.push_back(std::make_unique<fst::Node>(
+          sim, "cpu" + std::to_string(i), np));
+    }
+  }
+  std::vector<fst::Disk*> raw_disks() {
+    std::vector<fst::Disk*> out;
+    for (auto& d : disks) {
+      out.push_back(d.get());
+    }
+    return out;
+  }
+  std::vector<fst::Node*> raw_nodes() {
+    std::vector<fst::Node*> out;
+    for (auto& n : nodes) {
+      out.push_back(n.get());
+    }
+    return out;
+  }
+  std::vector<std::unique_ptr<fst::Disk>> disks;
+  std::vector<std::unique_ptr<fst::Node>> nodes;
+};
+
+fst::SortResult RunSort(int n, bool hogged, bool adaptive) {
+  fst::Simulator sim(5);
+  Fleet fleet(sim, n);
+  if (hogged) {
+    // The paper's CPU hog: a competitor steals half of node 0's cycles.
+    fleet.nodes[0]->AttachModulator(fst::MakeCpuHog());
+  }
+  fst::SortParams params;
+  params.total_records = 1 << 18;
+  params.record_bytes = 100;
+  params.records_per_batch = 2048;
+  params.work_per_record = 200.0;
+  params.adaptive = adaptive;
+  fst::SortJob job(sim, params, fleet.raw_disks(), fleet.raw_nodes());
+  fst::SortResult result;
+  job.Run([&](const fst::SortResult& r) { result = r; });
+  sim.Run();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 8;
+  std::printf("NOW-Sort-style cluster sort on %d nodes; node 0 gains a CPU hog.\n\n",
+              nodes);
+
+  const auto clean = RunSort(nodes, false, false);
+  const auto hog_static = RunSort(nodes, true, false);
+  const auto hog_adaptive = RunSort(nodes, true, true);
+
+  fst::Table table({"configuration", "records/s", "slowdown vs clean"});
+  table.AddRow({"clean, static partition",
+                fst::FormatDouble(clean.records_per_sec, 0), "1.00x"});
+  table.AddRow({"1 CPU hog, static partition",
+                fst::FormatDouble(hog_static.records_per_sec, 0),
+                fst::FormatDouble(clean.records_per_sec /
+                                  hog_static.records_per_sec, 2) + "x"});
+  table.AddRow({"1 CPU hog, adaptive pulls",
+                fst::FormatDouble(hog_adaptive.records_per_sec, 0),
+                fst::FormatDouble(clean.records_per_sec /
+                                  hog_adaptive.records_per_sec, 2) + "x"});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("records processed per node (adaptive, hogged):\n  ");
+  for (size_t i = 0; i < hog_adaptive.records_per_node.size(); ++i) {
+    std::printf("n%zu=%lld ", i,
+                static_cast<long long>(hog_adaptive.records_per_node[i]));
+  }
+  std::printf("\n\nThe paper: \"A node with excess CPU load reduces global sorting\n"
+              "performance by a factor of two\" — that is the static row. The\n"
+              "adaptive row is what fail-stutter tolerance buys back.\n");
+  return 0;
+}

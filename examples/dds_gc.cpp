@@ -1,0 +1,74 @@
+// The Gribble et al. DDS story (Section 2.2.1): a replicated hash table
+// where one replica suffers untimely garbage collection. Synchronous
+// replication inherits every GC pause into its ack latency; a quorum-of-one
+// ack (the Bimodal-Multicast-style semantic trade) rides through the
+// stutter at the cost of bounded mirror lag.
+//
+//   $ ./examples/dds_gc
+#include <cstdio>
+
+#include "src/analysis/availability.h"
+#include "src/analysis/table.h"
+#include "src/devices/node.h"
+#include "src/faults/catalog.h"
+#include "src/simcore/simulator.h"
+#include "src/workload/dds.h"
+
+namespace {
+
+fst::DdsResult RunStore(fst::ReplicationMode mode, bool gc) {
+  fst::Simulator sim(23);
+  fst::NodeParams np;
+  np.cpu_rate = 1e6;
+  fst::Node primary(sim, "replica0", np);
+  fst::Node mirror(sim, "replica1", np);
+  if (gc) {
+    mirror.AttachModulator(fst::MakeGarbageCollector(
+        sim.rng().Fork(), fst::Duration::Seconds(1.0),
+        fst::Duration::Millis(150)));
+  }
+  fst::DdsParams params;
+  params.arrivals_per_sec = 300.0;
+  params.work_per_op = 1000.0;
+  params.run_for = fst::Duration::Seconds(20.0);
+  params.mode = mode;
+  fst::ReplicatedStore store(sim, params, &primary, &mirror);
+  fst::DdsResult result;
+  store.Run([&](const fst::DdsResult& r) { result = r; });
+  sim.Run();
+  return result;
+}
+
+std::string Ms(double ns) { return fst::FormatDouble(ns / 1e6, 2) + " ms"; }
+
+}  // namespace
+
+int main() {
+  std::printf("Replicated hash-table puts at 300 ops/s; replica1 pauses ~150 ms\n"
+              "for GC about once a second (Gribble et al., Section 2.2.1).\n\n");
+
+  const auto sync_clean = RunStore(fst::ReplicationMode::kSyncBoth, false);
+  const auto sync_gc = RunStore(fst::ReplicationMode::kSyncBoth, true);
+  const auto quorum_gc = RunStore(fst::ReplicationMode::kQuorumOne, true);
+
+  const fst::Duration sla = fst::Duration::Millis(20);
+  fst::Table table({"configuration", "p50 ack", "p99 ack", "avail(20ms SLA)",
+                    "peak mirror lag"});
+  auto add = [&](const char* label, const fst::DdsResult& r) {
+    table.AddRow({label, Ms(r.ack_latency.P50()), Ms(r.ack_latency.P99()),
+                  fst::FormatDouble(
+                      fst::Availability(r.ack_latency, r.ops_issued, sla), 3),
+                  std::to_string(r.max_mirror_backlog) + " ops"});
+  };
+  add("sync-both, no GC", sync_clean);
+  add("sync-both, GC on mirror", sync_gc);
+  add("quorum-one, GC on mirror", quorum_gc);
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "sync-both waits for the GC'ing mirror on every put: the pause shows up\n"
+      "directly in the p99 and in Gray & Reuter availability. quorum-one acks\n"
+      "on the healthy replica and lets the mirror catch up asynchronously —\n"
+      "fail-stutter tolerance bought with a relaxed freshness contract.\n");
+  return 0;
+}

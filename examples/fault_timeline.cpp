@@ -1,0 +1,93 @@
+// A "figure" in ASCII: delivered throughput over time while one mirror
+// suffers an episodic 4x slowdown (3 s on / 3 s off). The static design's
+// throughput collapses during every episode; the adaptive design dips only
+// by the slow pair's lost fraction.
+//
+//   $ ./examples/fault_timeline
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/devices/disk.h"
+#include "src/faults/perf_fault.h"
+#include "src/raid/raid10.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/timeseries.h"
+
+namespace {
+
+struct Timeline {
+  std::vector<std::pair<fst::SimTime, double>> samples;
+  std::string sparkline;
+  double mean = 0.0;
+};
+
+Timeline RunTimeline(fst::StriperKind kind) {
+  fst::Simulator sim(77);
+  fst::DiskParams params;
+  params.flat_bandwidth_mbps = 10.0;
+  params.block_bytes = 65536;
+  std::vector<std::unique_ptr<fst::Disk>> disks;
+  for (int i = 0; i < 8; ++i) {
+    disks.push_back(std::make_unique<fst::Disk>(
+        sim, "disk" + std::to_string(i), params));
+  }
+  // Episodic fault: 4x slow for ~3 s, healthy for ~3 s, repeating.
+  disks[0]->AttachModulator(std::make_shared<fst::IntermittentSlowdownModulator>(
+      fst::Rng(5), 4.0, fst::Duration::Seconds(3.0), fst::Duration::Seconds(3.0)));
+
+  std::vector<fst::Disk*> raw;
+  for (auto& d : disks) {
+    raw.push_back(d.get());
+  }
+  fst::VolumeConfig config;
+  config.block_bytes = 65536;
+  config.striper = kind;
+  fst::Raid10Volume volume(sim, config, raw);
+
+  // Sample delivered MB/s every 500 ms (delta of completed blocks).
+  fst::TimeSeriesRecorder recorder(sim, fst::Duration::Millis(500));
+  auto last_blocks = std::make_shared<int64_t>(0);
+  recorder.Start([&volume, last_blocks]() {
+    const int64_t now_blocks = volume.blocks_completed();
+    const double mbps =
+        static_cast<double>(now_blocks - *last_blocks) * 65536.0 / 1e6 / 0.5;
+    *last_blocks = now_blocks;
+    return mbps;
+  });
+
+  volume.WriteBlocks(12000, [&](const fst::BatchResult&) { recorder.Stop(); });
+  sim.Run();
+
+  Timeline out;
+  out.samples = recorder.samples();
+  out.sparkline = recorder.Sparkline();
+  out.mean = recorder.MeanValue();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Throughput timeline under an episodic 4x fault on one mirror\n"
+              "(4 pairs x 10 MB/s; fault ~3s on / ~3s off; 500 ms samples;\n"
+              " scale: '#' = series max, ' ' = 0)\n\n");
+  const Timeline stat = RunTimeline(fst::StriperKind::kStatic);
+  const Timeline adpt = RunTimeline(fst::StriperKind::kAdaptive);
+
+  std::printf("static    |%s|  mean %.1f MB/s\n", stat.sparkline.c_str(),
+              stat.mean);
+  std::printf("adaptive  |%s|  mean %.1f MB/s\n\n", adpt.sparkline.c_str(),
+              adpt.mean);
+
+  std::printf("t(s)   static MB/s   adaptive MB/s\n");
+  const size_t n = std::min(stat.samples.size(), adpt.samples.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("%5.1f  %11.1f   %13.1f\n", stat.samples[i].first.ToSeconds(),
+                stat.samples[i].second, adpt.samples[i].second);
+  }
+  std::printf("\nDuring every fault episode the static volume tracks the slow\n"
+              "pair (paper scenario 1); the adaptive volume only loses the\n"
+              "slow pair's deficit (scenario 3) and finishes far earlier.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// The full Section 3.2 walkthrough: sweeps the slow pair's rate b from
+// 0.1*B to B and prints simulated throughput against the paper's closed
+// forms for all three designs, plus the detector/policy machinery reacting
+// to the fault.
+//
+//   $ ./examples/raid_scenarios [n_pairs] [blocks]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/table.h"
+#include "src/core/policy.h"
+#include "src/core/registry.h"
+#include "src/devices/disk.h"
+#include "src/devices/modulators.h"
+#include "src/raid/raid10.h"
+#include "src/simcore/simulator.h"
+
+namespace {
+
+struct RunResult {
+  double mbps = 0.0;
+  uint64_t notifications = 0;
+  std::string slow_pair_state;
+};
+
+RunResult RunDesign(fst::StriperKind kind, int n_pairs, double slow_factor,
+                    int64_t blocks) {
+  fst::Simulator sim(7);
+  fst::PerformanceStateRegistry registry;
+
+  fst::DiskParams params;
+  params.flat_bandwidth_mbps = 10.0;
+  params.block_bytes = 65536;
+  std::vector<std::unique_ptr<fst::Disk>> disks;
+  for (int i = 0; i < 2 * n_pairs; ++i) {
+    disks.push_back(std::make_unique<fst::Disk>(
+        sim, "disk" + std::to_string(i), params));
+  }
+  disks[0]->AttachModulator(
+      std::make_shared<fst::ConstantFactorModulator>(slow_factor));
+
+  std::vector<fst::Disk*> raw;
+  for (auto& d : disks) {
+    raw.push_back(d.get());
+  }
+  fst::VolumeConfig config;
+  config.block_bytes = 65536;
+  config.striper = kind;
+  fst::Raid10Volume volume(sim, config, raw, &registry);
+
+  RunResult out;
+  auto write = [&]() {
+    volume.WriteBlocks(blocks, [&](const fst::BatchResult& r) {
+      out.mbps = r.ThroughputMbps();
+    });
+  };
+  if (kind == fst::StriperKind::kProportional) {
+    volume.Calibrate(write);
+  } else {
+    write();
+  }
+  sim.Run();
+  out.notifications = registry.notifications_sent();
+  out.slow_pair_state = fst::PerfStateName(registry.StateOf("pair0"));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_pairs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int64_t blocks = argc > 2 ? std::atoll(argv[2]) : 2000;
+  const double big_b = 10.0;
+
+  std::printf("Section 3.2 example: D=%lld blocks over 2N=%d disks (N=%d pairs),\n"
+              "B=%.0f MB/s, one mirror-pair degraded to b.\n\n",
+              static_cast<long long>(blocks), 2 * n_pairs, n_pairs, big_b);
+
+  fst::Table table({"b/B", "static", "N*b", "proportional", "adaptive",
+                    "(N-1)*B+b", "pair0 state"});
+  for (double ratio : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const double slow_factor = 1.0 / ratio;
+    const double b = big_b * ratio;
+    const auto stat = RunDesign(fst::StriperKind::kStatic, n_pairs,
+                                slow_factor, blocks);
+    const auto prop = RunDesign(fst::StriperKind::kProportional, n_pairs,
+                                slow_factor, blocks);
+    const auto adpt = RunDesign(fst::StriperKind::kAdaptive, n_pairs,
+                                slow_factor, blocks);
+    table.AddRow({fst::FormatDouble(ratio, 2), fst::FormatDouble(stat.mbps, 1),
+                  fst::FormatDouble(n_pairs * b, 1),
+                  fst::FormatDouble(prop.mbps, 1),
+                  fst::FormatDouble(adpt.mbps, 1),
+                  fst::FormatDouble((n_pairs - 1) * big_b + b, 1),
+                  adpt.slow_pair_state});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Notes:\n"
+      "* 'static' ignores performance faults and tracks the slow pair (N*b).\n"
+      "* 'proportional' gauges rates at install time; 'adaptive' pulls work\n"
+      "  as pairs finish. Both deliver the full available (N-1)*B + b.\n"
+      "* 'pair0 state' is the performance-state the registry exports once the\n"
+      "  stutter detector sees the persistent deficit (it stays 'healthy' at\n"
+      "  b/B = 1.00, where there is no fault to report).\n");
+  return 0;
+}

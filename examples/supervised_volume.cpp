@@ -1,0 +1,95 @@
+// The full fail-stutter control loop, end to end: a RAID-10 volume whose
+// mirror pairs report into a PerformanceStateRegistry; a VolumeSupervisor
+// turns published state changes into reweights/ejections via a
+// ProportionalSharePolicy, and turns single-disk deaths into automatic
+// hot-spare reconstruction.
+//
+// Timeline injected here:
+//   t ~ 0s   batch write of 6000 blocks begins on 4 pairs
+//   t ~ 2s   disk0 (pair0) develops a persistent 3x slowdown
+//   t ~ 8s   disk4 (pair2) dies absolutely -> degraded pair, auto-rebuild
+//
+//   $ ./examples/supervised_volume
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/table.h"
+#include "src/core/policy.h"
+#include "src/core/registry.h"
+#include "src/devices/disk.h"
+#include "src/faults/perf_fault.h"
+#include "src/raid/raid10.h"
+#include "src/raid/supervisor.h"
+#include "src/simcore/simulator.h"
+
+int main() {
+  fst::Simulator sim(2026);
+  fst::PerformanceStateRegistry registry;
+
+  fst::DiskParams params;
+  params.flat_bandwidth_mbps = 10.0;
+  params.block_bytes = 65536;
+  std::vector<std::unique_ptr<fst::Disk>> disks;
+  for (int i = 0; i < 8; ++i) {
+    disks.push_back(std::make_unique<fst::Disk>(
+        sim, "disk" + std::to_string(i), params));
+  }
+  // Fault 1 (performance): disk0 slows 3x two seconds in.
+  disks[0]->AttachModulator(std::make_shared<fst::StepModulator>(
+      std::vector<fst::StepModulator::Step>{
+          {fst::SimTime::Zero() + fst::Duration::Seconds(2.0), 3.0}}));
+
+  std::vector<fst::Disk*> raw;
+  for (auto& d : disks) {
+    raw.push_back(d.get());
+  }
+  fst::VolumeConfig config;
+  config.block_bytes = 65536;
+  config.striper = fst::StriperKind::kStatic;  // let the policy do the work
+  fst::Raid10Volume volume(sim, config, raw, &registry);
+
+  // A hot spare for the supervisor's reconstruction path.
+  fst::Disk spare(sim, "spare", params);
+  volume.AddHotSpare(&spare);
+
+  fst::VolumeSupervisor supervisor(
+      sim, volume, registry,
+      std::make_unique<fst::ProportionalSharePolicy>(/*eject_deficit=*/8.0));
+
+  // Fault 2 (correctness): disk4 dies absolutely at t=8s.
+  sim.Schedule(fst::Duration::Seconds(8.0), [&]() { disks[4]->FailStop(); });
+
+  fst::BatchResult result;
+  volume.WriteBlocks(6000, [&](const fst::BatchResult& r) { result = r; });
+  sim.Run();
+
+  std::printf("batch: %s, %lld blocks in %s (%.1f MB/s)\n\n",
+              result.ok ? "ok" : "FAILED",
+              static_cast<long long>(result.blocks),
+              result.Makespan().ToString().c_str(), result.ThroughputMbps());
+
+  std::printf("supervisor action log:\n");
+  fst::Table log({"t", "component", "action", "detail"});
+  for (const auto& a : supervisor.actions()) {
+    log.AddRow({a.when.ToString(), a.component, a.action,
+                fst::FormatDouble(a.detail, 2)});
+  }
+  std::printf("%s\n", log.Render().c_str());
+
+  fst::Table blocks({"pair", "blocks written", "final state"});
+  for (int p = 0; p < volume.pair_count(); ++p) {
+    blocks.AddRow({"pair" + std::to_string(p),
+                   std::to_string(result.blocks_per_pair[static_cast<size_t>(p)]),
+                   fst::PerfStateName(registry.StateOf("pair" + std::to_string(p)))});
+  }
+  std::printf("%s\n", blocks.Render().c_str());
+
+  std::printf("rebuilds: %d started, %d completed; pair2 degraded: %s\n",
+              supervisor.rebuilds_started(), supervisor.rebuilds_completed(),
+              volume.pair(2).degraded() ? "yes" : "no");
+  std::printf("\nThe performance fault was reweighted (not ejected — the pair\n"
+              "still delivers a third of its rate); the correctness fault\n"
+              "triggered automatic hot-spare reconstruction. No operator.\n");
+  return 0;
+}

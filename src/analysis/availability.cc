@@ -1,0 +1,31 @@
+#include "src/analysis/availability.h"
+
+namespace fst {
+
+double Availability(const Histogram& latencies, int64_t offered, Duration sla) {
+  if (offered <= 0) {
+    return 1.0;
+  }
+  const double within =
+      latencies.FractionAtOrBelow(static_cast<double>(sla.nanos())) *
+      static_cast<double>(latencies.count());
+  return within / static_cast<double>(offered);
+}
+
+void AvailabilityTracker::RecordSuccess(Duration latency) {
+  ++offered_;
+  if (latency <= sla_) {
+    ++acceptable_;
+  }
+}
+
+void AvailabilityTracker::RecordFailure() { ++offered_; }
+
+double AvailabilityTracker::Value() const {
+  if (offered_ == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(acceptable_) / static_cast<double>(offered_);
+}
+
+}  // namespace fst

@@ -1,0 +1,36 @@
+// The paper's availability metric (Section 3.3, quoting Gray & Reuter):
+// "The fraction of the offered load that is processed with acceptable
+// response times."
+#ifndef SRC_ANALYSIS_AVAILABILITY_H_
+#define SRC_ANALYSIS_AVAILABILITY_H_
+
+#include "src/simcore/stats.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+// Fraction of `offered` requests that completed within `sla`. Requests
+// recorded in `latencies` are the successful ones; (offered - count) are
+// failures/drops and count as unavailable.
+double Availability(const Histogram& latencies, int64_t offered, Duration sla);
+
+// Streaming variant for long runs.
+class AvailabilityTracker {
+ public:
+  explicit AvailabilityTracker(Duration sla) : sla_(sla) {}
+
+  void RecordSuccess(Duration latency);
+  void RecordFailure();
+
+  int64_t offered() const { return offered_; }
+  double Value() const;
+
+ private:
+  Duration sla_;
+  int64_t offered_ = 0;
+  int64_t acceptable_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_ANALYSIS_AVAILABILITY_H_

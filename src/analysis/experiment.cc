@@ -1,0 +1,83 @@
+#include "src/analysis/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace fst {
+
+RepStats Summarize(const std::vector<double>& samples) {
+  OnlineStats stats;
+  for (double s : samples) {
+    stats.Add(s);
+  }
+  RepStats r;
+  r.mean = stats.mean();
+  r.ci95 = stats.ci95_halfwidth();
+  r.min = stats.min();
+  r.max = stats.max();
+  r.n = static_cast<int>(stats.count());
+  return r;
+}
+
+double ShapeCheck::RelativeError() const {
+  if (expected_ == 0.0) {
+    return std::fabs(measured_);
+  }
+  return std::fabs(measured_ - expected_) / std::fabs(expected_);
+}
+
+bool ShapeCheck::Pass() const { return RelativeError() <= rel_tol_; }
+
+std::string ShapeCheck::Describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "[%s] %s: measured=%.4g expected=%.4g (%.1f%% off, tol %.0f%%)",
+                Pass() ? "PASS" : "FAIL", label_.c_str(), measured_, expected_,
+                RelativeError() * 100.0, rel_tol_ * 100.0);
+  return buf;
+}
+
+void ShapeReport::Check(std::string label, double measured, double expected,
+                        double rel_tol) {
+  ShapeCheck check(std::move(label), measured, expected, rel_tol);
+  lines_.push_back(check.Describe());
+  if (!check.Pass()) {
+    failures_.push_back(lines_.back());
+  }
+}
+
+void ShapeReport::CheckAtLeast(std::string label, double measured,
+                               double bound) {
+  const bool pass = measured >= bound;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "[%s] %s: measured=%.4g >= %.4g",
+                pass ? "PASS" : "FAIL", label.c_str(), measured, bound);
+  lines_.push_back(buf);
+  if (!pass) {
+    failures_.push_back(lines_.back());
+  }
+}
+
+void ShapeReport::CheckAtMost(std::string label, double measured,
+                              double bound) {
+  const bool pass = measured <= bound;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "[%s] %s: measured=%.4g <= %.4g",
+                pass ? "PASS" : "FAIL", label.c_str(), measured, bound);
+  lines_.push_back(buf);
+  if (!pass) {
+    failures_.push_back(lines_.back());
+  }
+}
+
+bool ShapeReport::AllPass() const { return failures_.empty(); }
+
+std::string ShapeReport::Render() const {
+  std::ostringstream out;
+  for (const auto& line : lines_) {
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fst

@@ -1,0 +1,71 @@
+// Experiment-harness helpers: repetition statistics and "shape checks" —
+// assertions that a measured quantity matches the paper's predicted shape
+// (who wins, by roughly what factor) within a relative tolerance. Shape
+// checks are the reproduction's contract: benches print them, integration
+// tests assert them, and EXPERIMENTS.md records them.
+#ifndef SRC_ANALYSIS_EXPERIMENT_H_
+#define SRC_ANALYSIS_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/simcore/stats.h"
+
+namespace fst {
+
+struct RepStats {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int n = 0;
+};
+
+RepStats Summarize(const std::vector<double>& samples);
+
+class ShapeCheck {
+ public:
+  ShapeCheck(std::string label, double measured, double expected,
+             double rel_tol)
+      : label_(std::move(label)), measured_(measured), expected_(expected),
+        rel_tol_(rel_tol) {}
+
+  bool Pass() const;
+  double RelativeError() const;
+  std::string Describe() const;
+
+  const std::string& label() const { return label_; }
+  double measured() const { return measured_; }
+  double expected() const { return expected_; }
+
+ private:
+  std::string label_;
+  double measured_;
+  double expected_;
+  double rel_tol_;
+};
+
+// Collects checks across an experiment and renders a PASS/FAIL block.
+class ShapeReport {
+ public:
+  void Check(std::string label, double measured, double expected,
+             double rel_tol);
+
+  // Directional check: `measured` must be at least `bound` (e.g. "adaptive
+  // beats static by at least 1.5x").
+  void CheckAtLeast(std::string label, double measured, double bound);
+  void CheckAtMost(std::string label, double measured, double bound);
+
+  bool AllPass() const;
+  std::string Render() const;
+  const std::vector<std::string>& failures() const { return failures_; }
+  size_t size() const { return lines_.size(); }
+
+ private:
+  std::vector<std::string> lines_;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_ANALYSIS_EXPERIMENT_H_

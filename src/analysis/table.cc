@@ -1,0 +1,80 @@
+#include "src/analysis/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fst {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddNumericRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  for (double v : values) {
+    cells.push_back(FormatDouble(v, precision));
+  }
+  AddRow(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      out << "  " << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        out << ",";
+      }
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+}  // namespace fst

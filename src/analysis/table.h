@@ -1,0 +1,36 @@
+// Column-aligned ASCII tables and CSV emission for experiment output.
+#ifndef SRC_ANALYSIS_TABLE_H_
+#define SRC_ANALYSIS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace fst {
+
+std::string FormatDouble(double v, int precision = 2);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats every value with `precision` decimals.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 2);
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Aligned, boxed-with-dashes rendering suitable for terminal output.
+  std::string Render() const;
+
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_ANALYSIS_TABLE_H_

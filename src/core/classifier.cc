@@ -1,0 +1,45 @@
+#include "src/core/classifier.h"
+
+namespace fst {
+
+const char* ComponentHealthName(ComponentHealth h) {
+  switch (h) {
+    case ComponentHealth::kOk:
+      return "ok";
+    case ComponentHealth::kPerformanceFaulty:
+      return "performance-faulty";
+    case ComponentHealth::kCorrectnessFaulty:
+      return "correctness-faulty";
+  }
+  return "?";
+}
+
+ComponentHealth FaultClassifier::ClassifyRequest(const PerformanceSpec& spec,
+                                                 double units,
+                                                 Duration latency) const {
+  if (latency > params_.correctness_threshold) {
+    return ComponentHealth::kCorrectnessFaulty;
+  }
+  if (!spec.WithinSpec(units, latency.ToSeconds())) {
+    return ComponentHealth::kPerformanceFaulty;
+  }
+  return ComponentHealth::kOk;
+}
+
+ComponentHealth FaultClassifier::ClassifyComponent(
+    const StutterDetector& detector,
+    std::optional<Duration> oldest_outstanding) const {
+  if (detector.state() == PerfState::kFailed) {
+    return ComponentHealth::kCorrectnessFaulty;
+  }
+  if (oldest_outstanding.has_value() &&
+      *oldest_outstanding > params_.correctness_threshold) {
+    return ComponentHealth::kCorrectnessFaulty;
+  }
+  if (detector.state() == PerfState::kStuttering) {
+    return ComponentHealth::kPerformanceFaulty;
+  }
+  return ComponentHealth::kOk;
+}
+
+}  // namespace fst

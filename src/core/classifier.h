@@ -1,0 +1,61 @@
+// The fault classifier: the boundary between performance and correctness
+// faults (Section 3.1, "Separation of performance faults from correctness
+// faults").
+//
+// "One difficulty that must be addressed occurs when a component responds
+// arbitrarily slowly to a request; in that case, a performance fault can
+// become blurred with a correctness fault. To distinguish the two cases,
+// the model may include a performance threshold within the definition of a
+// correctness fault, i.e., if the disk request takes longer than T seconds
+// to service, consider it absolutely failed. Performance faults fill in
+// the rest of the regime when the device is working."
+#ifndef SRC_CORE_CLASSIFIER_H_
+#define SRC_CORE_CLASSIFIER_H_
+
+#include <optional>
+
+#include "src/core/detector.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+enum class ComponentHealth {
+  kOk,
+  kPerformanceFaulty,
+  kCorrectnessFaulty,
+};
+
+const char* ComponentHealthName(ComponentHealth h);
+
+struct ClassifierParams {
+  // The paper's threshold T: a request outstanding longer than this is a
+  // correctness fault regardless of eventual completion.
+  Duration correctness_threshold = Duration::Seconds(30.0);
+};
+
+class FaultClassifier {
+ public:
+  explicit FaultClassifier(ClassifierParams params) : params_(params) {}
+
+  // Classifies a single completed (or still-outstanding) request:
+  //   latency > T            -> correctness fault
+  //   out of spec tolerance  -> performance fault
+  //   otherwise              -> ok
+  ComponentHealth ClassifyRequest(const PerformanceSpec& spec, double units,
+                                  Duration latency) const;
+
+  // Classifies a component given its detector state and, if any, the age
+  // of its oldest outstanding request.
+  ComponentHealth ClassifyComponent(
+      const StutterDetector& detector,
+      std::optional<Duration> oldest_outstanding = std::nullopt) const;
+
+  const ClassifierParams& params() const { return params_; }
+
+ private:
+  ClassifierParams params_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CORE_CLASSIFIER_H_

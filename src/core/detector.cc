@@ -1,0 +1,101 @@
+#include "src/core/detector.h"
+
+namespace fst {
+
+const char* PerfStateName(PerfState s) {
+  switch (s) {
+    case PerfState::kHealthy:
+      return "healthy";
+    case PerfState::kStuttering:
+      return "stuttering";
+    case PerfState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+StutterDetector::StutterDetector(PerformanceSpec spec, DetectorParams params)
+    : spec_(spec), params_(params) {}
+
+void StutterDetector::TransitionTo(PerfState next, SimTime now) {
+  if (state_ == next) {
+    return;
+  }
+  state_ = next;
+  ++transitions_;
+  if (next == PerfState::kStuttering) {
+    ever_stuttered_ = true;
+    last_stutter_entry_ = now;
+  }
+}
+
+void StutterDetector::Observe(SimTime now, double units, Duration latency) {
+  if (state_ == PerfState::kFailed) {
+    return;
+  }
+  if (!window_open_) {
+    window_open_ = true;
+    window_start_ = now - latency;  // window anchored to first request start
+    if (window_start_ < SimTime::Zero()) {
+      window_start_ = SimTime::Zero();
+    }
+    window_units_ = 0.0;
+    window_observed_seconds_ = 0.0;
+    window_expected_seconds_ = 0.0;
+  }
+  window_units_ += units;
+  window_observed_seconds_ += latency.ToSeconds();
+  window_expected_seconds_ += spec_.ExpectedSecondsFor(units);
+  if (now - window_start_ >= params_.window) {
+    CloseWindow(now);
+  }
+}
+
+void StutterDetector::CloseWindow(SimTime window_end) {
+  window_open_ = false;
+  ++windows_closed_;
+  if (window_units_ <= 0.0) {
+    return;
+  }
+  const double deficit = window_expected_seconds_ > 0.0
+                             ? window_observed_seconds_ / window_expected_seconds_
+                             : 1.0;
+  const double elapsed = (window_end - window_start_).ToSeconds();
+  const double rate = elapsed > 0.0 ? window_units_ / elapsed : 0.0;
+
+  if (!ewma_seeded_) {
+    ewma_seeded_ = true;
+    ewma_deficit_ = deficit;
+    ewma_rate_ = rate;
+  } else {
+    const double a = params_.ewma_alpha;
+    ewma_deficit_ = a * deficit + (1.0 - a) * ewma_deficit_;
+    ewma_rate_ = a * rate + (1.0 - a) * ewma_rate_;
+  }
+
+  if (deficit > params_.enter_deficit) {
+    ++consecutive_bad_;
+    consecutive_good_ = 0;
+  } else if (deficit < params_.exit_deficit) {
+    ++consecutive_good_;
+    consecutive_bad_ = 0;
+  } else {
+    // In the hysteresis gap: no change to either streak's progress toward
+    // a transition, but do not reset the opposing streak either.
+  }
+
+  if (state_ == PerfState::kHealthy && consecutive_bad_ >= params_.enter_windows) {
+    TransitionTo(PerfState::kStuttering, window_end);
+    consecutive_bad_ = 0;
+  } else if (state_ == PerfState::kStuttering &&
+             consecutive_good_ >= params_.exit_windows) {
+    TransitionTo(PerfState::kHealthy, window_end);
+    consecutive_good_ = 0;
+  }
+}
+
+void StutterDetector::ObserveFailure(SimTime now) {
+  TransitionTo(PerfState::kFailed, now);
+}
+
+}  // namespace fst

@@ -1,0 +1,108 @@
+// Online stutter detection.
+//
+// The paper (Section 3.1, "Notification of other components"): "erratic
+// performance may occur quite frequently, and thus distributing that
+// information may be overly expensive ... However, if a component is
+// *persistently* performance-faulty, it may be useful for a system to
+// export information about component 'performance state'."
+//
+// The detector turns a stream of per-request observations into a small
+// state machine with hysteresis: short blips never change state; only k
+// consecutive out-of-band windows enter the Stuttering state, and k
+// consecutive in-band windows leave it. It also maintains a smoothed rate
+// estimate that adaptive placement policies consume.
+#ifndef SRC_CORE_DETECTOR_H_
+#define SRC_CORE_DETECTOR_H_
+
+#include <cstdint>
+
+#include "src/core/perf_spec.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+enum class PerfState {
+  kHealthy,
+  kStuttering,  // persistent performance fault
+  kFailed,      // correctness fault observed (fail-stop or timeout beyond T)
+};
+
+const char* PerfStateName(PerfState s);
+
+struct DetectorParams {
+  // Observations aggregate into windows of this length.
+  Duration window = Duration::Millis(500);
+  // Enter Stuttering after this many consecutive out-of-band windows.
+  int enter_windows = 3;
+  // Return to Healthy after this many consecutive in-band windows.
+  int exit_windows = 3;
+  // Window deficit (observed/expected service time) above which the window
+  // counts as out-of-band. Typically spec tolerance + margin.
+  double enter_deficit = 1.5;
+  // Deficit below which a window counts as in-band again (hysteresis gap).
+  double exit_deficit = 1.2;
+  // Smoothing for the deficit/rate EWMAs, applied per closed window.
+  double ewma_alpha = 0.3;
+};
+
+class StutterDetector {
+ public:
+  StutterDetector(PerformanceSpec spec, DetectorParams params);
+
+  // Records a completed request of `units` that took `latency`.
+  void Observe(SimTime now, double units, Duration latency);
+
+  // Records an absolute failure (request returned ok=false, or the
+  // classifier promoted a timeout). Terminal.
+  void ObserveFailure(SimTime now);
+
+  PerfState state() const { return state_; }
+
+  // Smoothed deficit ratio (1.0 = on spec). Meaningful once a window closed.
+  double SmoothedDeficit() const { return ewma_deficit_; }
+
+  // Smoothed delivered rate, units/second.
+  double EstimatedRate() const { return ewma_rate_; }
+
+  // Time when the detector last entered kStuttering (for lead-time metrics
+  // in the early-failure-indicator experiment).
+  SimTime last_stutter_entry() const { return last_stutter_entry_; }
+  bool ever_stuttered() const { return ever_stuttered_; }
+
+  int state_transitions() const { return transitions_; }
+  uint64_t windows_closed() const { return windows_closed_; }
+  const PerformanceSpec& spec() const { return spec_; }
+  const DetectorParams& params() const { return params_; }
+
+ private:
+  void CloseWindow(SimTime window_end);
+  void TransitionTo(PerfState next, SimTime now);
+
+  PerformanceSpec spec_;
+  DetectorParams params_;
+
+  PerfState state_ = PerfState::kHealthy;
+  int consecutive_bad_ = 0;
+  int consecutive_good_ = 0;
+  int transitions_ = 0;
+  bool ever_stuttered_ = false;
+  SimTime last_stutter_entry_;
+
+  // Accumulators for the open window. Expected time accumulates per
+  // observation so per-request base costs (seek + rotation) are charged
+  // once per request, not once per window.
+  bool window_open_ = false;
+  SimTime window_start_;
+  double window_units_ = 0.0;
+  double window_observed_seconds_ = 0.0;
+  double window_expected_seconds_ = 0.0;
+
+  double ewma_deficit_ = 1.0;
+  double ewma_rate_ = 0.0;
+  bool ewma_seeded_ = false;
+  uint64_t windows_closed_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CORE_DETECTOR_H_

@@ -1,0 +1,128 @@
+#include "src/core/formal.h"
+
+#include <sstream>
+
+namespace fst {
+
+void TraceChecker::RecordIssue(int64_t id, SimTime when, double units) {
+  Issue issue;
+  issue.when = when;
+  issue.units = units;
+  issues_[id] = issue;
+}
+
+void TraceChecker::RecordComplete(int64_t id, SimTime when, bool ok) {
+  auto it = issues_.find(id);
+  if (it == issues_.end()) {
+    // Completion without a matching issue: a protocol violation in itself.
+    orphan_completions_.push_back(id);
+    Issue orphan;
+    orphan.when = when;
+    it = issues_.emplace(id, orphan).first;
+  }
+  it->second.completed = true;
+  it->second.ok = ok;
+  it->second.completed_at = when;
+  completion_order_.push_back(id);
+}
+
+bool TraceChecker::FailStopConsistent() const {
+  // Find the earliest unsuccessful completion.
+  bool failed_seen = false;
+  SimTime first_failure;
+  for (const auto& [id, issue] : issues_) {
+    if (issue.completed && !issue.ok) {
+      if (!failed_seen || issue.completed_at < first_failure) {
+        failed_seen = true;
+        first_failure = issue.completed_at;
+      }
+    }
+  }
+  if (!failed_seen) {
+    return true;
+  }
+  for (const auto& [id, issue] : issues_) {
+    if (issue.completed && issue.ok && issue.when > first_failure) {
+      return false;  // success on a request issued after the failure
+    }
+  }
+  return true;
+}
+
+bool TraceChecker::FailStutterConsistent() const {
+  if (!FailStopConsistent()) {
+    return false;
+  }
+  // Earliest beyond-T success acts like a detected absolute failure.
+  bool breach_seen = false;
+  SimTime first_breach;
+  for (const auto& [id, issue] : issues_) {
+    if (!issue.completed || !issue.ok) {
+      continue;
+    }
+    const Duration latency = issue.completed_at - issue.when;
+    if (classifier_.ClassifyRequest(spec_, issue.units, latency) ==
+        ComponentHealth::kCorrectnessFaulty) {
+      if (!breach_seen || issue.completed_at < first_breach) {
+        breach_seen = true;
+        first_breach = issue.completed_at;
+      }
+    }
+  }
+  if (!breach_seen) {
+    return true;
+  }
+  for (const auto& [id, issue] : issues_) {
+    if (issue.completed && issue.ok && issue.when > first_breach) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TraceChecker::Census TraceChecker::TakeCensus() const {
+  Census census;
+  for (const auto& [id, issue] : issues_) {
+    if (!issue.completed) {
+      ++census.outstanding;
+      continue;
+    }
+    if (!issue.ok) {
+      ++census.failed;
+      continue;
+    }
+    const Duration latency = issue.completed_at - issue.when;
+    switch (classifier_.ClassifyRequest(spec_, issue.units, latency)) {
+      case ComponentHealth::kOk:
+        ++census.ok;
+        break;
+      case ComponentHealth::kPerformanceFaulty:
+        ++census.performance_faulty;
+        break;
+      case ComponentHealth::kCorrectnessFaulty:
+        ++census.correctness_faulty;
+        break;
+    }
+  }
+  return census;
+}
+
+std::vector<std::string> TraceChecker::Violations() const {
+  std::vector<std::string> out;
+  if (!FailStopConsistent()) {
+    out.push_back("fail-stop violation: success on a request issued after "
+                  "an observed absolute failure");
+  } else if (!FailStutterConsistent()) {
+    out.push_back("fail-stutter violation: success on a request issued "
+                  "after a beyond-threshold (T) completion");
+  }
+  for (int64_t id : orphan_completions_) {
+    std::ostringstream msg;
+    msg << "protocol violation: completion of request " << id
+        << " that was never issued";
+    out.push_back(msg.str());
+  }
+  return out;
+}
+
+}  // namespace fst

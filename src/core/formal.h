@@ -1,0 +1,88 @@
+// A small formalization of the fail-stutter model (the paper's first open
+// problem: "The fail-stutter model must be formalized").
+//
+// A component execution is a trace of issue/complete events. We define:
+//
+//   fail-stop consistency  — once any request completes unsuccessfully
+//     (the component "changes to a state that permits other components to
+//     detect a failure has occurred and then stops", Schneider), no
+//     request issued AFTER that first failure may ever succeed. Requests
+//     already in flight at failure time may land either way.
+//
+//   fail-stutter classification — every successful completion is
+//     classified against the component's PerformanceSpec and threshold T:
+//       * ok                 — within the spec's tolerance band;
+//       * performance fault  — over the band but under T;
+//       * correctness fault  — latency beyond T ("if the disk request
+//         takes longer than T seconds to service, consider it absolutely
+//         failed", Section 3.1). A trace that keeps succeeding after a
+//         threshold breach is NOT fail-stutter-consistent: the component
+//         should have been treated as failed.
+//
+// TraceChecker validates recorded traces against these rules; the device
+// test suites use it to prove the simulated devices actually implement
+// the model they claim to (meta-testing the substrate).
+#ifndef SRC_CORE_FORMAL_H_
+#define SRC_CORE_FORMAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/classifier.h"
+#include "src/core/perf_spec.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+class TraceChecker {
+ public:
+  TraceChecker(PerformanceSpec spec, ClassifierParams classifier_params)
+      : spec_(spec), classifier_(classifier_params) {}
+
+  // Records the issue of request `id` for `units` of work at `when`.
+  void RecordIssue(int64_t id, SimTime when, double units);
+
+  // Records the completion of request `id`.
+  void RecordComplete(int64_t id, SimTime when, bool ok);
+
+  // Rule 1: fail-stop consistency (see header comment).
+  bool FailStopConsistent() const;
+
+  // Rule 2: fail-stutter consistency — fail-stop consistent AND no
+  // success after the first beyond-T completion.
+  bool FailStutterConsistent() const;
+
+  // Classification census over successful completions.
+  struct Census {
+    int64_t ok = 0;
+    int64_t performance_faulty = 0;
+    int64_t correctness_faulty = 0;  // beyond-T successes
+    int64_t failed = 0;              // unsuccessful completions
+    int64_t outstanding = 0;         // issued, never completed
+  };
+  Census TakeCensus() const;
+
+  // Human-readable rule violations; empty when both rules hold.
+  std::vector<std::string> Violations() const;
+
+ private:
+  struct Issue {
+    SimTime when;
+    double units = 0.0;
+    bool completed = false;
+    bool ok = false;
+    SimTime completed_at;
+  };
+
+  PerformanceSpec spec_;
+  FaultClassifier classifier_;
+  std::map<int64_t, Issue> issues_;
+  std::vector<int64_t> completion_order_;
+  std::vector<int64_t> orphan_completions_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CORE_FORMAL_H_

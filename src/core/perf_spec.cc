@@ -1,0 +1,52 @@
+#include "src/core/perf_spec.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fst {
+
+PerformanceSpec::PerformanceSpec(double base_seconds, double units_per_sec,
+                                 double tolerance)
+    : base_seconds_(base_seconds), units_per_sec_(units_per_sec),
+      tolerance_(tolerance) {}
+
+PerformanceSpec PerformanceSpec::SimpleRate(double units_per_sec) {
+  return PerformanceSpec(0.0, units_per_sec, kDefaultTolerance);
+}
+
+PerformanceSpec PerformanceSpec::RateBand(double units_per_sec,
+                                          double tolerance) {
+  return PerformanceSpec(0.0, units_per_sec, tolerance);
+}
+
+PerformanceSpec PerformanceSpec::LatencyCurve(double base_seconds,
+                                              double units_per_sec,
+                                              double tolerance) {
+  return PerformanceSpec(base_seconds, units_per_sec, tolerance);
+}
+
+double PerformanceSpec::ExpectedSecondsFor(double units) const {
+  return base_seconds_ + units / units_per_sec_;
+}
+
+double PerformanceSpec::DeficitRatio(double units,
+                                     double observed_seconds) const {
+  const double expected = ExpectedSecondsFor(units);
+  if (expected <= 0.0) {
+    return 1.0;
+  }
+  return std::max(observed_seconds / expected, 0.0);
+}
+
+bool PerformanceSpec::WithinSpec(double units, double observed_seconds) const {
+  return DeficitRatio(units, observed_seconds) <= 1.0 + tolerance_;
+}
+
+std::string PerformanceSpec::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "spec{base=%.3gs rate=%.3g/s tol=%.0f%%}",
+                base_seconds_, units_per_sec_, tolerance_ * 100.0);
+  return buf;
+}
+
+}  // namespace fst

@@ -1,0 +1,63 @@
+// Performance specifications (Section 3.1, "Performance specifications").
+//
+// "At one extreme, a model of component performance could be as simple as
+// possible: 'this disk delivers bandwidth at 10 MB/s.' However, the simpler
+// the model, the more likely performance faults occur ... the system
+// designer could be allowed some flexibility."
+//
+// A PerformanceSpec predicts how long a request of a given size *should*
+// take, plus a tolerance band. Three fidelity levels mirror the paper's
+// trade-off: a bare scalar rate, a rate with tolerance, and an affine
+// latency curve (fixed positioning cost + per-byte cost) that models disks
+// far more faithfully — benchmarks quantify how many false performance
+// faults each level produces on a healthy device.
+#ifndef SRC_CORE_PERF_SPEC_H_
+#define SRC_CORE_PERF_SPEC_H_
+
+#include <string>
+
+namespace fst {
+
+class PerformanceSpec {
+ public:
+  // "This component delivers `units_per_sec`": zero fixed cost, zero
+  // tolerance beyond `kDefaultTolerance`.
+  static PerformanceSpec SimpleRate(double units_per_sec);
+
+  // Rate with an explicit tolerance fraction (0.25 = 25% slack allowed).
+  static PerformanceSpec RateBand(double units_per_sec, double tolerance);
+
+  // Affine latency: expected_seconds(units) = base + units / rate, with
+  // tolerance. Captures per-request fixed costs (seek + rotation).
+  static PerformanceSpec LatencyCurve(double base_seconds, double units_per_sec,
+                                      double tolerance);
+
+  // Expected service time for `units` of work (bytes, blocks, work units —
+  // any consistent unit).
+  double ExpectedSecondsFor(double units) const;
+
+  // observed/expected; 1.0 is exactly on spec, 2.0 is twice as slow.
+  double DeficitRatio(double units, double observed_seconds) const;
+
+  // True if the observation is within the tolerance band.
+  bool WithinSpec(double units, double observed_seconds) const;
+
+  double units_per_sec() const { return units_per_sec_; }
+  double tolerance() const { return tolerance_; }
+  double base_seconds() const { return base_seconds_; }
+
+  std::string ToString() const;
+
+  static constexpr double kDefaultTolerance = 0.10;
+
+ private:
+  PerformanceSpec(double base_seconds, double units_per_sec, double tolerance);
+
+  double base_seconds_;
+  double units_per_sec_;
+  double tolerance_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CORE_PERF_SPEC_H_

@@ -1,0 +1,51 @@
+#include "src/core/policy.h"
+
+#include <algorithm>
+
+namespace fst {
+
+const char* ReactionKindName(ReactionKind k) {
+  switch (k) {
+    case ReactionKind::kNone:
+      return "none";
+    case ReactionKind::kReweight:
+      return "reweight";
+    case ReactionKind::kEject:
+      return "eject";
+  }
+  return "?";
+}
+
+Reaction EjectOnStutterPolicy::React(const StateChange& change,
+                                     const PerformanceStateRegistry&) {
+  if (change.to == PerfState::kStuttering || change.to == PerfState::kFailed) {
+    return Reaction{ReactionKind::kEject, 0.0};
+  }
+  return Reaction{ReactionKind::kNone, 1.0};
+}
+
+Reaction ProportionalSharePolicy::React(const StateChange& change,
+                                        const PerformanceStateRegistry&) {
+  if (change.to == PerfState::kFailed) {
+    return Reaction{ReactionKind::kEject, 0.0};
+  }
+  if (change.to == PerfState::kStuttering) {
+    const double deficit = std::max(change.smoothed_deficit, 1.0);
+    if (deficit >= eject_deficit_) {
+      return Reaction{ReactionKind::kEject, 0.0};
+    }
+    return Reaction{ReactionKind::kReweight, 1.0 / deficit};
+  }
+  // Recovered: restore the full share.
+  return Reaction{ReactionKind::kReweight, 1.0};
+}
+
+Reaction IgnoreStutterPolicy::React(const StateChange& change,
+                                    const PerformanceStateRegistry&) {
+  if (change.to == PerfState::kFailed) {
+    return Reaction{ReactionKind::kEject, 0.0};
+  }
+  return Reaction{ReactionKind::kNone, 1.0};
+}
+
+}  // namespace fst

@@ -1,0 +1,84 @@
+// Reaction policies: what a fail-stutter-tolerant system *does* about a
+// performance fault.
+//
+// The paper (Section 3.1): "there is much to be gained by utilizing
+// performance-faulty components. In many cases, devices may often perform
+// at a large fraction of their expected rate; if many components behave
+// this way, treating them as absolutely failed components leads to a large
+// waste of system resources." Policies therefore span a spectrum from
+// ignore, through proportional reweighting (keep using the slow component
+// at its measured rate), to ejection (treat as failed) once the deficit
+// crosses a configurable bar.
+#ifndef SRC_CORE_POLICY_H_
+#define SRC_CORE_POLICY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/registry.h"
+
+namespace fst {
+
+enum class ReactionKind {
+  kNone,      // keep using the component as-is
+  kReweight,  // shift load in proportion to measured rate
+  kEject,     // stop using the component (treat as absolutely failed)
+};
+
+const char* ReactionKindName(ReactionKind k);
+
+struct Reaction {
+  ReactionKind kind = ReactionKind::kNone;
+  // For kReweight: relative share in [0, 1] of this component's nominal
+  // share that it should now receive.
+  double share = 1.0;
+};
+
+// Interface: maps a published state change to a reaction.
+class ReactionPolicy {
+ public:
+  virtual ~ReactionPolicy() = default;
+  virtual Reaction React(const StateChange& change,
+                         const PerformanceStateRegistry& registry) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Fail-stop thinking applied to stutter: any persistent performance fault
+// is treated as death. Wastes "a large fraction of their expected rate".
+class EjectOnStutterPolicy : public ReactionPolicy {
+ public:
+  Reaction React(const StateChange& change,
+                 const PerformanceStateRegistry& registry) override;
+  std::string name() const override { return "eject-on-stutter"; }
+};
+
+// The fail-stutter policy: reweight while the deficit is moderate, eject
+// only beyond `eject_deficit` (or on correctness faults).
+class ProportionalSharePolicy : public ReactionPolicy {
+ public:
+  explicit ProportionalSharePolicy(double eject_deficit = 8.0)
+      : eject_deficit_(eject_deficit) {}
+
+  Reaction React(const StateChange& change,
+                 const PerformanceStateRegistry& registry) override;
+  std::string name() const override { return "proportional-share"; }
+
+  double eject_deficit() const { return eject_deficit_; }
+
+ private:
+  double eject_deficit_;
+};
+
+// Ignores performance faults entirely (the "fail-stop illusion" baseline);
+// still ejects on correctness faults.
+class IgnoreStutterPolicy : public ReactionPolicy {
+ public:
+  Reaction React(const StateChange& change,
+                 const PerformanceStateRegistry& registry) override;
+  std::string name() const override { return "ignore-stutter"; }
+};
+
+}  // namespace fst
+
+#endif  // SRC_CORE_POLICY_H_

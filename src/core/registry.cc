@@ -1,0 +1,112 @@
+#include "src/core/registry.h"
+
+namespace fst {
+
+void PerformanceStateRegistry::Register(const std::string& component,
+                                        PerformanceSpec spec) {
+  auto it = detectors_.find(component);
+  if (it != detectors_.end()) {
+    return;
+  }
+  detectors_.emplace(component,
+                     std::make_unique<StutterDetector>(spec, detector_params_));
+}
+
+bool PerformanceStateRegistry::IsRegistered(const std::string& component) const {
+  return detectors_.contains(component);
+}
+
+void PerformanceStateRegistry::Observe(const std::string& component,
+                                       SimTime now, double units,
+                                       Duration latency) {
+  auto it = detectors_.find(component);
+  if (it == detectors_.end()) {
+    return;
+  }
+  ++observations_;
+  const PerfState before = it->second->state();
+  it->second->Observe(now, units, latency);
+  PublishIfChanged(component, before, now);
+}
+
+void PerformanceStateRegistry::ObserveFailure(const std::string& component,
+                                              SimTime now) {
+  auto it = detectors_.find(component);
+  if (it == detectors_.end()) {
+    return;
+  }
+  const PerfState before = it->second->state();
+  it->second->ObserveFailure(now);
+  PublishIfChanged(component, before, now);
+}
+
+void PerformanceStateRegistry::PublishIfChanged(const std::string& component,
+                                                PerfState before, SimTime now) {
+  const auto& det = *detectors_.at(component);
+  if (det.state() == before) {
+    return;
+  }
+  StateChange change;
+  change.when = now;
+  change.component = component;
+  change.from = before;
+  change.to = det.state();
+  change.smoothed_deficit = det.SmoothedDeficit();
+  history_.push_back(change);
+  for (const auto& listener : listeners_) {
+    listener(change);
+    ++notifications_sent_;
+  }
+}
+
+void PerformanceStateRegistry::Subscribe(Listener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+PerfState PerformanceStateRegistry::StateOf(const std::string& component) const {
+  auto it = detectors_.find(component);
+  if (it == detectors_.end()) {
+    return PerfState::kHealthy;
+  }
+  return it->second->state();
+}
+
+double PerformanceStateRegistry::EstimatedRate(
+    const std::string& component) const {
+  auto it = detectors_.find(component);
+  if (it == detectors_.end()) {
+    return 0.0;
+  }
+  return it->second->EstimatedRate();
+}
+
+double PerformanceStateRegistry::SmoothedDeficit(
+    const std::string& component) const {
+  auto it = detectors_.find(component);
+  if (it == detectors_.end()) {
+    return 1.0;
+  }
+  return it->second->SmoothedDeficit();
+}
+
+const StutterDetector* PerformanceStateRegistry::detector(
+    const std::string& component) const {
+  auto it = detectors_.find(component);
+  if (it == detectors_.end()) {
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> PerformanceStateRegistry::ComponentsIn(
+    PerfState state) const {
+  std::vector<std::string> out;
+  for (const auto& [name, det] : detectors_) {
+    if (det->state() == state) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace fst

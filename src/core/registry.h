@@ -1,0 +1,82 @@
+// The performance-state registry: the system-wide view of who stutters.
+//
+// Design follows the paper's notification argument (Section 3.1): individual
+// blips are NOT broadcast ("erratic performance may occur quite frequently,
+// and thus distributing that information may be overly expensive"); only
+// *state transitions* decided by each component's hysteresis detector are
+// published to subscribers. The registry counts both, so the suppression
+// ratio — how much notification traffic the fail-stutter design avoids — is
+// directly measurable (bench: detection).
+#ifndef SRC_CORE_REGISTRY_H_
+#define SRC_CORE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/classifier.h"
+#include "src/core/detector.h"
+#include "src/core/perf_spec.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+struct StateChange {
+  SimTime when;
+  std::string component;
+  PerfState from = PerfState::kHealthy;
+  PerfState to = PerfState::kHealthy;
+  double smoothed_deficit = 1.0;
+};
+
+class PerformanceStateRegistry {
+ public:
+  using Listener = std::function<void(const StateChange&)>;
+
+  explicit PerformanceStateRegistry(DetectorParams detector_params = {})
+      : detector_params_(detector_params) {}
+
+  // Registers a component with its performance specification. Idempotent
+  // for an existing name (spec is not replaced).
+  void Register(const std::string& component, PerformanceSpec spec);
+  bool IsRegistered(const std::string& component) const;
+
+  // Feeds one completed request; may publish a state change.
+  void Observe(const std::string& component, SimTime now, double units,
+               Duration latency);
+
+  // Feeds an absolute failure; publishes kFailed.
+  void ObserveFailure(const std::string& component, SimTime now);
+
+  void Subscribe(Listener listener);
+
+  PerfState StateOf(const std::string& component) const;
+  double EstimatedRate(const std::string& component) const;
+  double SmoothedDeficit(const std::string& component) const;
+  const StutterDetector* detector(const std::string& component) const;
+
+  // Components currently in the given state.
+  std::vector<std::string> ComponentsIn(PerfState state) const;
+
+  uint64_t observations() const { return observations_; }
+  uint64_t notifications_sent() const { return notifications_sent_; }
+  const std::vector<StateChange>& history() const { return history_; }
+
+ private:
+  void PublishIfChanged(const std::string& component, PerfState before,
+                        SimTime now);
+
+  DetectorParams detector_params_;
+  std::map<std::string, std::unique_ptr<StutterDetector>> detectors_;
+  std::vector<Listener> listeners_;
+  std::vector<StateChange> history_;
+  uint64_t observations_ = 0;
+  uint64_t notifications_sent_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CORE_REGISTRY_H_

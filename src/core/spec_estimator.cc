@@ -1,0 +1,91 @@
+#include "src/core/spec_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fst {
+
+void SpecEstimator::AddSample(double units, double observed_seconds) {
+  samples_.push_back(Sample{units, observed_seconds});
+}
+
+void SpecEstimator::Solve(double* base, double* rate) const {
+  // Least squares for seconds = base + slope * units; rate = 1/slope.
+  const size_t n = samples_.size();
+  if (n == 0) {
+    *base = 0.0;
+    *rate = 1.0;
+    return;
+  }
+  double sum_u = 0.0;
+  double sum_s = 0.0;
+  double sum_uu = 0.0;
+  double sum_us = 0.0;
+  for (const Sample& s : samples_) {
+    sum_u += s.units;
+    sum_s += s.seconds;
+    sum_uu += s.units * s.units;
+    sum_us += s.units * s.seconds;
+  }
+  const double nn = static_cast<double>(n);
+  const double denom = nn * sum_uu - sum_u * sum_u;
+  if (n < 2 || std::fabs(denom) < 1e-12) {
+    // Degenerate (identical unit counts): simple rate through the mean.
+    *base = 0.0;
+    const double mean_s = sum_s / nn;
+    const double mean_u = sum_u / nn;
+    *rate = mean_s > 0.0 ? mean_u / mean_s : 1.0;
+    return;
+  }
+  double slope = (nn * sum_us - sum_u * sum_s) / denom;
+  double intercept = (sum_s - slope * sum_u) / nn;
+  if (slope <= 0.0) {
+    // Noise swamped the signal; fall back to the rate-only fit.
+    const double mean_s = sum_s / nn;
+    const double mean_u = sum_u / nn;
+    slope = mean_u > 0.0 && mean_s > 0.0 ? mean_s / mean_u : 1.0;
+    intercept = 0.0;
+  }
+  if (intercept < 0.0) {
+    intercept = 0.0;
+  }
+  *base = intercept;
+  *rate = 1.0 / slope;
+}
+
+double SpecEstimator::FittedBaseSeconds() const {
+  double base = 0.0;
+  double rate = 1.0;
+  Solve(&base, &rate);
+  return base;
+}
+
+double SpecEstimator::FittedRate() const {
+  double base = 0.0;
+  double rate = 1.0;
+  Solve(&base, &rate);
+  return rate;
+}
+
+double SpecEstimator::FittedTolerance() const {
+  double base = 0.0;
+  double rate = 1.0;
+  Solve(&base, &rate);
+  double worst = 0.0;
+  for (const Sample& s : samples_) {
+    const double expected = base + s.units / rate;
+    if (expected > 0.0) {
+      worst = std::max(worst, std::fabs(s.seconds - expected) / expected);
+    }
+  }
+  return std::max(worst, tolerance_floor_);
+}
+
+PerformanceSpec SpecEstimator::Fit() const {
+  double base = 0.0;
+  double rate = 1.0;
+  Solve(&base, &rate);
+  return PerformanceSpec::LatencyCurve(base, rate, FittedTolerance());
+}
+
+}  // namespace fst

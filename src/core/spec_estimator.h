@@ -1,0 +1,53 @@
+// Learning a performance specification from measurement.
+//
+// The paper's conclusion: "new models of component behavior must be
+// developed, requiring both measurement of existing systems as well as
+// analytical development." The estimator fits the affine latency model
+// expected_seconds(units) = base + units/rate to observed (units, seconds)
+// samples by least squares, and sets the tolerance band from the residual
+// spread — so a component's spec can be derived from a calibration run
+// instead of a spec sheet.
+#ifndef SRC_CORE_SPEC_ESTIMATOR_H_
+#define SRC_CORE_SPEC_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/perf_spec.h"
+
+namespace fst {
+
+class SpecEstimator {
+ public:
+  // `tolerance_floor`: minimum tolerance even for perfectly clean fits.
+  explicit SpecEstimator(double tolerance_floor = 0.10)
+      : tolerance_floor_(tolerance_floor) {}
+
+  void AddSample(double units, double observed_seconds);
+  size_t sample_count() const { return samples_.size(); }
+
+  // Least-squares affine fit. Requires >= 2 samples with distinct unit
+  // counts; with fewer, falls back to a simple-rate fit through the mean.
+  PerformanceSpec Fit() const;
+
+  // Fitted components (valid after >= 1 sample).
+  double FittedBaseSeconds() const;
+  double FittedRate() const;
+
+  // Tolerance chosen: max relative residual over the fit, floored.
+  double FittedTolerance() const;
+
+ private:
+  struct Sample {
+    double units;
+    double seconds;
+  };
+  void Solve(double* base, double* rate) const;
+
+  std::vector<Sample> samples_;
+  double tolerance_floor_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CORE_SPEC_ESTIMATOR_H_

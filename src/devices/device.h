@@ -1,0 +1,114 @@
+// Common abstractions shared by all simulated devices.
+//
+// A device is a FIFO server living on a Simulator. Its service time can be
+// perturbed by any number of attached ServiceModulators (implemented by the
+// fault library), composing multiplicatively — this is how every
+// performance-fault anecdote from Section 2 of the paper is injected without
+// the device knowing which fault it suffers from. Absolute (fail-stop)
+// failure is a terminal state: pending and future requests complete with
+// ok=false so peers can detect the failure, per Schneider's definition.
+#ifndef SRC_DEVICES_DEVICE_H_
+#define SRC_DEVICES_DEVICE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fst {
+
+// Multiplicative perturbation of a device's service time. Implementations
+// live in src/faults; devices only consume the interface.
+class ServiceModulator {
+ public:
+  virtual ~ServiceModulator() = default;
+
+  // Factor >= 0 applied to the service *time* of a request starting at
+  // `now` (2.0 means twice as slow). Factors from all attached modulators
+  // multiply together.
+  virtual double TimeFactor(SimTime now) = 0;
+
+  // If the component is unavailable at `now` (e.g. thermal recalibration,
+  // SCSI bus reset), returns how much longer it stays offline; service is
+  // deferred by that amount. nullopt means available.
+  virtual std::optional<Duration> OfflineUntil(SimTime now) {
+    (void)now;
+    return std::nullopt;
+  }
+};
+
+struct IoResult {
+  bool ok = false;
+  SimTime issued;
+  SimTime completed;
+  Duration Latency() const { return completed - issued; }
+};
+
+using IoCallback = std::function<void(const IoResult&)>;
+
+// Base class carrying the modulator set and fail-stop state machine.
+class FaultableDevice {
+ public:
+  explicit FaultableDevice(std::string name) : name_(std::move(name)) {}
+  virtual ~FaultableDevice() = default;
+
+  const std::string& name() const { return name_; }
+
+  void AttachModulator(std::shared_ptr<ServiceModulator> m) {
+    modulators_.push_back(std::move(m));
+  }
+  void ClearModulators() { modulators_.clear(); }
+  size_t modulator_count() const { return modulators_.size(); }
+
+  // Transitions to the failed (fail-stop) state. Idempotent.
+  virtual void FailStop() { failed_ = true; }
+  bool has_failed() const { return failed_; }
+
+  // Registers a callback fired once on fail-stop transition.
+  void OnFailure(std::function<void()> cb) {
+    failure_callbacks_.push_back(std::move(cb));
+  }
+
+ protected:
+  // Composite time factor over all modulators at `now`.
+  double CompositeTimeFactor(SimTime now) const {
+    double f = 1.0;
+    for (const auto& m : modulators_) {
+      f *= m->TimeFactor(now);
+    }
+    return f;
+  }
+
+  // Longest remaining offline window over all modulators, if any.
+  std::optional<Duration> CompositeOffline(SimTime now) const {
+    std::optional<Duration> worst;
+    for (const auto& m : modulators_) {
+      auto off = m->OfflineUntil(now);
+      if (off.has_value() && (!worst.has_value() || *off > *worst)) {
+        worst = off;
+      }
+    }
+    return worst;
+  }
+
+  void NotifyFailure() {
+    for (auto& cb : failure_callbacks_) {
+      cb();
+    }
+    failure_callbacks_.clear();
+  }
+
+  bool failed_ = false;
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<ServiceModulator>> modulators_;
+  std::vector<std::function<void()>> failure_callbacks_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_DEVICES_DEVICE_H_

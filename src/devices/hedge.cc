@@ -1,0 +1,89 @@
+#include "src/devices/hedge.h"
+
+namespace fst {
+
+void HedgedOp::Issue(std::vector<Attempt> attempts, IoCallback done) {
+  struct State {
+    bool completed = false;
+    int launched = 0;
+    int finished = 0;
+    int total = 0;
+    IoResult last_failure;
+    IoCallback done;
+    EventId pending_hedge;
+  };
+  auto st = std::make_shared<State>();
+  st->done = std::move(done);
+  st->total = static_cast<int>(attempts.size());
+  ++stats_.operations;
+
+  if (attempts.empty()) {
+    IoResult r;
+    r.ok = false;
+    r.issued = sim_.Now();
+    r.completed = sim_.Now();
+    st->done(r);
+    return;
+  }
+
+  const int allowed =
+      std::min(st->total, 1 + std::max(params_.max_hedges, 0));
+
+  // Shared launcher: fires attempt `index` and schedules the next hedge.
+  auto launch = std::make_shared<std::function<void(int)>>();
+  auto shared_attempts =
+      std::make_shared<std::vector<Attempt>>(std::move(attempts));
+  *launch = [this, st, launch, shared_attempts, allowed](int index) {
+    if (st->completed || index >= allowed) {
+      return;
+    }
+    ++st->launched;
+    if (index > 0) {
+      ++stats_.hedges_launched;
+    }
+    // Arm the next hedge before issuing (the attempt may complete inline).
+    if (index + 1 < allowed) {
+      st->pending_hedge = sim_.Schedule(params_.hedge_delay, [launch, index]() {
+        (*launch)(index + 1);
+      });
+    }
+    (*shared_attempts)[static_cast<size_t>(index)](
+        [this, st, launch, allowed, index](const IoResult& r) {
+          ++st->finished;
+          if (st->completed) {
+            // A sibling already answered: reconcile the duplicate.
+            ++stats_.wasted_completions;
+            return;
+          }
+          if (r.ok) {
+            st->completed = true;
+            if (st->pending_hedge.IsValid()) {
+              sim_.Cancel(st->pending_hedge);
+            }
+            if (index > 0) {
+              ++stats_.hedge_wins;
+            }
+            st->done(r);
+            return;
+          }
+          st->last_failure = r;
+          if (st->launched < allowed) {
+            // Fail over immediately instead of waiting out the hedge delay.
+            if (st->pending_hedge.IsValid()) {
+              sim_.Cancel(st->pending_hedge);
+              st->pending_hedge = EventId{};
+            }
+            (*launch)(st->launched);
+            return;
+          }
+          if (st->finished == st->launched) {
+            // Everything launched and everything failed.
+            st->completed = true;
+            st->done(st->last_failure);
+          }
+        });
+  };
+  (*launch)(0);
+}
+
+}  // namespace fst

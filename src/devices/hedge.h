@@ -1,0 +1,64 @@
+// Hedged requests — the oldest fail-stutter technique in the book.
+//
+// The paper's related work credits Shasha & Turek's slow-down failure
+// algorithm with "simply issuing new processes to do the work elsewhere,
+// and reconciling properly so as to avoid work replication." The same
+// idea underpins speculative task re-execution and hedged reads in every
+// modern distributed store: issue the request to one replica; if it has
+// not completed within a hedge delay, issue a duplicate elsewhere; take
+// whichever answers first.
+//
+// HedgedOp is attempt-agnostic: each attempt is a closure that performs
+// the operation and invokes the supplied IoCallback, so it works against
+// disks, mirror pairs, nodes, or anything else with IoResult completions.
+// Completed duplicates are reconciled (counted, not double-reported).
+#ifndef SRC_DEVICES_HEDGE_H_
+#define SRC_DEVICES_HEDGE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/devices/device.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+struct HedgeParams {
+  // How long to wait for the primary before launching the next attempt.
+  Duration hedge_delay = Duration::Millis(50);
+  // Maximum extra attempts beyond the primary.
+  int max_hedges = 1;
+};
+
+struct HedgeStats {
+  int64_t operations = 0;
+  int64_t hedges_launched = 0;
+  int64_t hedge_wins = 0;  // a duplicate (not the primary) answered first
+  int64_t wasted_completions = 0;  // late duplicates that were discarded
+};
+
+class HedgedOp {
+ public:
+  using Attempt = std::function<void(IoCallback)>;
+
+  explicit HedgedOp(Simulator& sim, HedgeParams params = {})
+      : sim_(sim), params_(params) {}
+
+  // Runs `attempts[0]` now; launches attempts[1..max_hedges] at
+  // hedge_delay intervals while no attempt has succeeded. `done` fires
+  // exactly once: with the first success, or with the last failure if
+  // every attempt fails.
+  void Issue(std::vector<Attempt> attempts, IoCallback done);
+
+  const HedgeStats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  HedgeParams params_;
+  HedgeStats stats_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_DEVICES_HEDGE_H_

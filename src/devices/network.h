@@ -1,0 +1,108 @@
+// A simulated cluster interconnect (switch + per-node links).
+//
+// Captures the Section 2.1.3 pathologies:
+//   * flow control (Brewer & Kuszmaul, CM-5): the fabric has finite buffer;
+//     when a slow receiver lets messages accumulate, senders block on
+//     backpressure and *everyone's* transfer slows ("reducing transpose
+//     performance by almost a factor of three");
+//   * unfairness (Myrinet): per-source weights make some routes cheaper;
+//   * deadlock recovery (Myrinet): a stall window halts all switch traffic
+//     (the paper: "halting all switch traffic for two seconds").
+//
+// Structure: each source port is a FIFO send server at the link rate; a
+// sent message occupies fabric buffer until its receive server (per
+// destination port, rate = link rate x receiver speed factor) drains it.
+// When the fabric buffer is full, send completions park until space frees.
+#ifndef SRC_DEVICES_NETWORK_H_
+#define SRC_DEVICES_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/simcore/metrics.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/stats.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+struct NetMessage {
+  int src = 0;
+  int dst = 0;
+  int64_t bytes = 0;
+  std::function<void(SimTime delivered)> done;
+};
+
+struct SwitchParams {
+  int ports = 16;
+  double link_mbps = 40.0;          // per-port link bandwidth
+  int64_t fabric_buffer_bytes = 1 << 20;
+  Duration per_message_overhead = Duration::Micros(10);
+};
+
+class Switch {
+ public:
+  Switch(Simulator& sim, SwitchParams params, MetricRegistry* metrics = nullptr);
+
+  // Sends a message; `msg.done` fires at delivery (after receive drain).
+  void Send(NetMessage msg);
+
+  // Receiver speed factor in (0, 1]: a "slow receiver" drains its inbound
+  // queue at factor x link rate. Default 1.0.
+  void SetReceiverSpeed(int port, double factor);
+
+  // Unfairness: service-time weight for messages *from* `port` (> 1 means
+  // the switch disfavors this source). Default 1.0.
+  void SetSourceWeight(int port, double weight);
+
+  // Halts all new send/receive service for `length` (deadlock recovery).
+  void Stall(Duration length);
+
+  int64_t delivered_bytes(int port) const { return delivered_bytes_[port]; }
+  int64_t total_delivered_bytes() const;
+  const Histogram& delivery_latency() const { return latency_; }
+  int64_t fabric_occupancy() const { return fabric_occupancy_; }
+  int stalls() const { return stalls_; }
+
+  const SwitchParams& params() const { return params_; }
+
+ private:
+  struct Pending {
+    NetMessage msg;
+    SimTime enqueued;
+  };
+
+  // Returns how long until a stall window ends (zero if not stalled).
+  Duration StallRemaining() const;
+
+  void MaybeStartSend(int port);
+  void FinishSend(int port);
+  void AdmitToFabric(int port);
+  void MaybeStartReceive(int port);
+  void FinishReceive(int port);
+
+  Simulator& sim_;
+  SwitchParams params_;
+  MetricRegistry* metrics_;
+
+  std::vector<std::deque<Pending>> send_queues_;
+  std::vector<bool> send_busy_;
+  // Sent but not yet admitted to the fabric (waiting for buffer space).
+  std::vector<std::deque<Pending>> awaiting_admission_;
+  std::vector<std::deque<Pending>> recv_queues_;
+  std::vector<bool> recv_busy_;
+  std::vector<double> recv_speed_;
+  std::vector<double> src_weight_;
+  std::vector<int64_t> delivered_bytes_;
+
+  int64_t fabric_occupancy_ = 0;
+  SimTime stall_until_ = SimTime::Zero();
+  int stalls_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_DEVICES_NETWORK_H_

@@ -1,0 +1,99 @@
+#include "src/devices/node.h"
+
+namespace fst {
+
+Node::Node(Simulator& sim, std::string name, NodeParams params)
+    : FaultableDevice(std::move(name)), sim_(sim), params_(params) {}
+
+Duration Node::EstimateComputeTime(double work_units, SimTime now) const {
+  double secs = work_units / params_.cpu_rate;
+  if (MemoryOvercommitted()) {
+    secs *= params_.swap_penalty;
+  }
+  return Duration::Seconds(secs) * CompositeTimeFactor(now);
+}
+
+void Node::Compute(double work_units, IoCallback done) {
+  const SimTime now = sim_.Now();
+  if (failed_) {
+    if (done) {
+      IoResult r;
+      r.ok = false;
+      r.issued = now;
+      r.completed = now;
+      done(r);
+    }
+    return;
+  }
+  queue_.push_back(Task{work_units, std::move(done), now});
+  MaybeStart();
+}
+
+void Node::MaybeStart() {
+  if (busy_ || queue_.empty() || failed_) {
+    return;
+  }
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  StartService(std::move(task));
+}
+
+void Node::StartService(Task task) {
+  const SimTime now = sim_.Now();
+  if (auto off = CompositeOffline(now); off.has_value() && !off->IsZero()) {
+    sim_.Schedule(*off, [this, task = std::move(task)]() mutable {
+      if (failed_) {
+        if (task.done) {
+          IoResult r;
+          r.ok = false;
+          r.issued = task.issued;
+          r.completed = sim_.Now();
+          task.done(r);
+        }
+        busy_ = false;
+        MaybeStart();
+        return;
+      }
+      StartService(std::move(task));
+    });
+    return;
+  }
+  const Duration service = EstimateComputeTime(task.work_units, now);
+  sim_.Schedule(service, [this, task = std::move(task)]() {
+    const SimTime done_at = sim_.Now();
+    tasks_completed_ += 1.0;
+    latency_.AddDuration(done_at - task.issued);
+    if (task.done) {
+      IoResult r;
+      r.ok = true;
+      r.issued = task.issued;
+      r.completed = done_at;
+      task.done(r);
+    }
+    busy_ = false;
+    MaybeStart();
+  });
+}
+
+void Node::FailStop() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  const SimTime now = sim_.Now();
+  std::deque<Task> doomed;
+  doomed.swap(queue_);
+  for (auto& task : doomed) {
+    if (task.done) {
+      IoResult r;
+      r.ok = false;
+      r.issued = task.issued;
+      r.completed = now;
+      task.done(r);
+    }
+  }
+  NotifyFailure();
+}
+
+}  // namespace fst

@@ -1,0 +1,79 @@
+// A simulated compute node: a FIFO CPU server plus a simple memory model.
+//
+// Captures the Section 2.2.2 interference anecdotes:
+//   * CPU hogs (NOW-Sort): background load inflates compute time — "a node
+//     with excess CPU load reduces global sorting performance by a factor
+//     of two";
+//   * memory hogs (Brown & Mowry): when resident working sets exceed
+//     physical memory, operations pay a swap penalty — "response time ...
+//     up to 40 times worse";
+//   * background operations (Gribble et al.): garbage-collection pauses are
+//     injected as offline windows via attached ServiceModulators.
+#ifndef SRC_DEVICES_NODE_H_
+#define SRC_DEVICES_NODE_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/devices/device.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/stats.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+struct NodeParams {
+  // Work units per second at nominal speed; tasks are sized in work units.
+  double cpu_rate = 1e6;
+  double memory_mb = 256.0;
+  // Multiplier applied to compute time while memory is over-committed.
+  double swap_penalty = 40.0;
+};
+
+class Node : public FaultableDevice {
+ public:
+  Node(Simulator& sim, std::string name, NodeParams params);
+
+  // Enqueues `work_units` of computation; `done` fires on completion.
+  void Compute(double work_units, IoCallback done);
+
+  // Registers/releases resident working-set demand (e.g. an out-of-core
+  // competitor arriving). Over-commit triggers the swap penalty.
+  void ReserveMemory(double mb) { reserved_mb_ += mb; }
+  void ReleaseMemory(double mb) { reserved_mb_ -= mb; }
+  bool MemoryOvercommitted() const { return reserved_mb_ > params_.memory_mb; }
+  double reserved_mb() const { return reserved_mb_; }
+
+  void FailStop() override;
+
+  const NodeParams& params() const { return params_; }
+  double tasks_completed() const { return tasks_completed_; }
+  const Histogram& task_latency() const { return latency_; }
+  size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  // Compute time for `work_units` if started now (no queueing).
+  Duration EstimateComputeTime(double work_units, SimTime now) const;
+
+ private:
+  struct Task {
+    double work_units;
+    IoCallback done;
+    SimTime issued;
+  };
+
+  void MaybeStart();
+  void StartService(Task task);
+
+  Simulator& sim_;
+  NodeParams params_;
+  std::deque<Task> queue_;
+  bool busy_ = false;
+  double reserved_mb_ = 0.0;
+  double tasks_completed_ = 0.0;
+  Histogram latency_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_DEVICES_NODE_H_

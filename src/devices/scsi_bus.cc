@@ -1,0 +1,19 @@
+#include "src/devices/scsi_bus.h"
+
+namespace fst {
+
+ScsiChain::ScsiChain(Simulator& sim, std::string name, Duration reset_duration)
+    : sim_(sim), name_(std::move(name)), reset_duration_(reset_duration),
+      stall_(std::make_shared<OfflineWindowModulator>()) {}
+
+void ScsiChain::Attach(Disk& disk) {
+  disk.AttachModulator(stall_);
+  disks_.push_back(&disk);
+}
+
+void ScsiChain::TriggerReset() {
+  stall_->AddWindow(sim_.Now(), reset_duration_);
+  ++resets_;
+}
+
+}  // namespace fst

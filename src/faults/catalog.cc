@@ -1,0 +1,99 @@
+#include "src/faults/catalog.h"
+
+#include "src/devices/disk_params.h"
+#include "src/devices/modulators.h"
+#include "src/faults/perf_fault.h"
+
+namespace fst {
+
+void ApplyHawkBadBlockAnecdote(Disk& disk, uint64_t seed) {
+  // Target: ~5.0/5.5 of nominal sequential bandwidth over a full-span scan.
+  // A full scan covers capacity_blocks; each remapped block costs
+  // remap_penalty. Solve for the remap count that eats ~9% of scan time.
+  const double nominal_mbps = disk.NominalBandwidthMbps();
+  const double span_bytes = static_cast<double>(disk.params().capacity_blocks) *
+                            static_cast<double>(disk.params().block_bytes);
+  const double scan_seconds = span_bytes / (nominal_mbps * 1e6);
+  const double extra_seconds = scan_seconds * (5.5 / 5.0 - 1.0);
+  const int remaps = static_cast<int>(
+      extra_seconds / disk.params().remap_penalty.ToSeconds());
+  ApplyBadBlockProfile(disk, disk.params().capacity_blocks, remaps, seed);
+}
+
+std::shared_ptr<ServiceModulator> MakeThermalRecalibration(Rng rng) {
+  return std::make_shared<PeriodicOfflineModulator>(
+      rng, Duration::Seconds(60.0), Duration::Millis(500));
+}
+
+std::shared_ptr<ServiceModulator> MakeCacheMaskedChip() {
+  return std::make_shared<ConstantFactorModulator>(1.4);
+}
+
+std::shared_ptr<ServiceModulator> MakeFetchLogicAnomaly(Rng rng) {
+  // Episodic 3x slowdown with short sojourns: the same code sometimes runs
+  // three times slower, unpredictably.
+  return std::make_shared<IntermittentSlowdownModulator>(
+      rng, 3.0, Duration::Seconds(2.0), Duration::Seconds(2.0));
+}
+
+std::shared_ptr<ServiceModulator> MakePageMappingPenalty(Rng rng) {
+  return std::make_shared<ConstantFactorModulator>(rng.UniformDouble(1.0, 1.5));
+}
+
+std::shared_ptr<ServiceModulator> MakeAgedFileSystem(Rng rng) {
+  return std::make_shared<ConstantFactorModulator>(rng.UniformDouble(1.0, 2.0));
+}
+
+std::shared_ptr<ServiceModulator> MakeGarbageCollector(Rng rng,
+                                                       Duration mean_interval,
+                                                       Duration pause) {
+  return std::make_shared<PeriodicOfflineModulator>(rng, mean_interval, pause);
+}
+
+std::shared_ptr<ServiceModulator> MakeCpuHog() {
+  return std::make_shared<ConstantFactorModulator>(2.0);
+}
+
+void ApplyMemoryHog(Node& node, double hog_mb) { node.ReserveMemory(hog_mb); }
+
+std::shared_ptr<ServiceModulator> MakeBankConflicts(Rng rng) {
+  return std::make_shared<IntermittentSlowdownModulator>(
+      rng, 2.0, Duration::Millis(50), Duration::Millis(50));
+}
+
+std::vector<CatalogEntry> CatalogIndex() {
+  return {
+      {"hawk-bad-block-remap", "2.1.2",
+       "one Hawk at 5.0 of 5.5 MB/s from transparent SCSI remapping"},
+      {"thermal-recalibration", "2.1.2",
+       "disks off-line at random intervals for short periods"},
+      {"scsi-timeout-reset", "2.1.2",
+       "~2 timeouts/day; bus resets degrade the whole chain"},
+      {"multi-zone-geometry", "2.1.2",
+       "bandwidth across zones differs by up to a factor of two"},
+      {"cache-fault-masking", "2.1.1",
+       "identical CPUs differ by up to 40% from masked cache lines"},
+      {"fetch-logic-anomaly", "2.1.1",
+       "same binary varies up to 3x (UltraSPARC-I nonmonotonicities)"},
+      {"page-mapping", "2.2.1",
+       "VM page placement costs up to 50% of application performance"},
+      {"aged-file-system", "2.2.1",
+       "sequential read varies up to 2x across aged file systems"},
+      {"garbage-collection", "2.2.1",
+       "untimely GC makes one replica fall behind its mirror"},
+      {"cpu-hog", "2.2.2", "excess CPU load halves global sort throughput"},
+      {"memory-hog", "2.2.2",
+       "interactive response up to 40x worse under memory pressure"},
+      {"bank-conflicts", "2.2.2",
+       "scalar-vector interference halves memory efficiency"},
+      {"switch-deadlock", "2.1.3", "deadlock recovery halts traffic for 2 s"},
+      {"switch-unfairness", "2.1.3",
+       "disfavored routes suffer ~50% slowdown under load"},
+      {"flow-control-collapse", "2.1.3",
+       "slow receivers cut all-to-all transpose ~3x"},
+      {"slow-io-nodes", "2.1.2",
+       "4 of 64 cluster nodes with ~30% slower I/O (Rivera & Chien)"},
+  };
+}
+
+}  // namespace fst

@@ -1,0 +1,129 @@
+// The Section 2 anecdote catalog.
+//
+// Every performance-fault observation the paper cites is encoded here as a
+// parameterized fault model. The constants come straight from the numbers
+// quoted in the paper; each factory's comment carries the anchor. This is
+// the "measurement of existing systems" input the paper's conclusion calls
+// for, in synthetic form.
+#ifndef SRC_FAULTS_CATALOG_H_
+#define SRC_FAULTS_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/devices/device.h"
+#include "src/devices/disk.h"
+#include "src/devices/node.h"
+#include "src/faults/injector.h"
+#include "src/simcore/rng.h"
+
+namespace fst {
+
+// ---------------------------------------------------------------------------
+// Hardware: disks (Section 2.1.2)
+// ---------------------------------------------------------------------------
+
+// "Although most of the disks deliver 5.5 MB/s on sequential reads, one
+// such disk delivered only 5.0 MB/s. Because the lesser-performing disk
+// had three times the block faults than other devices ... SCSI bad-block
+// remappings, transparent to both users and file systems, were the
+// culprit." Applies enough remapped blocks to cost ~9% of sequential
+// bandwidth on a full-span scan.
+void ApplyHawkBadBlockAnecdote(Disk& disk, uint64_t seed);
+
+// "disks in their video file server would go off-line at random intervals
+// for short periods of time, apparently due to thermal recalibrations"
+// (Bolosky et al.). Offline ~0.5 s roughly once a minute.
+std::shared_ptr<ServiceModulator> MakeThermalRecalibration(Rng rng);
+
+// Talagala & Patterson: "a timeout or parity error occurs roughly two
+// times per day on average"; resets degrade the whole SCSI chain.
+inline constexpr double kScsiTimeoutsPerDay = 2.0;
+
+// Van Meter: "disks have multiple zones, with performance across zones
+// differing by up to a factor of two."
+inline constexpr double kZoneBandwidthRatio = 2.0;
+
+// ---------------------------------------------------------------------------
+// Hardware: processors and caches (Section 2.1.1)
+// ---------------------------------------------------------------------------
+
+// Viking cache fault-masking: "finding performance differences of up to
+// 40%" across nominally identical processors.
+std::shared_ptr<ServiceModulator> MakeCacheMaskedChip();
+
+// Kushman's UltraSPARC-I nonmonotonicities: "run times that vary by up to
+// a factor of three" for the same binary. Modeled as episodic slowdown
+// with heavy jitter.
+std::shared_ptr<ServiceModulator> MakeFetchLogicAnomaly(Rng rng);
+
+// ---------------------------------------------------------------------------
+// Software: OS and background work (Section 2.2.1)
+// ---------------------------------------------------------------------------
+
+// Chen & Bershad: "virtual-memory mapping decisions can reduce application
+// performance by up to 50%". A static per-instance penalty drawn in
+// [1.0, 1.5] at process start.
+std::shared_ptr<ServiceModulator> MakePageMappingPenalty(Rng rng);
+
+// Aged file systems: "sequential file read performance across aged file
+// systems varies by up to a factor of two" — a static multiplier in
+// [1.0, 2.0] per file system instance.
+std::shared_ptr<ServiceModulator> MakeAgedFileSystem(Rng rng);
+
+// Gribble et al.: "untimely garbage collection causes one node to fall
+// behind its mirror". Pauses of ~100 ms at ~1 s mean intervals.
+std::shared_ptr<ServiceModulator> MakeGarbageCollector(Rng rng,
+                                                       Duration mean_interval,
+                                                       Duration pause);
+
+// ---------------------------------------------------------------------------
+// Software: interference (Section 2.2.2)
+// ---------------------------------------------------------------------------
+
+// NOW-Sort: "A node with excess CPU load reduces global sorting
+// performance by a factor of two" — a competing process steals half the
+// CPU, i.e. compute time doubles while it runs.
+std::shared_ptr<ServiceModulator> MakeCpuHog();
+
+// Brown & Mowry: interactive response "up to 40 times worse when competing
+// with a memory-intensive process". Applies working-set pressure to the
+// node so its swap penalty engages.
+void ApplyMemoryHog(Node& node, double hog_mb);
+
+// Raghavan & Hayes: memory bank conflicts "can reduce memory system
+// efficiency by up to a factor of two".
+std::shared_ptr<ServiceModulator> MakeBankConflicts(Rng rng);
+
+// ---------------------------------------------------------------------------
+// Networks (Section 2.1.3) — applied via Switch methods; constants here.
+// ---------------------------------------------------------------------------
+
+// Myrinet deadlock recovery "halting all switch traffic for two seconds".
+inline constexpr double kDeadlockStallSeconds = 2.0;
+
+// Myrinet unfairness: "the unfairness resulted in a 50% slowdown".
+inline constexpr double kUnfairnessWeight = 2.0;
+
+// CM-5 flow control: transposes slowed "by almost a factor of three" by a
+// few slow receivers.
+inline constexpr double kSlowReceiverSpeed = 0.30;
+
+// Rivera & Chien: "four of them [of 64] had about 30% slower I/O".
+inline constexpr double kRiveraChienSlowdown = 1.0 / 0.7;
+inline constexpr int kRiveraChienSlowNodes = 4;
+inline constexpr int kRiveraChienClusterSize = 64;
+
+// A descriptive index of the catalog (name, paper section, magnitude) so
+// examples and docs can enumerate it.
+struct CatalogEntry {
+  std::string name;
+  std::string section;
+  std::string summary;
+};
+std::vector<CatalogEntry> CatalogIndex();
+
+}  // namespace fst
+
+#endif  // SRC_FAULTS_CATALOG_H_

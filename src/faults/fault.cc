@@ -1,0 +1,15 @@
+#include "src/faults/fault.h"
+
+namespace fst {
+
+const char* FaultClassName(FaultClass c) {
+  switch (c) {
+    case FaultClass::kCorrectness:
+      return "correctness";
+    case FaultClass::kPerformance:
+      return "performance";
+  }
+  return "?";
+}
+
+}  // namespace fst

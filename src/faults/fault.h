@@ -1,0 +1,38 @@
+// The fault taxonomy of the fail-stutter model (Section 3.1).
+//
+// The model's central move is separating two fault classes:
+//   * correctness (absolute) faults — the component stops, per the
+//     fail-stop model (Schneider);
+//   * performance faults — the component works, "but its performance is
+//     less than that of its performance specification".
+// Everything in src/faults *produces* faults; classification of observed
+// behavior back into these classes is the job of src/core.
+#ifndef SRC_FAULTS_FAULT_H_
+#define SRC_FAULTS_FAULT_H_
+
+#include <string>
+
+#include "src/simcore/time.h"
+
+namespace fst {
+
+enum class FaultClass {
+  kCorrectness,  // absolute failure: component stopped
+  kPerformance,  // working, but below its performance specification
+};
+
+const char* FaultClassName(FaultClass c);
+
+// A record of an injected fault, kept by the injector for ground truth in
+// experiments (detector accuracy is scored against these).
+struct InjectedFault {
+  SimTime when;
+  FaultClass fault_class = FaultClass::kPerformance;
+  std::string component;
+  std::string kind;         // e.g. "intermittent-slowdown", "fail-stop"
+  double magnitude = 1.0;   // slowdown factor where applicable
+};
+
+}  // namespace fst
+
+#endif  // SRC_FAULTS_FAULT_H_

@@ -1,0 +1,103 @@
+#include "src/faults/injector.h"
+
+#include "src/devices/modulators.h"
+
+namespace fst {
+
+void FaultInjector::Record(SimTime when, FaultClass cls,
+                           const std::string& component,
+                           const std::string& kind, double magnitude) {
+  injected_.push_back(InjectedFault{when, cls, component, kind, magnitude});
+}
+
+void FaultInjector::InjectStaticSlowdown(FaultableDevice& dev, double factor) {
+  dev.AttachModulator(std::make_shared<ConstantFactorModulator>(factor));
+  Record(sim_.Now(), FaultClass::kPerformance, dev.name(), "static-slowdown",
+         factor);
+}
+
+void FaultInjector::InjectIntermittentSlowdown(FaultableDevice& dev,
+                                               double factor,
+                                               Duration mean_normal,
+                                               Duration mean_degraded) {
+  dev.AttachModulator(std::make_shared<IntermittentSlowdownModulator>(
+      sim_.rng().Fork(), factor, mean_normal, mean_degraded));
+  Record(sim_.Now(), FaultClass::kPerformance, dev.name(),
+         "intermittent-slowdown", factor);
+}
+
+void FaultInjector::InjectDrift(FaultableDevice& dev, SimTime onset,
+                                double slope_per_hour, double max_factor) {
+  dev.AttachModulator(
+      std::make_shared<DriftModulator>(onset, slope_per_hour, max_factor));
+  Record(onset, FaultClass::kPerformance, dev.name(), "drift", slope_per_hour);
+}
+
+void FaultInjector::InjectJitter(FaultableDevice& dev, double sigma) {
+  dev.AttachModulator(
+      std::make_shared<RandomJitterModulator>(sim_.rng().Fork(), sigma));
+  // Deliberately not recorded: benign short-term fluctuation.
+}
+
+void FaultInjector::InjectPeriodicOffline(FaultableDevice& dev,
+                                          Duration mean_interval,
+                                          Duration length,
+                                          const std::string& kind) {
+  dev.AttachModulator(std::make_shared<PeriodicOfflineModulator>(
+      sim_.rng().Fork(), mean_interval, length));
+  Record(sim_.Now(), FaultClass::kPerformance, dev.name(), kind,
+         length.ToSeconds() / mean_interval.ToSeconds() + 1.0);
+}
+
+void FaultInjector::InjectStepChange(FaultableDevice& dev,
+                                     std::vector<StepModulator::Step> steps) {
+  double worst = 1.0;
+  SimTime first = SimTime::Max();
+  for (const auto& s : steps) {
+    if (s.factor > worst) {
+      worst = s.factor;
+    }
+    if (s.at < first) {
+      first = s.at;
+    }
+  }
+  dev.AttachModulator(std::make_shared<StepModulator>(std::move(steps)));
+  Record(first, FaultClass::kPerformance, dev.name(), "step-change", worst);
+}
+
+void FaultInjector::ScheduleFailStop(FaultableDevice& dev, SimTime when) {
+  Record(when, FaultClass::kCorrectness, dev.name(), "fail-stop", 0.0);
+  FaultableDevice* target = &dev;
+  sim_.ScheduleAt(when, [target]() { target->FailStop(); });
+}
+
+int FaultInjector::ScheduleScsiTimeouts(ScsiChain& chain, double per_day,
+                                        SimTime horizon) {
+  const double mean_gap_s = 86400.0 / per_day;
+  Rng rng = sim_.rng().Fork();
+  SimTime t = SimTime::Zero();
+  int scheduled = 0;
+  while (true) {
+    t = t + Duration::Seconds(rng.Exponential(mean_gap_s));
+    if (t > horizon) {
+      break;
+    }
+    ScsiChain* target = &chain;
+    sim_.ScheduleAt(t, [target]() { target->TriggerReset(); });
+    Record(t, FaultClass::kPerformance, chain.name(), "scsi-timeout-reset",
+           chain.reset_duration().ToSeconds());
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+bool FaultInjector::HasPerformanceFault(const std::string& component) const {
+  for (const auto& f : injected_) {
+    if (f.component == component && f.fault_class == FaultClass::kPerformance) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fst

@@ -1,0 +1,73 @@
+// The fault injector: binds fault processes to devices on a simulator and
+// keeps a ground-truth record of what was injected, against which detector
+// accuracy (experiment E10/E12) is scored.
+#ifndef SRC_FAULTS_INJECTOR_H_
+#define SRC_FAULTS_INJECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/devices/device.h"
+#include "src/devices/scsi_bus.h"
+#include "src/faults/fault.h"
+#include "src/faults/perf_fault.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Simulator& sim) : sim_(sim) {}
+
+  // -- Performance faults (attach a modulator, record ground truth) --
+
+  // Component is permanently `factor`x slower.
+  void InjectStaticSlowdown(FaultableDevice& dev, double factor);
+
+  // Episodic slowdown (two-state Markov process).
+  void InjectIntermittentSlowdown(FaultableDevice& dev, double factor,
+                                  Duration mean_normal, Duration mean_degraded);
+
+  // Gradual degradation starting at `onset`.
+  void InjectDrift(FaultableDevice& dev, SimTime onset, double slope_per_hour,
+                   double max_factor = 64.0);
+
+  // Benign per-request jitter (not recorded as a fault: the paper says
+  // short random fluctuations "can likely be ignored").
+  void InjectJitter(FaultableDevice& dev, double sigma);
+
+  // Renewal offline windows (thermal recalibration, GC pauses).
+  void InjectPeriodicOffline(FaultableDevice& dev, Duration mean_interval,
+                             Duration length, const std::string& kind);
+
+  // Factor changes at explicit times.
+  void InjectStepChange(FaultableDevice& dev, std::vector<StepModulator::Step> steps);
+
+  // -- Correctness faults --
+
+  // Fail-stop the device at `when`.
+  void ScheduleFailStop(FaultableDevice& dev, SimTime when);
+
+  // -- Infrastructure-level faults --
+
+  // Poisson SCSI timeouts on a chain at `per_day` rate over [0, horizon]
+  // (Talagala & Patterson: ~2/day). Returns number scheduled.
+  int ScheduleScsiTimeouts(ScsiChain& chain, double per_day, SimTime horizon);
+
+  const std::vector<InjectedFault>& injected() const { return injected_; }
+
+  // Ground truth: was a (recorded) performance fault injected on `component`?
+  bool HasPerformanceFault(const std::string& component) const;
+
+ private:
+  void Record(SimTime when, FaultClass cls, const std::string& component,
+              const std::string& kind, double magnitude);
+
+  Simulator& sim_;
+  std::vector<InjectedFault> injected_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_FAULTS_INJECTOR_H_

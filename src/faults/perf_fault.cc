@@ -1,0 +1,101 @@
+#include "src/faults/perf_fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fst {
+
+IntermittentSlowdownModulator::IntermittentSlowdownModulator(
+    Rng rng, double slow_factor, Duration mean_normal, Duration mean_degraded)
+    : rng_(rng), slow_factor_(slow_factor), mean_normal_(mean_normal),
+      mean_degraded_(mean_degraded) {}
+
+void IntermittentSlowdownModulator::AdvanceTo(SimTime now) {
+  if (!started_) {
+    started_ = true;
+    degraded_ = false;
+    state_end_ = SimTime::Zero() +
+                 Duration::Seconds(rng_.Exponential(mean_normal_.ToSeconds()));
+  }
+  while (now >= state_end_) {
+    degraded_ = !degraded_;
+    if (degraded_) {
+      ++episodes_;
+    }
+    const Duration mean = degraded_ ? mean_degraded_ : mean_normal_;
+    state_end_ = state_end_ + Duration::Seconds(rng_.Exponential(mean.ToSeconds()));
+  }
+}
+
+double IntermittentSlowdownModulator::TimeFactor(SimTime now) {
+  AdvanceTo(now);
+  return degraded_ ? slow_factor_ : 1.0;
+}
+
+DriftModulator::DriftModulator(SimTime onset, double slope_per_hour,
+                               double max_factor)
+    : onset_(onset), slope_per_hour_(slope_per_hour), max_factor_(max_factor) {}
+
+double DriftModulator::TimeFactor(SimTime now) {
+  if (now <= onset_) {
+    return 1.0;
+  }
+  const double hours = (now - onset_).ToSeconds() / 3600.0;
+  return std::min(1.0 + slope_per_hour_ * hours, max_factor_);
+}
+
+RandomJitterModulator::RandomJitterModulator(Rng rng, double sigma)
+    : rng_(rng), sigma_(sigma) {}
+
+double RandomJitterModulator::TimeFactor(SimTime) {
+  // Log-normal with median 1: exp(N(0, sigma)).
+  return rng_.LogNormal(0.0, sigma_);
+}
+
+PeriodicOfflineModulator::PeriodicOfflineModulator(Rng rng,
+                                                   Duration mean_interval,
+                                                   Duration length)
+    : rng_(rng), mean_interval_(mean_interval), length_(length) {}
+
+void PeriodicOfflineModulator::AdvanceTo(SimTime now) {
+  if (!have_window_) {
+    have_window_ = true;
+    window_start_ = SimTime::Zero() +
+                    Duration::Seconds(rng_.Exponential(mean_interval_.ToSeconds()));
+    window_end_ = window_start_ + length_;
+    ++windows_generated_;
+  }
+  while (now >= window_end_) {
+    window_start_ = window_end_ + Duration::Seconds(
+                                      rng_.Exponential(mean_interval_.ToSeconds()));
+    window_end_ = window_start_ + length_;
+    ++windows_generated_;
+  }
+}
+
+std::optional<Duration> PeriodicOfflineModulator::OfflineUntil(SimTime now) {
+  AdvanceTo(now);
+  if (now >= window_start_ && now < window_end_) {
+    return window_end_ - now;
+  }
+  return std::nullopt;
+}
+
+StepModulator::StepModulator(std::vector<Step> steps) : steps_(std::move(steps)) {
+  std::sort(steps_.begin(), steps_.end(),
+            [](const Step& a, const Step& b) { return a.at < b.at; });
+}
+
+double StepModulator::TimeFactor(SimTime now) {
+  double factor = 1.0;
+  for (const Step& s : steps_) {
+    if (now >= s.at) {
+      factor = s.factor;
+    } else {
+      break;
+    }
+  }
+  return factor;
+}
+
+}  // namespace fst

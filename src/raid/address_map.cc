@@ -1,0 +1,52 @@
+#include "src/raid/address_map.h"
+
+namespace fst {
+
+AddressMap::AddressMap(int pair_count)
+    : next_physical_(pair_count, 0), blocks_on_pair_(pair_count, 0) {}
+
+PhysicalBlock AddressMap::RecordNext(LogicalBlock logical, int pair) {
+  const PhysicalBlock physical = next_physical_[pair]++;
+  Record(logical, BlockLocation{pair, physical});
+  return physical;
+}
+
+void AddressMap::Record(LogicalBlock logical, BlockLocation loc) {
+  auto it = map_.find(logical);
+  if (it != map_.end()) {
+    // Overwrite: the old copy's pair loses a live block.
+    --blocks_on_pair_[it->second.pair];
+    it->second = loc;
+  } else {
+    map_.emplace(logical, loc);
+  }
+  ++blocks_on_pair_[loc.pair];
+  if (loc.physical >= next_physical_[loc.pair]) {
+    next_physical_[loc.pair] = loc.physical + 1;
+  }
+}
+
+std::optional<BlockLocation> AddressMap::Lookup(LogicalBlock logical) const {
+  auto it = map_.find(logical);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void AddressMap::AddPair() {
+  next_physical_.push_back(0);
+  blocks_on_pair_.push_back(0);
+}
+
+size_t AddressMap::EstimatedMemoryBytes() const {
+  // Node-based hash map: key + value + bucket pointer + node overhead.
+  const size_t per_entry = sizeof(LogicalBlock) + sizeof(BlockLocation) +
+                           2 * sizeof(void*) + sizeof(size_t);
+  return map_.size() * per_entry +
+         map_.bucket_count() * sizeof(void*) +
+         next_physical_.capacity() * sizeof(PhysicalBlock) +
+         blocks_on_pair_.capacity() * sizeof(int64_t);
+}
+
+}  // namespace fst

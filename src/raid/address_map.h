@@ -1,0 +1,61 @@
+// The write-anywhere address map — scenario 3's bookkeeping.
+//
+// "We note that this approach increases the amount of bookkeeping: because
+// these proportions may change over time, the controller must record where
+// each block is written." (Section 3.2)
+//
+// This map is that record: logical block -> (mirror pair, physical offset).
+// Its memory footprint and lookup cost are exactly the "true costs" the
+// paper's conclusion asks to be discerned; bench_overheads measures both.
+#ifndef SRC_RAID_ADDRESS_MAP_H_
+#define SRC_RAID_ADDRESS_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/raid/block.h"
+
+namespace fst {
+
+class AddressMap {
+ public:
+  explicit AddressMap(int pair_count);
+
+  // Records (or overwrites) the location of a logical block. Allocates the
+  // next sequential physical offset on the pair and returns it.
+  PhysicalBlock RecordNext(LogicalBlock logical, int pair);
+
+  // Records an explicit location (used by rebuild and tests).
+  void Record(LogicalBlock logical, BlockLocation loc);
+
+  std::optional<BlockLocation> Lookup(LogicalBlock logical) const;
+
+  // Number of mapped logical blocks.
+  size_t size() const { return map_.size(); }
+
+  // Blocks currently living on `pair`.
+  int64_t BlocksOnPair(int pair) const { return blocks_on_pair_[pair]; }
+
+  // Physical blocks allocated so far on `pair` (monotone; holes from
+  // overwrites are not reclaimed — compaction is future work, see DESIGN).
+  PhysicalBlock AllocatedOnPair(int pair) const { return next_physical_[pair]; }
+
+  // Estimated resident memory of the map structure, for the cost bench.
+  size_t EstimatedMemoryBytes() const;
+
+  int pair_count() const { return static_cast<int>(next_physical_.size()); }
+
+  // Extends the map for a newly grown pair (plug-and-play, Section 3.3).
+  void AddPair();
+
+ private:
+  std::unordered_map<LogicalBlock, BlockLocation> map_;
+  std::vector<PhysicalBlock> next_physical_;
+  std::vector<int64_t> blocks_on_pair_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_RAID_ADDRESS_MAP_H_

@@ -1,0 +1,24 @@
+// Basic block-address vocabulary for the RAID stack.
+#ifndef SRC_RAID_BLOCK_H_
+#define SRC_RAID_BLOCK_H_
+
+#include <cstdint>
+
+namespace fst {
+
+// Logical block number within a volume.
+using LogicalBlock = int64_t;
+
+// Physical block offset within a mirror pair.
+using PhysicalBlock = int64_t;
+
+// Where a logical block landed.
+struct BlockLocation {
+  int pair = -1;
+  PhysicalBlock physical = -1;
+  bool IsValid() const { return pair >= 0 && physical >= 0; }
+};
+
+}  // namespace fst
+
+#endif  // SRC_RAID_BLOCK_H_

@@ -1,0 +1,206 @@
+#include "src/raid/mirror_pair.h"
+
+#include <algorithm>
+
+namespace fst {
+
+MirrorPair::MirrorPair(Simulator& sim, std::string name, Disk* a, Disk* b)
+    : sim_(sim), name_(std::move(name)), disks_{a, b} {
+  for (Disk* d : disks_) {
+    d->OnFailure([this]() { CheckPairDeath(); });
+  }
+}
+
+int MirrorPair::alive_disks() const {
+  int n = 0;
+  for (const Disk* d : disks_) {
+    if (!d->has_failed()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Disk* MirrorPair::survivor() const {
+  for (Disk* d : disks_) {
+    if (!d->has_failed()) {
+      return d;
+    }
+  }
+  return nullptr;
+}
+
+void MirrorPair::OnPairFailure(std::function<void()> cb) {
+  death_callbacks_.push_back(std::move(cb));
+}
+
+void MirrorPair::CheckPairDeath() {
+  if (alive() || death_notified_) {
+    return;
+  }
+  death_notified_ = true;
+  for (auto& cb : death_callbacks_) {
+    cb();
+  }
+  death_callbacks_.clear();
+}
+
+void MirrorPair::WriteBlock(PhysicalBlock physical, IoCallback done) {
+  struct WriteState {
+    int remaining = 0;
+    bool any_ok = false;
+    SimTime issued;
+    SimTime last_complete;
+    IoCallback done;
+  };
+  auto state = std::make_shared<WriteState>();
+  state->issued = sim_.Now();
+  state->done = std::move(done);
+
+  std::vector<Disk*> targets;
+  for (Disk* d : disks_) {
+    if (!d->has_failed()) {
+      targets.push_back(d);
+    }
+  }
+  if (targets.empty()) {
+    CheckPairDeath();
+    if (state->done) {
+      IoResult r;
+      r.ok = false;
+      r.issued = state->issued;
+      r.completed = sim_.Now();
+      state->done(r);
+    }
+    return;
+  }
+  state->remaining = static_cast<int>(targets.size());
+
+  for (Disk* d : targets) {
+    DiskRequest req;
+    req.kind = IoKind::kWrite;
+    req.offset_blocks = physical;
+    req.nblocks = 1;
+    req.done = [this, state](const IoResult& r) {
+      state->any_ok = state->any_ok || r.ok;
+      state->last_complete = std::max(state->last_complete, r.completed);
+      if (--state->remaining > 0) {
+        return;
+      }
+      if (state->any_ok) {
+        ++writes_completed_;
+      }
+      if (state->done) {
+        IoResult out;
+        out.ok = state->any_ok;
+        out.issued = state->issued;
+        out.completed = state->last_complete;
+        state->done(out);
+      }
+    };
+    d->Submit(std::move(req));
+  }
+}
+
+void MirrorPair::ReadBlock(PhysicalBlock physical, ReadSelection selection,
+                           IoCallback done, int hint_faster) {
+  int first = 0;
+  switch (selection) {
+    case ReadSelection::kPrimary:
+      first = 0;
+      break;
+    case ReadSelection::kRoundRobin:
+      first = rr_next_;
+      rr_next_ = 1 - rr_next_;
+      break;
+    case ReadSelection::kFaster:
+      first = hint_faster;
+      break;
+  }
+  if (disks_[first]->has_failed()) {
+    first = 1 - first;
+  }
+  Disk* primary = disks_[first];
+  Disk* fallback = disks_[1 - first];
+  if (primary->has_failed()) {
+    CheckPairDeath();
+    if (done) {
+      IoResult r;
+      r.ok = false;
+      r.issued = sim_.Now();
+      r.completed = sim_.Now();
+      done(r);
+    }
+    return;
+  }
+
+  const SimTime issued = sim_.Now();
+  DiskRequest req;
+  req.kind = IoKind::kRead;
+  req.offset_blocks = physical;
+  req.nblocks = 1;
+  req.done = [this, physical, fallback, issued,
+              done = std::move(done)](const IoResult& r) mutable {
+    if (r.ok) {
+      ++reads_completed_;
+      if (done) {
+        IoResult out = r;
+        out.issued = issued;
+        done(out);
+      }
+      return;
+    }
+    // Primary died mid-read: fall over to the mirror if it is alive.
+    if (fallback != nullptr && !fallback->has_failed()) {
+      DiskRequest retry;
+      retry.kind = IoKind::kRead;
+      retry.offset_blocks = physical;
+      retry.nblocks = 1;
+      retry.done = [this, issued, done = std::move(done)](const IoResult& r2) {
+        if (r2.ok) {
+          ++reads_completed_;
+        }
+        if (done) {
+          IoResult out = r2;
+          out.issued = issued;
+          done(out);
+        }
+      };
+      fallback->Submit(std::move(retry));
+      return;
+    }
+    CheckPairDeath();
+    if (done) {
+      IoResult out = r;
+      out.issued = issued;
+      done(out);
+    }
+  };
+  primary->Submit(std::move(req));
+}
+
+void MirrorPair::AdoptSpare(Disk* spare) {
+  for (auto& slot : disks_) {
+    if (slot->has_failed()) {
+      slot = spare;
+      spare->OnFailure([this]() { CheckPairDeath(); });
+      death_notified_ = false;
+      return;
+    }
+  }
+}
+
+double MirrorPair::NominalBandwidthMbps() const {
+  double worst = 0.0;
+  bool any = false;
+  for (const Disk* d : disks_) {
+    if (!d->has_failed()) {
+      const double bw = d->NominalBandwidthMbps();
+      worst = any ? std::min(worst, bw) : bw;
+      any = true;
+    }
+  }
+  return any ? worst : 0.0;
+}
+
+}  // namespace fst

@@ -1,0 +1,81 @@
+// A RAID-1 mirror pair (Section 3.2: "each pair of disks is treated as a
+// RAID-1 mirrored pair").
+//
+// Fail-stop semantics follow the paper's first scenario: "if an absolute
+// failure occurs on a single disk, it is detected and operation continues,
+// perhaps with a reconstruction initiated to a hot spare; if two disks in
+// a mirror-pair fail, operation is halted." A single death degrades the
+// pair; the second kills it (the volume then halts).
+//
+// Performance semantics: "the rate of each mirror is determined by the
+// rate of its slowest disk" — a mirrored write completes when both copies
+// land.
+#ifndef SRC_RAID_MIRROR_PAIR_H_
+#define SRC_RAID_MIRROR_PAIR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/devices/disk.h"
+#include "src/raid/block.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+enum class ReadSelection {
+  kPrimary,    // always read from disk 0 (naive)
+  kRoundRobin, // alternate between mirrors
+  kFaster,     // read from the mirror with the better observed rate
+};
+
+class MirrorPair {
+ public:
+  MirrorPair(Simulator& sim, std::string name, Disk* a, Disk* b);
+
+  // Writes one block at `physical` to every live mirror; `done` fires when
+  // the slowest copy lands (ok if at least one copy persisted).
+  void WriteBlock(PhysicalBlock physical, IoCallback done);
+
+  // Reads one block; on a mid-read death the surviving mirror is retried
+  // transparently. `hint_faster` (0 or 1) is consulted for kFaster.
+  void ReadBlock(PhysicalBlock physical, ReadSelection selection,
+                 IoCallback done, int hint_faster = 0);
+
+  bool alive() const { return alive_disks() > 0; }
+  bool degraded() const { return alive_disks() == 1; }
+  int alive_disks() const;
+
+  // Fires once when the pair transitions to dead (both disks failed).
+  void OnPairFailure(std::function<void()> cb);
+
+  Disk* disk(int i) const { return disks_[i]; }
+  Disk* survivor() const;
+
+  // Replaces a dead slot with a (rebuilt) spare; the pair leaves degraded
+  // mode. Precondition: exactly one slot is dead.
+  void AdoptSpare(Disk* spare);
+
+  // min over live disks of nominal bandwidth — the pair's spec-sheet rate.
+  double NominalBandwidthMbps() const;
+
+  const std::string& name() const { return name_; }
+  int64_t writes_completed() const { return writes_completed_; }
+  int64_t reads_completed() const { return reads_completed_; }
+
+ private:
+  void CheckPairDeath();
+
+  Simulator& sim_;
+  std::string name_;
+  Disk* disks_[2];
+  int rr_next_ = 0;
+  int64_t writes_completed_ = 0;
+  int64_t reads_completed_ = 0;
+  std::vector<std::function<void()>> death_callbacks_;
+  bool death_notified_ = false;
+};
+
+}  // namespace fst
+
+#endif  // SRC_RAID_MIRROR_PAIR_H_

@@ -1,0 +1,408 @@
+#include "src/raid/raid10.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fst {
+
+namespace {
+
+std::string PairName(int i) { return "pair" + std::to_string(i); }
+
+}  // namespace
+
+Raid10Volume::Raid10Volume(Simulator& sim, VolumeConfig config,
+                           std::vector<Disk*> disks,
+                           PerformanceStateRegistry* registry)
+    : sim_(sim), config_(std::move(config)),
+      striper_(MakeStriper(config_.striper)), registry_(registry),
+      map_(static_cast<int>(disks.size() / 2)),
+      ejected_(disks.size() / 2, false), inflight_(disks.size() / 2, 0) {
+  assert(disks.size() % 2 == 0 && !disks.empty());
+  const int n = static_cast<int>(disks.size() / 2);
+  pairs_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    pairs_.push_back(std::make_unique<MirrorPair>(sim_, PairName(i),
+                                                  disks[2 * i], disks[2 * i + 1]));
+    const int pair_index = i;
+    pairs_.back()->OnPairFailure([this, pair_index]() { OnPairDeath(pair_index); });
+  }
+  RegisterPairSpecs();
+}
+
+void Raid10Volume::RegisterPairSpecs() {
+  if (registry_ == nullptr) {
+    return;
+  }
+  for (int i = 0; i < pair_count(); ++i) {
+    const double bytes_per_sec = pairs_[i]->NominalBandwidthMbps() * 1e6;
+    registry_->Register(PairName(i), PerformanceSpec::RateBand(
+                                         bytes_per_sec, config_.spec_tolerance));
+  }
+}
+
+double Raid10Volume::TotalNominalMbps() const {
+  double total = 0.0;
+  for (const auto& p : pairs_) {
+    if (p->alive()) {
+      total += p->NominalBandwidthMbps();
+    }
+  }
+  return total;
+}
+
+std::vector<double> Raid10Volume::PlanningRates() const {
+  std::vector<double> rates(pairs_.size(), 0.0);
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (!pairs_[i]->alive() || ejected_[i]) {
+      continue;  // rate 0: striper must not place blocks here
+    }
+    switch (config_.striper) {
+      case StriperKind::kStatic:
+        // Scenario 1 knows nothing about performance: all live pairs equal.
+        rates[i] = 1.0;
+        break;
+      case StriperKind::kProportional:
+        rates[i] = calibrated_ ? calibrated_rates_[i]
+                               : pairs_[i]->NominalBandwidthMbps();
+        break;
+      case StriperKind::kAdaptive:
+        rates[i] = pairs_[i]->NominalBandwidthMbps();  // unused by the plan
+        break;
+    }
+  }
+  return rates;
+}
+
+void Raid10Volume::Calibrate(std::function<void()> done) {
+  calibrated_rates_.assign(pairs_.size(), 0.0);
+  auto remaining = std::make_shared<int>(0);
+  auto done_cb = std::make_shared<std::function<void()>>(std::move(done));
+  for (size_t p = 0; p < pairs_.size(); ++p) {
+    if (pairs_[p]->alive() && !ejected_[p]) {
+      ++*remaining;
+    }
+  }
+  if (*remaining == 0) {
+    calibrated_ = true;
+    if (*done_cb) {
+      (*done_cb)();
+    }
+    return;
+  }
+  for (size_t p = 0; p < pairs_.size(); ++p) {
+    if (!pairs_[p]->alive() || ejected_[p]) {
+      continue;
+    }
+    const int pair_index = static_cast<int>(p);
+    const SimTime start = sim_.Now();
+    auto blocks_left = std::make_shared<int64_t>(config_.calibration_blocks);
+    // Chained sequential writes: one outstanding at a time per pair.
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, pair_index, start, blocks_left, step, remaining, done_cb]() {
+      if (*blocks_left == 0) {
+        const Duration elapsed = sim_.Now() - start;
+        const double bytes = static_cast<double>(config_.calibration_blocks *
+                                                 config_.block_bytes);
+        calibrated_rates_[pair_index] =
+            elapsed.ToSeconds() > 0.0 ? bytes / elapsed.ToSeconds() : 0.0;
+        if (--*remaining == 0) {
+          calibrated_ = true;
+          if (*done_cb) {
+            (*done_cb)();
+          }
+        }
+        return;
+      }
+      --*blocks_left;
+      const PhysicalBlock physical = map_.RecordNext(calib_logical_--, pair_index);
+      pairs_[pair_index]->WriteBlock(
+          physical, [this, pair_index, step](const IoResult& r) {
+            if (registry_ != nullptr) {
+              if (r.ok) {
+                registry_->Observe(PairName(pair_index), sim_.Now(),
+                                   static_cast<double>(config_.block_bytes),
+                                   r.Latency());
+              } else {
+                registry_->ObserveFailure(PairName(pair_index), sim_.Now());
+              }
+            }
+            (*step)();
+          });
+    };
+    (*step)();
+  }
+}
+
+void Raid10Volume::WriteBlocks(int64_t nblocks,
+                               std::function<void(const BatchResult&)> done) {
+  assert(batch_ == nullptr && "one batch at a time");
+  if (halted_) {
+    BatchResult r;
+    r.ok = false;
+    r.started = r.finished = sim_.Now();
+    done(r);
+    return;
+  }
+  batch_ = std::make_unique<Batch>();
+  batch_->id = next_batch_id_++;
+  batch_->remaining = nblocks;
+  batch_->started = sim_.Now();
+  batch_->blocks_per_pair.assign(pairs_.size(), 0);
+  batch_->done = std::move(done);
+  if (nblocks == 0) {
+    FinishBatch(true);
+    return;
+  }
+
+  BatchPlan plan = striper_->Plan(nblocks, PlanningRates());
+  batch_->pull_based = plan.pull_based;
+  if (plan.pull_based) {
+    for (LogicalBlock b = 0; b < nblocks; ++b) {
+      batch_->global_queue.push_back(b);
+    }
+  } else {
+    batch_->per_pair = std::move(plan.per_pair);
+  }
+  for (int p = 0; p < pair_count(); ++p) {
+    IssueToPair(p);
+  }
+}
+
+std::optional<LogicalBlock> Raid10Volume::NextBlockFor(int pair) {
+  if (batch_ == nullptr) {
+    return std::nullopt;
+  }
+  if (batch_->pull_based) {
+    if (batch_->global_queue.empty()) {
+      return std::nullopt;
+    }
+    const LogicalBlock b = batch_->global_queue.front();
+    batch_->global_queue.pop_front();
+    return b;
+  }
+  auto& q = batch_->per_pair[pair];
+  if (q.empty()) {
+    return std::nullopt;
+  }
+  const LogicalBlock b = q.front();
+  q.pop_front();
+  return b;
+}
+
+void Raid10Volume::IssueToPair(int pair) {
+  if (batch_ == nullptr || halted_ || ejected_[pair] || !pairs_[pair]->alive()) {
+    return;
+  }
+  while (inflight_[pair] < config_.write_window) {
+    auto block = NextBlockFor(pair);
+    if (!block.has_value()) {
+      return;
+    }
+    const PhysicalBlock physical = map_.RecordNext(*block, pair);
+    ++inflight_[pair];
+    ++batch_->blocks_per_pair[pair];
+    const uint64_t batch_id = batch_->id;
+    pairs_[pair]->WriteBlock(physical, [this, batch_id, pair](const IoResult& r) {
+      OnBlockWritten(batch_id, pair, r);
+    });
+  }
+}
+
+void Raid10Volume::OnBlockWritten(uint64_t batch_id, int pair,
+                                  const IoResult& r) {
+  --inflight_[pair];
+  if (r.ok) {
+    ++blocks_completed_;
+  }
+  if (registry_ != nullptr) {
+    if (r.ok) {
+      registry_->Observe(PairName(pair), sim_.Now(),
+                         static_cast<double>(config_.block_bytes), r.Latency());
+    } else {
+      registry_->ObserveFailure(PairName(pair), sim_.Now());
+    }
+  }
+  if (batch_ == nullptr || batch_->id != batch_id) {
+    return;  // stale completion from an aborted batch
+  }
+  if (!r.ok) {
+    // Both mirrors died mid-write; OnPairDeath halts the volume. Nothing
+    // more to do here.
+    return;
+  }
+  if (--batch_->remaining == 0) {
+    FinishBatch(true);
+    return;
+  }
+  IssueToPair(pair);
+}
+
+void Raid10Volume::FinishBatch(bool ok) {
+  BatchResult result;
+  result.ok = ok;
+  result.started = batch_->started;
+  result.finished = sim_.Now();
+  result.blocks_per_pair = batch_->blocks_per_pair;
+  int64_t issued = 0;
+  for (int64_t c : batch_->blocks_per_pair) {
+    issued += c;
+  }
+  result.blocks = issued;
+  result.bytes = issued * config_.block_bytes;
+  auto done = std::move(batch_->done);
+  batch_.reset();
+  if (done) {
+    done(result);
+  }
+}
+
+void Raid10Volume::OnPairDeath(int pair) {
+  // Paper semantics: a dead mirror-pair halts the volume.
+  halted_ = true;
+  if (registry_ != nullptr) {
+    registry_->ObserveFailure(PairName(pair), sim_.Now());
+  }
+  if (batch_ != nullptr) {
+    FinishBatch(false);
+  }
+}
+
+void Raid10Volume::RedistributeQueue(int pair) {
+  if (batch_ == nullptr || batch_->pull_based) {
+    return;
+  }
+  std::deque<LogicalBlock> orphans;
+  orphans.swap(batch_->per_pair[pair]);
+  std::vector<int> live;
+  for (int p = 0; p < pair_count(); ++p) {
+    if (p != pair && pairs_[p]->alive() && !ejected_[p]) {
+      live.push_back(p);
+    }
+  }
+  if (live.empty()) {
+    // Nothing can take the blocks; put them back (caller guards this).
+    batch_->per_pair[pair] = std::move(orphans);
+    return;
+  }
+  size_t i = 0;
+  for (LogicalBlock b : orphans) {
+    batch_->per_pair[live[i % live.size()]].push_back(b);
+    ++i;
+  }
+  for (int p : live) {
+    IssueToPair(p);
+  }
+}
+
+void Raid10Volume::EjectPair(int pair) {
+  if (ejected_[pair]) {
+    return;
+  }
+  // Never eject the last live placement target.
+  int live_others = 0;
+  for (int p = 0; p < pair_count(); ++p) {
+    if (p != pair && pairs_[p]->alive() && !ejected_[p]) {
+      ++live_others;
+    }
+  }
+  if (live_others == 0) {
+    return;
+  }
+  ejected_[pair] = true;
+  RedistributeQueue(pair);
+}
+
+void Raid10Volume::ReweightPair(int pair, double share) {
+  if (batch_ == nullptr || batch_->pull_based || share >= 1.0) {
+    return;
+  }
+  if (share < 0.0) {
+    share = 0.0;
+  }
+  auto& q = batch_->per_pair[pair];
+  const size_t keep = static_cast<size_t>(static_cast<double>(q.size()) * share);
+  if (q.size() <= keep) {
+    return;
+  }
+  // Move the tail beyond `keep` to the other live pairs.
+  std::deque<LogicalBlock> moved(q.begin() + static_cast<int64_t>(keep), q.end());
+  q.erase(q.begin() + static_cast<int64_t>(keep), q.end());
+  std::vector<int> live;
+  for (int p = 0; p < pair_count(); ++p) {
+    if (p != pair && pairs_[p]->alive() && !ejected_[p]) {
+      live.push_back(p);
+    }
+  }
+  if (live.empty()) {
+    for (LogicalBlock b : moved) {
+      q.push_back(b);
+    }
+    return;
+  }
+  size_t i = 0;
+  for (LogicalBlock b : moved) {
+    batch_->per_pair[live[i % live.size()]].push_back(b);
+    ++i;
+  }
+  for (int p : live) {
+    IssueToPair(p);
+  }
+}
+
+int Raid10Volume::AddPair(Disk* a, Disk* b) {
+  assert(batch_ == nullptr && "grow the volume between batches");
+  const int index = pair_count();
+  pairs_.push_back(
+      std::make_unique<MirrorPair>(sim_, "pair" + std::to_string(index), a, b));
+  pairs_.back()->OnPairFailure([this, index]() { OnPairDeath(index); });
+  ejected_.push_back(false);
+  inflight_.push_back(0);
+  map_.AddPair();
+  if (!calibrated_rates_.empty()) {
+    // The new pair is ungauged; nominal until the next Calibrate().
+    calibrated_rates_.push_back(pairs_.back()->NominalBandwidthMbps() * 1e6);
+  }
+  if (registry_ != nullptr) {
+    const double bytes_per_sec = pairs_.back()->NominalBandwidthMbps() * 1e6;
+    registry_->Register("pair" + std::to_string(index),
+                        PerformanceSpec::RateBand(bytes_per_sec,
+                                                  config_.spec_tolerance));
+  }
+  return index;
+}
+
+Disk* Raid10Volume::TakeHotSpare() {
+  if (spares_.empty()) {
+    return nullptr;
+  }
+  Disk* spare = spares_.back();
+  spares_.pop_back();
+  return spare;
+}
+
+void Raid10Volume::ReadBlock(LogicalBlock block, IoCallback done) {
+  const auto loc = map_.Lookup(block);
+  if (!loc.has_value() || !pairs_[loc->pair]->alive()) {
+    IoResult r;
+    r.ok = false;
+    r.issued = sim_.Now();
+    r.completed = sim_.Now();
+    if (done) {
+      done(r);
+    }
+    return;
+  }
+  MirrorPair& p = *pairs_[loc->pair];
+  // For kFaster, prefer the mirror with the shorter queue: a stuttering
+  // disk backs up visibly even when both have identical nominal specs.
+  int hint = 0;
+  if (config_.read_selection == ReadSelection::kFaster) {
+    const size_t q0 = p.disk(0)->has_failed() ? SIZE_MAX : p.disk(0)->queue_depth();
+    const size_t q1 = p.disk(1)->has_failed() ? SIZE_MAX : p.disk(1)->queue_depth();
+    hint = q1 < q0 ? 1 : 0;
+  }
+  p.ReadBlock(loc->physical, config_.read_selection, std::move(done), hint);
+}
+
+}  // namespace fst

@@ -1,0 +1,160 @@
+// The RAID-10 volume of Section 3.2: "writing D data blocks in parallel to
+// a set of 2N disks ... each pair of disks is treated as a RAID-1 mirrored
+// pair and data blocks are striped across these mirrors a la RAID-0."
+//
+// The volume composes mirror pairs, a Striper (one of the paper's three
+// designs), the write-anywhere AddressMap, and optionally a
+// PerformanceStateRegistry that observes every mirror-write so detectors
+// and policies can react. Fail-stop semantics follow the paper: one dead
+// disk degrades its pair (and can trigger hot-spare reconstruction); a
+// dead pair halts the volume.
+#ifndef SRC_RAID_RAID10_H_
+#define SRC_RAID_RAID10_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/registry.h"
+#include "src/raid/address_map.h"
+#include "src/raid/mirror_pair.h"
+#include "src/raid/striper.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+struct VolumeConfig {
+  int64_t block_bytes = 4096;
+  StriperKind striper = StriperKind::kAdaptive;
+  ReadSelection read_selection = ReadSelection::kRoundRobin;
+  // Outstanding mirror-writes kept in flight per pair during a batch.
+  int write_window = 1;
+  // Blocks written per pair by Calibrate() (install-time gauging).
+  int64_t calibration_blocks = 32;
+  // Tolerance used for the per-pair performance specs fed to detectors.
+  double spec_tolerance = 0.25;
+  DetectorParams detector;
+};
+
+struct BatchResult {
+  bool ok = false;
+  SimTime started;
+  SimTime finished;
+  int64_t blocks = 0;
+  int64_t bytes = 0;
+  std::vector<int64_t> blocks_per_pair;
+
+  Duration Makespan() const { return finished - started; }
+  double ThroughputMbps() const {
+    const double s = Makespan().ToSeconds();
+    return s > 0.0 ? static_cast<double>(bytes) / 1e6 / s : 0.0;
+  }
+};
+
+class Raid10Volume {
+ public:
+  // `disks` holds 2N disks; (disks[2i], disks[2i+1]) form pair i. The
+  // volume does not own the disks. `registry` may be null (no detection).
+  Raid10Volume(Simulator& sim, VolumeConfig config, std::vector<Disk*> disks,
+               PerformanceStateRegistry* registry = nullptr);
+
+  int pair_count() const { return static_cast<int>(pairs_.size()); }
+  MirrorPair& pair(int i) { return *pairs_[i]; }
+  const MirrorPair& pair(int i) const { return *pairs_[i]; }
+
+  // Install-time gauging (scenario 2): writes calibration blocks to every
+  // pair concurrently, records measured rates, then invokes `done`.
+  void Calibrate(std::function<void()> done);
+  const std::vector<double>& calibrated_rates() const {
+    return calibrated_rates_;
+  }
+  bool calibrated() const { return calibrated_; }
+
+  // Writes logical blocks [0, nblocks) per the configured striper. One
+  // batch at a time. `done` receives ok=false if the volume halts.
+  void WriteBlocks(int64_t nblocks, std::function<void(const BatchResult&)> done);
+
+  // Reads a previously written logical block.
+  void ReadBlock(LogicalBlock block, IoCallback done);
+
+  // Policy hook: stop placing new blocks on `pair`; its unissued blocks are
+  // redistributed. The pair's disks keep servicing in-flight requests.
+  void EjectPair(int pair);
+  bool IsEjected(int pair) const { return ejected_[pair]; }
+
+  // Policy hook: trims a stuttering pair's share of the current planned
+  // batch to `share` in [0, 1] of its remaining queue, redistributing the
+  // rest (no-op for pull-based batches, which self-balance). share >= 1
+  // restores nothing — blocks already moved stay moved; detection windows
+  // re-trim as needed.
+  void ReweightPair(int pair, double share);
+
+  // Plug-and-play growth (Section 3.3 manageability): attaches a new
+  // mirror pair built from two fresh disks. Must not be called while a
+  // batch is in flight. Returns the new pair's index.
+  int AddPair(Disk* a, Disk* b);
+
+  // Hot spares for reconstruction (see Rebuilder in recon.h).
+  void AddHotSpare(Disk* spare) { spares_.push_back(spare); }
+  Disk* TakeHotSpare();
+  size_t spare_count() const { return spares_.size(); }
+
+  bool halted() const { return halted_; }
+  AddressMap& address_map() { return map_; }
+  const AddressMap& address_map() const { return map_; }
+  const VolumeConfig& config() const { return config_; }
+  Striper& striper() { return *striper_; }
+  PerformanceStateRegistry* registry() { return registry_; }
+
+  // Sum of live pairs' nominal (spec-sheet) bandwidths.
+  double TotalNominalMbps() const;
+
+  // Cumulative mirror-writes completed across all batches and calibration;
+  // sampled by time-series recorders to plot delivered throughput.
+  int64_t blocks_completed() const { return blocks_completed_; }
+
+  // The rates vector handed to the striper for planning.
+  std::vector<double> PlanningRates() const;
+
+ private:
+  struct Batch {
+    uint64_t id = 0;
+    bool pull_based = false;
+    std::deque<LogicalBlock> global_queue;
+    std::vector<std::deque<LogicalBlock>> per_pair;
+    int64_t remaining = 0;  // completions outstanding or unissued
+    SimTime started;
+    std::vector<int64_t> blocks_per_pair;
+    std::function<void(const BatchResult&)> done;
+  };
+
+  void RegisterPairSpecs();
+  void IssueToPair(int pair);
+  std::optional<LogicalBlock> NextBlockFor(int pair);
+  void OnBlockWritten(uint64_t batch_id, int pair, const IoResult& r);
+  void FinishBatch(bool ok);
+  void OnPairDeath(int pair);
+  void RedistributeQueue(int pair);
+
+  Simulator& sim_;
+  VolumeConfig config_;
+  std::vector<std::unique_ptr<MirrorPair>> pairs_;
+  std::unique_ptr<Striper> striper_;
+  PerformanceStateRegistry* registry_;
+  AddressMap map_;
+  std::vector<bool> ejected_;
+  std::vector<int> inflight_;
+  std::vector<Disk*> spares_;
+  std::vector<double> calibrated_rates_;
+  bool calibrated_ = false;
+  bool halted_ = false;
+  int64_t blocks_completed_ = 0;
+  uint64_t next_batch_id_ = 1;
+  std::unique_ptr<Batch> batch_;
+  int64_t calib_logical_ = -1;  // negative logical ids for calibration blocks
+};
+
+}  // namespace fst
+
+#endif  // SRC_RAID_RAID10_H_

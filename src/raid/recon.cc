@@ -1,0 +1,83 @@
+#include "src/raid/recon.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace fst {
+
+void Rebuilder::Rebuild(MirrorPair& pair, Disk* spare, int64_t nblocks,
+                        std::function<void(Duration, bool)> done) {
+  Rebuild(pair, spare, [nblocks]() { return nblocks; }, std::move(done));
+}
+
+void Rebuilder::Rebuild(MirrorPair& pair, Disk* spare,
+                        std::function<int64_t()> extent,
+                        std::function<void(Duration, bool)> done) {
+  struct State {
+    MirrorPair* pair;
+    Disk* spare;
+    std::function<int64_t()> extent;
+    int64_t next = 0;
+    SimTime started;
+    std::function<void(Duration, bool)> done;
+  };
+  auto st = std::make_shared<State>();
+  st->pair = &pair;
+  st->spare = spare;
+  st->extent = std::move(extent);
+  st->started = sim_.Now();
+  st->done = std::move(done);
+
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, st, step]() {
+    if (st->next >= st->extent()) {
+      st->pair->AdoptSpare(st->spare);
+      if (st->done) {
+        st->done(sim_.Now() - st->started, true);
+      }
+      return;
+    }
+    Disk* survivor = st->pair->survivor();
+    if (survivor == nullptr || st->spare->has_failed()) {
+      if (st->done) {
+        st->done(sim_.Now() - st->started, false);
+      }
+      return;
+    }
+    const int64_t chunk = std::min(params_.chunk_blocks, st->extent() - st->next);
+    const int64_t offset = st->next;
+    st->next += chunk;
+
+    DiskRequest read;
+    read.kind = IoKind::kRead;
+    read.offset_blocks = offset;
+    read.nblocks = chunk;
+    read.done = [this, st, step, offset, chunk](const IoResult& r) {
+      if (!r.ok) {
+        if (st->done) {
+          st->done(sim_.Now() - st->started, false);
+        }
+        return;
+      }
+      DiskRequest write;
+      write.kind = IoKind::kWrite;
+      write.offset_blocks = offset;
+      write.nblocks = chunk;
+      write.done = [this, st, step, chunk](const IoResult& w) {
+        if (!w.ok) {
+          if (st->done) {
+            st->done(sim_.Now() - st->started, false);
+          }
+          return;
+        }
+        blocks_copied_ += chunk;
+        (*step)();
+      };
+      st->spare->Submit(std::move(write));
+    };
+    survivor->Submit(std::move(read));
+  };
+  (*step)();
+}
+
+}  // namespace fst

@@ -1,0 +1,51 @@
+// Hot-spare reconstruction ("operation continues, perhaps with a
+// reconstruction initiated to a hot spare", Section 3.2 scenario 1).
+//
+// The rebuilder streams the degraded pair's allocated extent from the
+// surviving disk onto a spare, chunk by chunk, through the normal disk
+// queues — so reconstruction competes with foreground I/O and its
+// interference is measurable, another flavor of background-operation
+// performance fault (Section 2.2.1).
+#ifndef SRC_RAID_RECON_H_
+#define SRC_RAID_RECON_H_
+
+#include <functional>
+
+#include "src/raid/mirror_pair.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+struct RebuildParams {
+  int64_t chunk_blocks = 64;
+};
+
+class Rebuilder {
+ public:
+  Rebuilder(Simulator& sim, RebuildParams params = {})
+      : sim_(sim), params_(params) {}
+
+  // Copies blocks [0, nblocks) from `pair`'s survivor to `spare`, then has
+  // the pair adopt the spare. `done(elapsed, ok)`; ok=false if the
+  // survivor died mid-rebuild (data loss: the volume halts).
+  void Rebuild(MirrorPair& pair, Disk* spare, int64_t nblocks,
+               std::function<void(Duration, bool)> done);
+
+  // Variant for rebuilds concurrent with foreground writes: `extent` is
+  // re-queried before each chunk, so the copy chases a growing pair (the
+  // degraded pair keeps allocating on its survivor until the spare is
+  // adopted).
+  void Rebuild(MirrorPair& pair, Disk* spare, std::function<int64_t()> extent,
+               std::function<void(Duration, bool)> done);
+
+  int64_t blocks_copied() const { return blocks_copied_; }
+
+ private:
+  Simulator& sim_;
+  RebuildParams params_;
+  int64_t blocks_copied_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_RAID_RECON_H_

@@ -1,0 +1,95 @@
+// Striping strategies — the three designs of Section 3.2.
+//
+// A striper plans how D logical blocks spread across N mirror pairs:
+//   * StaticStriper (scenario 1): "each pair ... is given the same number
+//     of blocks to write: D/N" — performance faults ignored by design.
+//   * ProportionalStriper (scenario 2): "gauge the performance of each
+//     disk once at installation, and then use the ratios to stripe data
+//     proportionally across the mirror-pairs."
+//   * AdaptiveStriper (scenario 3): "continually gauge performance and ...
+//     write blocks across mirror-pairs in proportion to their current
+//     rates." Realized as a pull model: an idle pair takes the next block,
+//     so placement tracks instantaneous rates with no explicit estimator;
+//     the price is per-block bookkeeping in the AddressMap.
+#ifndef SRC_RAID_STRIPER_H_
+#define SRC_RAID_STRIPER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/raid/block.h"
+
+namespace fst {
+
+enum class StriperKind { kStatic, kProportional, kAdaptive };
+
+const char* StriperKindName(StriperKind k);
+
+struct BatchPlan {
+  // True: ignore `per_pair`; pairs pull from one shared queue.
+  bool pull_based = false;
+  // One queue of logical blocks per pair (issue order = queue order).
+  std::vector<std::deque<LogicalBlock>> per_pair;
+};
+
+class Striper {
+ public:
+  virtual ~Striper() = default;
+
+  // Plans a batch of `nblocks` logical blocks [0, nblocks) over
+  // `pair_rates.size()` pairs. `pair_rates` are the rates the striper is
+  // entitled to know (nominal for static, calibrated for proportional);
+  // a rate of 0 marks a pair that must receive no blocks.
+  virtual BatchPlan Plan(int64_t nblocks,
+                         const std::vector<double>& pair_rates) = 0;
+
+  // Whether this design needs a per-block location map to serve reads
+  // (scenario 3's bookkeeping cost, measured by bench_overheads).
+  virtual bool RequiresBookkeeping() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<Striper> MakeStriper(StriperKind kind);
+
+// Scenario 1: equal division, round-robin order.
+class StaticStriper : public Striper {
+ public:
+  BatchPlan Plan(int64_t nblocks, const std::vector<double>& pair_rates) override;
+  bool RequiresBookkeeping() const override { return false; }
+  std::string name() const override { return "static"; }
+};
+
+// Scenario 2: shares proportional to the given (install-time) rates,
+// computed by largest-remainder apportionment.
+class ProportionalStriper : public Striper {
+ public:
+  BatchPlan Plan(int64_t nblocks, const std::vector<double>& pair_rates) override;
+  bool RequiresBookkeeping() const override { return false; }
+  std::string name() const override { return "proportional"; }
+
+  // Exposed for tests: integer shares for nblocks given rates.
+  static std::vector<int64_t> Apportion(int64_t nblocks,
+                                        const std::vector<double>& rates);
+};
+
+// Scenario 3: pull-based placement.
+class AdaptiveStriper : public Striper {
+ public:
+  BatchPlan Plan(int64_t nblocks, const std::vector<double>& pair_rates) override;
+  bool RequiresBookkeeping() const override { return true; }
+  std::string name() const override { return "adaptive"; }
+};
+
+// Utility from the paper's scenario 2 discussion: "we may also try to pair
+// disks that perform similarly, since the rate of each mirror is
+// determined by the rate of its slowest disk." Given 2N disk rates,
+// returns index pairs that maximize total min-rate (sort + adjacent
+// pairing, which is optimal for this objective).
+std::vector<std::pair<int, int>> PairSimilarDisks(const std::vector<double>& rates);
+
+}  // namespace fst
+
+#endif  // SRC_RAID_STRIPER_H_

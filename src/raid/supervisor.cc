@@ -1,0 +1,101 @@
+#include "src/raid/supervisor.h"
+
+#include <cstdlib>
+
+namespace fst {
+
+namespace {
+
+// Extracts the pair index from a registry component name ("pair3" -> 3);
+// returns -1 for non-pair components.
+int PairIndexOf(const std::string& component) {
+  if (component.rfind("pair", 0) != 0) {
+    return -1;
+  }
+  return std::atoi(component.c_str() + 4);
+}
+
+}  // namespace
+
+VolumeSupervisor::VolumeSupervisor(Simulator& sim, Raid10Volume& volume,
+                                   PerformanceStateRegistry& registry,
+                                   std::unique_ptr<ReactionPolicy> policy,
+                                   RebuildParams rebuild_params)
+    : sim_(sim), volume_(volume), registry_(registry),
+      policy_(std::move(policy)), rebuilder_(sim, rebuild_params) {
+  registry_.Subscribe([this](const StateChange& change) {
+    OnStateChange(change);
+  });
+  WatchDisks();
+}
+
+void VolumeSupervisor::Record(const std::string& component,
+                              const std::string& action, double detail) {
+  actions_.push_back(SupervisorAction{sim_.Now(), component, action, detail});
+}
+
+void VolumeSupervisor::OnStateChange(const StateChange& change) {
+  const int pair = PairIndexOf(change.component);
+  if (pair < 0 || pair >= volume_.pair_count()) {
+    return;
+  }
+  const Reaction reaction = policy_->React(change, registry_);
+  switch (reaction.kind) {
+    case ReactionKind::kNone:
+      Record(change.component, "none", 0.0);
+      break;
+    case ReactionKind::kReweight:
+      ++reweights_;
+      volume_.ReweightPair(pair, reaction.share);
+      Record(change.component, "reweight", reaction.share);
+      break;
+    case ReactionKind::kEject:
+      ++ejections_;
+      volume_.EjectPair(pair);
+      Record(change.component, "eject", 0.0);
+      break;
+  }
+}
+
+void VolumeSupervisor::WatchDisks() {
+  for (int p = 0; p < volume_.pair_count(); ++p) {
+    for (int slot = 0; slot < 2; ++slot) {
+      Disk* disk = volume_.pair(p).disk(slot);
+      if (!watched_.insert(disk).second) {
+        continue;  // already watching this disk
+      }
+      disk->OnFailure([this, p]() { OnDiskFailure(p); });
+    }
+  }
+}
+
+void VolumeSupervisor::OnDiskFailure(int pair_index) {
+  MirrorPair& pair = volume_.pair(pair_index);
+  if (!pair.alive() || !pair.degraded()) {
+    return;  // pair already dead (volume halts) or somehow healthy
+  }
+  Disk* spare = volume_.TakeHotSpare();
+  if (spare == nullptr) {
+    Record(pair.name(), "rebuild-unavailable", 0.0);
+    return;
+  }
+  ++rebuilds_started_;
+  Record(pair.name(), "rebuild-start", 0.0);
+  // Chase the live extent: the degraded pair keeps allocating blocks on
+  // its survivor while the copy runs.
+  auto extent = [this, pair_index]() {
+    return volume_.address_map().AllocatedOnPair(pair_index);
+  };
+  rebuilder_.Rebuild(pair, spare, extent, [this, &pair](Duration d, bool ok) {
+    if (ok) {
+      ++rebuilds_completed_;
+      Record(pair.name(), "rebuild-done", d.ToSeconds());
+      // The adopted spare is a new failure domain to watch.
+      WatchDisks();
+    } else {
+      Record(pair.name(), "rebuild-failed", d.ToSeconds());
+    }
+  });
+}
+
+}  // namespace fst

@@ -1,0 +1,79 @@
+// The volume supervisor: the closed loop the paper argues for.
+//
+// Wires PerformanceStateRegistry notifications through a ReactionPolicy
+// into volume actions:
+//   * kReweight — trim the stuttering pair's share of the in-flight batch
+//     ("write blocks across mirror-pairs in proportion to their current
+//     rates", Section 3.2 scenario 3);
+//   * kEject    — stop using the pair (the fail-stop-style reaction; the
+//     policy ablation quantifies the "large waste of system resources"
+//     this causes when the pair still delivered a fraction of its rate);
+//   * on a single-disk failure — take a hot spare and start reconstruction
+//     automatically ("operation continues, perhaps with a reconstruction
+//     initiated to a hot spare", Section 3.2).
+//
+// Everything the supervisor does is recorded in an action log so tests,
+// examples, and benches can audit the control loop.
+#ifndef SRC_RAID_SUPERVISOR_H_
+#define SRC_RAID_SUPERVISOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/core/registry.h"
+#include "src/raid/raid10.h"
+#include "src/raid/recon.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+struct SupervisorAction {
+  SimTime when;
+  std::string component;
+  std::string action;  // "reweight", "eject", "rebuild-start", "rebuild-done",
+                       // "rebuild-failed", "none"
+  double detail = 0.0;  // share for reweight, seconds for rebuild-done
+};
+
+class VolumeSupervisor {
+ public:
+  // All pointers/references are borrowed and must outlive the supervisor.
+  // The registry must be the one the volume reports into.
+  VolumeSupervisor(Simulator& sim, Raid10Volume& volume,
+                   PerformanceStateRegistry& registry,
+                   std::unique_ptr<ReactionPolicy> policy,
+                   RebuildParams rebuild_params = {});
+
+  const std::vector<SupervisorAction>& actions() const { return actions_; }
+  int ejections() const { return ejections_; }
+  int reweights() const { return reweights_; }
+  int rebuilds_started() const { return rebuilds_started_; }
+  int rebuilds_completed() const { return rebuilds_completed_; }
+  const ReactionPolicy& policy() const { return *policy_; }
+
+ private:
+  void OnStateChange(const StateChange& change);
+  void WatchDisks();
+  void OnDiskFailure(int pair_index);
+  void Record(const std::string& component, const std::string& action,
+              double detail);
+
+  Simulator& sim_;
+  Raid10Volume& volume_;
+  PerformanceStateRegistry& registry_;
+  std::unique_ptr<ReactionPolicy> policy_;
+  Rebuilder rebuilder_;
+  std::set<const Disk*> watched_;
+  std::vector<SupervisorAction> actions_;
+  int ejections_ = 0;
+  int reweights_ = 0;
+  int rebuilds_started_ = 0;
+  int rebuilds_completed_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_RAID_SUPERVISOR_H_

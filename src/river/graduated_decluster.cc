@@ -1,0 +1,126 @@
+#include "src/river/graduated_decluster.h"
+
+#include <algorithm>
+
+namespace fst {
+
+GraduatedDecluster::GraduatedDecluster(Simulator& sim, std::vector<Disk*> disks,
+                                       GdParams params)
+    : sim_(sim), disks_(std::move(disks)), params_(params),
+      remaining_(disks_.size(), params.blocks_per_segment),
+      served_(disks_.size(), 0), inflight_(disks_.size(), 0),
+      next_chunk_(disks_.size(), 0), finished_(disks_.size(), false) {
+  if (params_.segment_demand.size() == disks_.size()) {
+    remaining_ = params_.segment_demand;
+  }
+  total_blocks_ = 0;
+  for (int64_t r : remaining_) {
+    total_blocks_ += r;
+  }
+}
+
+void GraduatedDecluster::Run(std::function<void(const GdResult&)> done) {
+  done_ = std::move(done);
+  started_ = sim_.Now();
+  segments_left_ = static_cast<int64_t>(disks_.size());
+  for (size_t s = 0; s < disks_.size(); ++s) {
+    // Graduated declustering streams from BOTH replicas concurrently,
+    // each at its own completion-driven pace; the fixed-primary baseline
+    // streams only from the segment's home disk.
+    PumpReplica(s, s);
+    if (params_.choice == ReplicaChoice::kGraduated) {
+      PumpReplica(s, (s + 1) % disks_.size());
+    }
+  }
+}
+
+void GraduatedDecluster::Fail() {
+  if (failed_ || !done_) {
+    return;
+  }
+  failed_ = true;
+  GdResult result;
+  result.ok = false;
+  result.makespan = sim_.Now() - started_;
+  result.blocks_served_by_disk = served_;
+  auto cb = std::move(done_);
+  done_ = nullptr;
+  cb(result);
+}
+
+void GraduatedDecluster::FinishSegmentIfDone(size_t segment) {
+  if (remaining_[segment] > 0 || inflight_[segment] > 0 ||
+      finished_[segment]) {
+    return;
+  }
+  finished_[segment] = true;
+  if (--segments_left_ > 0 || !done_) {
+    return;
+  }
+  GdResult result;
+  result.ok = true;
+  result.makespan = sim_.Now() - started_;
+  const double bytes = static_cast<double>(total_blocks_) *
+                       static_cast<double>(disks_[0]->params().block_bytes);
+  result.aggregate_mbps = result.makespan.ToSeconds() > 0.0
+                              ? bytes / 1e6 / result.makespan.ToSeconds()
+                              : 0.0;
+  result.blocks_served_by_disk = served_;
+  auto cb = std::move(done_);
+  done_ = nullptr;
+  cb(result);
+}
+
+void GraduatedDecluster::PumpReplica(size_t segment, size_t disk) {
+  if (failed_ || !done_) {
+    return;
+  }
+  if (remaining_[segment] == 0) {
+    FinishSegmentIfDone(segment);
+    return;
+  }
+  if (disks_[disk]->has_failed()) {
+    // Fall over to the other replica if it is still streaming; if both
+    // replicas are gone the segment is unreadable.
+    const size_t other = disk == segment ? (segment + 1) % disks_.size() : segment;
+    if (disks_[other]->has_failed()) {
+      Fail();
+    } else if (params_.choice == ReplicaChoice::kFixedPrimary) {
+      PumpReplica(segment, other);
+    }
+    return;
+  }
+  const int64_t chunk = std::min(params_.chunk_blocks, remaining_[segment]);
+  remaining_[segment] -= chunk;
+  ++inflight_[segment];
+
+  // Replica copies live at distinct offsets; chunks stream in order.
+  const int64_t chunk_index = next_chunk_[segment]++;
+  const int64_t offset = chunk_index * params_.chunk_blocks +
+                         (disk == segment ? 0 : params_.blocks_per_segment);
+  DiskRequest req;
+  req.kind = IoKind::kRead;
+  req.offset_blocks = offset;
+  req.nblocks = chunk;
+  req.done = [this, segment, disk, chunk](const IoResult& r) {
+    --inflight_[segment];
+    if (!r.ok) {
+      // The serving disk died mid-read; the surviving replica (if any)
+      // re-reads this chunk.
+      remaining_[segment] += chunk;
+      const size_t other =
+          disk == segment ? (segment + 1) % disks_.size() : segment;
+      if (disks_[other]->has_failed()) {
+        Fail();
+        return;
+      }
+      PumpReplica(segment, other);
+      return;
+    }
+    served_[disk] += chunk;
+    PumpReplica(segment, disk);
+  };
+  disks_[disk]->Submit(std::move(req));
+}
+
+}  // namespace fst

@@ -1,0 +1,74 @@
+// Graduated declustering — River's read-side mechanism.
+//
+// Data segments are mirrored on two disks (segment i lives on disks i and
+// i+1 mod N). A set of per-segment readers streams all segments
+// concurrently; each chunk request goes to whichever replica currently
+// has the shorter queue. With all disks healthy every disk serves its
+// fair share; when one disk stutters, its load shifts gradually to the
+// two neighboring replicas, which shift part of theirs onward — the
+// slowdown is spread across the whole cluster instead of gating the one
+// unlucky reader. The fixed-primary baseline always reads segment i from
+// disk i, so one slow disk makes one reader (and thus the whole barrier)
+// slow.
+#ifndef SRC_RIVER_GRADUATED_DECLUSTER_H_
+#define SRC_RIVER_GRADUATED_DECLUSTER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/devices/disk.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+enum class ReplicaChoice { kFixedPrimary, kGraduated };
+
+struct GdParams {
+  int64_t blocks_per_segment = 1024;
+  int64_t chunk_blocks = 16;
+  ReplicaChoice choice = ReplicaChoice::kGraduated;
+  // Optional per-segment demand (e.g. a Zipf hotspot); when sized to the
+  // disk count it overrides blocks_per_segment. Section 3.3: "new
+  // workloads (and the imbalances they may bring)".
+  std::vector<int64_t> segment_demand;
+};
+
+struct GdResult {
+  bool ok = false;
+  Duration makespan = Duration::Zero();  // all segments fully read
+  double aggregate_mbps = 0.0;
+  std::vector<int64_t> blocks_served_by_disk;
+};
+
+class GraduatedDecluster {
+ public:
+  // One segment per disk; segment i is replicated on disks i and
+  // (i+1) % N. Disks are borrowed.
+  GraduatedDecluster(Simulator& sim, std::vector<Disk*> disks, GdParams params);
+
+  void Run(std::function<void(const GdResult&)> done);
+
+ private:
+  void PumpReplica(size_t segment, size_t disk);
+  void FinishSegmentIfDone(size_t segment);
+  void Fail();
+
+  Simulator& sim_;
+  std::vector<Disk*> disks_;
+  GdParams params_;
+
+  std::vector<int64_t> remaining_;
+  std::vector<int64_t> served_;
+  std::vector<int64_t> inflight_;
+  std::vector<int64_t> next_chunk_;
+  std::vector<bool> finished_;
+  int64_t total_blocks_ = 0;
+  int64_t segments_left_ = 0;
+  SimTime started_;
+  bool failed_ = false;
+  std::function<void(const GdResult&)> done_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_RIVER_GRADUATED_DECLUSTER_H_

@@ -1,0 +1,69 @@
+#include "src/simcore/event_queue.h"
+
+#include <algorithm>
+
+namespace fst {
+
+EventId EventQueue::Push(SimTime when, Callback cb) {
+  const uint64_t id = next_id_++;
+  heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventId{id};
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (!id.IsValid() || id.value >= next_id_) {
+    return false;
+  }
+  // Only mark ids that are still in the heap; a fired event's id is gone.
+  for (const Entry& e : heap_) {
+    if (e.id == id.value) {
+      if (cancelled_.insert(id.value).second) {
+        --live_;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+std::optional<EventQueue::Fired> EventQueue::Pop() {
+  DropCancelledHead();
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  --live_;
+  return Fired{e.when, std::move(e.cb)};
+}
+
+std::optional<SimTime> EventQueue::PeekTime() {
+  DropCancelledHead();
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  return heap_.front().when;
+}
+
+bool EventQueue::Empty() {
+  DropCancelledHead();
+  return heap_.empty();
+}
+
+}  // namespace fst

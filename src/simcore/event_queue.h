@@ -1,0 +1,79 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed on (time, sequence). The sequence number makes
+// same-timestamp ordering deterministic (FIFO in scheduling order), which is
+// essential for reproducible runs. Cancellation is lazy: cancelled entries
+// stay in the heap and are skipped on pop.
+#ifndef SRC_SIMCORE_EVENT_QUEUE_H_
+#define SRC_SIMCORE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fst {
+
+// Opaque handle for cancelling a scheduled event. Id 0 is never issued.
+struct EventId {
+  uint64_t value = 0;
+  bool IsValid() const { return value != 0; }
+  bool operator==(const EventId&) const = default;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Inserts an event; returns a handle usable with Cancel().
+  EventId Push(SimTime when, Callback cb);
+
+  // Cancels a pending event. Returns false if the event already fired,
+  // was already cancelled, or the id is invalid.
+  bool Cancel(EventId id);
+
+  // Removes and returns the earliest non-cancelled event, or nullopt if the
+  // queue holds no live events.
+  struct Fired {
+    SimTime when;
+    Callback cb;
+  };
+  std::optional<Fired> Pop();
+
+  // Timestamp of the earliest live event without removing it.
+  std::optional<SimTime> PeekTime();
+
+  bool Empty();
+  size_t live_size() const { return live_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCancelledHead();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<uint64_t> cancelled_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  size_t live_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_SIMCORE_EVENT_QUEUE_H_

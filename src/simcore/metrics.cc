@@ -1,0 +1,72 @@
+#include "src/simcore/metrics.h"
+
+#include <sstream>
+
+namespace fst {
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+MetricRegistry::Snapshot MetricRegistry::Snap() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) {
+    s.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    s.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    s.histogram_summaries[name] = h->Summary();
+  }
+  return s;
+}
+
+std::string MetricRegistry::Dump() const {
+  std::ostringstream out;
+  const Snapshot s = Snap();
+  for (const auto& [name, v] : s.counters) {
+    out << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : s.gauges) {
+    out << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : s.histogram_summaries) {
+    out << name << " " << v << "\n";
+  }
+  return out.str();
+}
+
+void MetricRegistry::ResetAll() {
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Set(0.0);
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+}  // namespace fst

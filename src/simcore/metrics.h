@@ -1,0 +1,72 @@
+// A lightweight metric registry: named counters, gauges, and histograms
+// that components create once and update on the hot path. The analysis
+// layer snapshots the registry at the end of a run.
+#ifndef SRC_SIMCORE_METRICS_H_
+#define SRC_SIMCORE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/simcore/stats.h"
+
+namespace fst {
+
+class Counter {
+ public:
+  void Increment(double by = 1.0) { value_ += by; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricRegistry {
+ public:
+  // Lookups create the metric on first use; returned references remain
+  // valid for the registry's lifetime.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  bool HasCounter(const std::string& name) const {
+    return counters_.contains(name);
+  }
+  bool HasHistogram(const std::string& name) const {
+    return histograms_.contains(name);
+  }
+
+  // Flat snapshot: counters and gauges by value, histogram summaries.
+  struct Snapshot {
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, std::string> histogram_summaries;
+  };
+  Snapshot Snap() const;
+
+  // Renders the snapshot as "name value" lines, sorted by name.
+  std::string Dump() const;
+
+  void ResetAll();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_SIMCORE_METRICS_H_

@@ -1,0 +1,145 @@
+#include "src/simcore/rng.h"
+
+#include <cmath>
+
+namespace fst {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(x);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {
+    // Full-width request: [INT64_MIN, INT64_MAX].
+    return static_cast<int64_t>(NextU64());
+  }
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v = NextU64();
+  while (v >= limit) {
+    v = NextU64();
+  }
+  return lo + static_cast<int64_t>(v % range);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  // -mean * ln(U), guarding U == 0.
+  double u = UniformDouble();
+  while (u <= 0.0) {
+    u = UniformDouble();
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = UniformDouble();
+  while (u1 <= 0.0) {
+    u1 = UniformDouble();
+  }
+  const double u2 = UniformDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::Pareto(double lo, double alpha) {
+  double u = UniformDouble();
+  while (u <= 0.0) {
+    u = UniformDouble();
+  }
+  return lo / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+ZipfGenerator::ZipfGenerator(int64_t n, double s) {
+  cdf_.reserve(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+int64_t ZipfGenerator::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  // First index with cdf >= u.
+  size_t lo = 0;
+  size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int64_t>(lo);
+}
+
+double ZipfGenerator::ProbabilityOf(int64_t rank) const {
+  const size_t i = static_cast<size_t>(rank);
+  if (i >= cdf_.size()) {
+    return 0.0;
+  }
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace fst

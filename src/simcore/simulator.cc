@@ -1,0 +1,70 @@
+#include "src/simcore/simulator.h"
+
+#include <stdexcept>
+
+namespace fst {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::Schedule(Duration delay, std::function<void()> cb) {
+  if (delay.IsNegative()) {
+    delay = Duration::Zero();
+  }
+  return queue_.Push(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> cb) {
+  if (when < now_) {
+    when = now_;
+  }
+  return queue_.Push(when, std::move(cb));
+}
+
+bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
+
+bool Simulator::FireNext(SimTime deadline) {
+  auto next_time = queue_.PeekTime();
+  if (!next_time.has_value() || *next_time > deadline) {
+    return false;
+  }
+  auto fired = queue_.Pop();
+  now_ = fired->when;
+  ++events_fired_;
+  if (events_fired_ > max_events_) {
+    throw std::runtime_error("Simulator: max_events exceeded (runaway event loop?)");
+  }
+  fired->cb();
+  return true;
+}
+
+uint64_t Simulator::Run() {
+  stop_requested_ = false;
+  uint64_t fired = 0;
+  while (!stop_requested_ && FireNext(SimTime::Max())) {
+    ++fired;
+  }
+  return fired;
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  stop_requested_ = false;
+  uint64_t fired = 0;
+  while (!stop_requested_ && FireNext(deadline)) {
+    ++fired;
+  }
+  if (now_ < deadline && !stop_requested_) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+uint64_t Simulator::RunSteps(uint64_t n) {
+  stop_requested_ = false;
+  uint64_t fired = 0;
+  while (fired < n && !stop_requested_ && FireNext(SimTime::Max())) {
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace fst

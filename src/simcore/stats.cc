@@ -1,0 +1,217 @@
+#include "src/simcore/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fst {
+
+void OnlineStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::Merge(const OnlineStats& o) {
+  if (o.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double nt = na + nb;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void OnlineStats::Reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::ci95_halfwidth() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+Histogram::Histogram(int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_buckets_(static_cast<size_t>(1) << sub_bucket_bits) {
+  // 64 power-of-two ranges cover any double we care about (ns up to ~584y).
+  buckets_.assign(64 * sub_buckets_, 0);
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  if (value < 0.0) {
+    value = 0.0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < sub_buckets_) {
+    return static_cast<size_t>(v);  // exact for small values
+  }
+  const int msb = 63 - __builtin_clzll(v);
+  const int shift = msb - sub_bucket_bits_;
+  const size_t sub = static_cast<size_t>(v >> shift) - sub_buckets_;
+  const size_t range = static_cast<size_t>(msb - sub_bucket_bits_ + 1);
+  return range * sub_buckets_ + sub;
+}
+
+double Histogram::BucketUpperBound(size_t index) const {
+  if (index < sub_buckets_) {
+    return static_cast<double>(index);
+  }
+  const size_t range = index / sub_buckets_;
+  const size_t sub = index % sub_buckets_;
+  const int shift = static_cast<int>(range) - 1;
+  const uint64_t base = (sub_buckets_ + sub) << shift;
+  const uint64_t width = static_cast<uint64_t>(1) << shift;
+  return static_cast<double>(base + width - 1);
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  size_t idx = BucketIndex(value);
+  if (idx >= buckets_.size()) {
+    idx = buckets_.size() - 1;
+  }
+  ++buckets_[idx];
+}
+
+void Histogram::Merge(const Histogram& o) {
+  if (o.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  const size_t n = std::min(buckets_.size(), o.buckets_.size());
+  for (size_t i = 0; i < n; ++i) {
+    buckets_[i] += o.buckets_[i];
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::FractionAtOrBelow(double threshold) const {
+  if (count_ == 0) {
+    return 1.0;
+  }
+  const size_t limit = std::min(BucketIndex(threshold), buckets_.size() - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i <= limit; ++i) {
+    seen += buckets_[i];
+  }
+  return static_cast<double>(seen) / static_cast<double>(count_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+                static_cast<unsigned long long>(count_), mean(), P50(), P95(),
+                P99(), max());
+  return buf;
+}
+
+void TimeWeightedAverage::Update(SimTime now, double new_value) {
+  if (!started_) {
+    started_ = true;
+    start_ = last_ = now;
+    value_ = new_value;
+    return;
+  }
+  weighted_sum_ += value_ * (now - last_).ToSeconds();
+  last_ = now;
+  value_ = new_value;
+}
+
+double TimeWeightedAverage::Average(SimTime now) const {
+  if (!started_ || now <= start_) {
+    return value_;
+  }
+  const double total = weighted_sum_ + value_ * (now - last_).ToSeconds();
+  return total / (now - start_).ToSeconds();
+}
+
+void RateMeter::Expire(SimTime now) {
+  const SimTime cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().first < cutoff) {
+    in_window_ -= samples_.front().second;
+    samples_.pop_front();
+  }
+}
+
+void RateMeter::Record(SimTime now, double amount) {
+  Expire(now);
+  samples_.emplace_back(now, amount);
+  in_window_ += amount;
+  total_ += amount;
+}
+
+double RateMeter::RatePerSecond(SimTime now) {
+  Expire(now);
+  const double secs = window_.ToSeconds();
+  if (secs <= 0.0) {
+    return 0.0;
+  }
+  return in_window_ / secs;
+}
+
+}  // namespace fst

@@ -1,0 +1,122 @@
+// Online statistics used throughout the simulator: Welford moments,
+// a log-linear latency histogram (HdrHistogram-style), time-weighted
+// averages, and windowed rate meters.
+#ifndef SRC_SIMCORE_STATS_H_
+#define SRC_SIMCORE_STATS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fst {
+
+// Streaming mean/variance/min/max via Welford's algorithm.
+class OnlineStats {
+ public:
+  void Add(double x);
+  void Merge(const OnlineStats& o);
+  void Reset();
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1); 0 for n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  // Half-width of the 95% confidence interval of the mean (normal approx).
+  double ci95_halfwidth() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Log-linear histogram of non-negative values (typically latencies in ns).
+// Buckets: for each power-of-two range, `sub_buckets` linear sub-buckets.
+// Relative quantile error is bounded by 1/sub_buckets.
+class Histogram {
+ public:
+  explicit Histogram(int sub_bucket_bits = 5);
+
+  void Add(double value);
+  void AddDuration(Duration d) { Add(static_cast<double>(d.nanos())); }
+  void Merge(const Histogram& o);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  // Quantile in [0, 1]; returns an upper bound of the bucket containing it.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  // Fraction of recorded values <= threshold (bucket-resolution accurate).
+  double FractionAtOrBelow(double threshold) const;
+
+  std::string Summary() const;
+
+ private:
+  size_t BucketIndex(double value) const;
+  double BucketUpperBound(size_t index) const;
+
+  int sub_bucket_bits_;
+  size_t sub_buckets_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Average of a piecewise-constant signal weighted by how long each value
+// held, e.g. queue depth or utilization over virtual time.
+class TimeWeightedAverage {
+ public:
+  void Update(SimTime now, double new_value);
+  double Average(SimTime now) const;
+  double current() const { return value_; }
+
+ private:
+  bool started_ = false;
+  SimTime start_;
+  SimTime last_;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+// Sliding-window event-rate meter: events per second over the trailing
+// window, evaluated in virtual time.
+class RateMeter {
+ public:
+  explicit RateMeter(Duration window) : window_(window) {}
+
+  void Record(SimTime now, double amount = 1.0);
+  // Rate in amount/second over [now - window, now].
+  double RatePerSecond(SimTime now);
+  double total() const { return total_; }
+
+ private:
+  void Expire(SimTime now);
+
+  Duration window_;
+  std::deque<std::pair<SimTime, double>> samples_;
+  double in_window_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_SIMCORE_STATS_H_

@@ -1,0 +1,31 @@
+#include "src/simcore/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fst {
+
+namespace {
+
+std::string FormatNanos(int64_t ns) {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(ns));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns) / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::ToString() const { return FormatNanos(ns_); }
+
+std::string SimTime::ToString() const { return FormatNanos(ns_); }
+
+}  // namespace fst

@@ -1,0 +1,74 @@
+#include "src/simcore/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fst {
+
+void TimeSeriesRecorder::Start(std::function<double()> sampler, SimTime until) {
+  sampler_ = std::move(sampler);
+  until_ = until;
+  running_ = true;
+  Tick();
+}
+
+void TimeSeriesRecorder::Tick() {
+  if (!running_) {
+    return;
+  }
+  sim_.Schedule(interval_, [this]() {
+    if (!running_ || sim_.Now() > until_) {
+      running_ = false;
+      return;
+    }
+    samples_.emplace_back(sim_.Now(), sampler_());
+    Tick();
+  });
+}
+
+double TimeSeriesRecorder::MaxValue() const {
+  double best = 0.0;
+  for (const auto& [t, v] : samples_) {
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double TimeSeriesRecorder::MeanValue() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& [t, v] : samples_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::string TimeSeriesRecorder::Sparkline() const {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  const double max = MaxValue();
+  std::string out;
+  for (const auto& [t, v] : samples_) {
+    int level = 0;
+    if (max > 0.0) {
+      level = static_cast<int>(v / max * 7.999);
+    }
+    out += kLevels[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+std::string TimeSeriesRecorder::RenderTable(int precision) const {
+  std::ostringstream out;
+  for (const auto& [t, v] : samples_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%8s  %.*f\n", t.ToString().c_str(),
+                  precision, v);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace fst

@@ -1,0 +1,54 @@
+// Periodic sampling of a signal in virtual time — the "figure" primitive:
+// record throughput/queue depth/state every interval and render the series
+// as a table or a compact ASCII sparkline.
+#ifndef SRC_SIMCORE_TIMESERIES_H_
+#define SRC_SIMCORE_TIMESERIES_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/simulator.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+class TimeSeriesRecorder {
+ public:
+  TimeSeriesRecorder(Simulator& sim, Duration interval)
+      : sim_(sim), interval_(interval) {}
+
+  // Samples `sampler()` every interval until Stop() (or until `until` if
+  // given). The first sample is taken one interval from now.
+  void Start(std::function<double()> sampler,
+             SimTime until = SimTime::Max());
+  void Stop() { running_ = false; }
+
+  const std::vector<std::pair<SimTime, double>>& samples() const {
+    return samples_;
+  }
+
+  double MaxValue() const;
+  double MeanValue() const;
+
+  // One character per sample, eight levels, scaled to the series max.
+  std::string Sparkline() const;
+
+  // "t value" lines, one per sample.
+  std::string RenderTable(int precision = 1) const;
+
+ private:
+  void Tick();
+
+  Simulator& sim_;
+  Duration interval_;
+  std::function<double()> sampler_;
+  SimTime until_ = SimTime::Max();
+  bool running_ = false;
+  std::vector<std::pair<SimTime, double>> samples_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_SIMCORE_TIMESERIES_H_

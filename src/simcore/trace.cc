@@ -1,0 +1,40 @@
+#include "src/simcore/trace.h"
+
+#include <cstdio>
+
+namespace fst {
+
+const char* TraceLevelName(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kDebug:
+      return "DEBUG";
+    case TraceLevel::kInfo:
+      return "INFO";
+    case TraceLevel::kWarn:
+      return "WARN";
+    case TraceLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void Tracer::Log(SimTime when, TraceLevel level, const std::string& component,
+                 const std::string& message) {
+  if (!sink_ || level < min_level_) {
+    return;
+  }
+  sink_(TraceRecord{when, level, component, message});
+}
+
+Tracer::Sink Tracer::StderrSink() {
+  return [](const TraceRecord& r) {
+    std::fprintf(stderr, "[%s] %s %s: %s\n", r.when.ToString().c_str(),
+                 TraceLevelName(r.level), r.component.c_str(), r.message.c_str());
+  };
+}
+
+Tracer::Sink Tracer::CaptureSink(std::vector<TraceRecord>* out) {
+  return [out](const TraceRecord& r) { out->push_back(r); };
+}
+
+}  // namespace fst

@@ -1,0 +1,53 @@
+// Structured trace logging for simulations. Disabled by default (zero cost
+// beyond a branch); tests attach a capturing sink, debugging runs attach a
+// stderr sink.
+#ifndef SRC_SIMCORE_TRACE_H_
+#define SRC_SIMCORE_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fst {
+
+enum class TraceLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* TraceLevelName(TraceLevel level);
+
+struct TraceRecord {
+  SimTime when;
+  TraceLevel level;
+  std::string component;
+  std::string message;
+};
+
+class Tracer {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  // No sink installed: all Log() calls are dropped cheaply.
+  Tracer() = default;
+
+  void SetSink(Sink sink) { sink_ = std::move(sink); }
+  void SetMinLevel(TraceLevel level) { min_level_ = level; }
+  bool enabled() const { return static_cast<bool>(sink_); }
+
+  void Log(SimTime when, TraceLevel level, const std::string& component,
+           const std::string& message);
+
+  // Convenience sink writing "[time] LEVEL component: message" to stderr.
+  static Sink StderrSink();
+
+  // Convenience capturing sink appending to `out` (caller owns lifetime).
+  static Sink CaptureSink(std::vector<TraceRecord>* out);
+
+ private:
+  Sink sink_;
+  TraceLevel min_level_ = TraceLevel::kDebug;
+};
+
+}  // namespace fst
+
+#endif  // SRC_SIMCORE_TRACE_H_

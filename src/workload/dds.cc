@@ -1,0 +1,88 @@
+#include "src/workload/dds.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace fst {
+
+ReplicatedStore::ReplicatedStore(Simulator& sim, DdsParams params,
+                                 Node* primary, Node* mirror)
+    : sim_(sim), params_(params), primary_(primary), mirror_(mirror),
+      rng_(sim.rng().Fork()) {}
+
+void ReplicatedStore::Run(std::function<void(const DdsResult&)> done) {
+  done_ = std::move(done);
+  horizon_ = sim_.Now() + params_.run_for;
+  ScheduleNextArrival();
+}
+
+void ReplicatedStore::ScheduleNextArrival() {
+  const Duration gap =
+      Duration::Seconds(rng_.Exponential(1.0 / params_.arrivals_per_sec));
+  const SimTime at = sim_.Now() + gap;
+  if (at > horizon_) {
+    arrivals_done_ = true;
+    MaybeFinish();
+    return;
+  }
+  sim_.ScheduleAt(at, [this]() {
+    IssuePut();
+    ScheduleNextArrival();
+  });
+}
+
+void ReplicatedStore::IssuePut() {
+  ++result_.ops_issued;
+  ++pending_acks_;
+  const SimTime issued = sim_.Now();
+
+  if (params_.mode == ReplicationMode::kSyncBoth) {
+    // Ack when both replicas applied the put.
+    auto remaining = std::make_shared<int>(2);
+    auto ack = [this, issued, remaining](const IoResult&) {
+      if (--*remaining > 0) {
+        return;
+      }
+      ++result_.ops_acked;
+      result_.ack_latency.AddDuration(sim_.Now() - issued);
+      --pending_acks_;
+      MaybeFinish();
+    };
+    primary_->Compute(params_.work_per_op, ack);
+    mirror_->Compute(params_.work_per_op, ack);
+    return;
+  }
+
+  // kQuorumOne: ack on the primary; mirror applies asynchronously.
+  primary_->Compute(params_.work_per_op, [this, issued](const IoResult&) {
+    ++result_.ops_acked;
+    result_.ack_latency.AddDuration(sim_.Now() - issued);
+    --pending_acks_;
+    MaybeFinish();
+  });
+  ++mirror_backlog_;
+  result_.max_mirror_backlog =
+      std::max(result_.max_mirror_backlog, mirror_backlog_);
+  mirror_->Compute(params_.work_per_op, [this](const IoResult&) {
+    --mirror_backlog_;
+    MaybeFinish();
+  });
+}
+
+void ReplicatedStore::MaybeFinish() {
+  if (!arrivals_done_ || pending_acks_ > 0 || !done_) {
+    return;
+  }
+  if (params_.mode == ReplicationMode::kQuorumOne && mirror_backlog_ > 0) {
+    // Record the backlog at ack-drain, then wait for the mirror to drain
+    // too so the simulator quiesces deterministically.
+    result_.final_mirror_backlog =
+        std::max(result_.final_mirror_backlog, mirror_backlog_);
+    return;
+  }
+  auto cb = std::move(done_);
+  done_ = nullptr;
+  cb(result_);
+}
+
+}  // namespace fst

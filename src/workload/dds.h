@@ -1,0 +1,72 @@
+// A replicated, distributed-hash-table-style store (Section 2.2.1).
+//
+// "Gribble et al. find that untimely garbage collection causes one node to
+// fall behind its mirror in a replicated update. The result is that one
+// machine over-saturates and thus is the bottleneck."
+//
+// Puts arrive open-loop (Poisson) and execute on two replica nodes:
+//   * kSyncBoth — a put acks when BOTH replicas applied it; a GC-pausing
+//     replica stalls every put (the fail-stop-illusion design);
+//   * kQuorumOne — a put acks on the first replica; the lagging replica
+//     applies asynchronously and its backlog is tracked. This trades
+//     freshness for stutter tolerance, the Bimodal-Multicast-style
+//     semantic weakening the paper's related work points at.
+#ifndef SRC_WORKLOAD_DDS_H_
+#define SRC_WORKLOAD_DDS_H_
+
+#include <functional>
+
+#include "src/devices/node.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/stats.h"
+
+namespace fst {
+
+enum class ReplicationMode { kSyncBoth, kQuorumOne };
+
+struct DdsParams {
+  double arrivals_per_sec = 500.0;
+  double work_per_op = 1000.0;  // CPU work units per put, per replica
+  Duration run_for = Duration::Seconds(30.0);
+  ReplicationMode mode = ReplicationMode::kSyncBoth;
+};
+
+struct DdsResult {
+  int64_t ops_issued = 0;
+  int64_t ops_acked = 0;
+  Histogram ack_latency;       // ns
+  int64_t max_mirror_backlog = 0;  // kQuorumOne: peak unapplied ops
+  int64_t final_mirror_backlog = 0;
+};
+
+class ReplicatedStore {
+ public:
+  ReplicatedStore(Simulator& sim, DdsParams params, Node* primary,
+                  Node* mirror);
+
+  // Generates arrivals for `run_for`, then completes once all acks (and in
+  // kSyncBoth all replica applies) have drained.
+  void Run(std::function<void(const DdsResult&)> done);
+
+ private:
+  void ScheduleNextArrival();
+  void IssuePut();
+  void MaybeFinish();
+
+  Simulator& sim_;
+  DdsParams params_;
+  Node* primary_;
+  Node* mirror_;
+  Rng rng_;
+
+  SimTime horizon_;
+  bool arrivals_done_ = false;
+  int64_t pending_acks_ = 0;
+  int64_t mirror_backlog_ = 0;
+  DdsResult result_;
+  std::function<void(const DdsResult&)> done_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_WORKLOAD_DDS_H_

@@ -1,0 +1,117 @@
+#include "src/workload/io_trace.h"
+
+#include <algorithm>
+
+namespace fst {
+
+IoTrace TraceGenerator::Sequential(int64_t count, int64_t start_block,
+                                   int64_t chunk_blocks, Duration interarrival) {
+  IoTrace trace;
+  trace.reserve(static_cast<size_t>(count));
+  Duration at = Duration::Zero();
+  int64_t offset = start_block;
+  for (int64_t i = 0; i < count; ++i) {
+    trace.push_back(IoTraceRecord{at, IoKind::kRead, offset, chunk_blocks});
+    at += interarrival;
+    offset += chunk_blocks;
+  }
+  return trace;
+}
+
+IoTrace TraceGenerator::RandomUniform(Rng& rng, int64_t count,
+                                      int64_t span_blocks,
+                                      double arrivals_per_sec) {
+  IoTrace trace;
+  trace.reserve(static_cast<size_t>(count));
+  Duration at = Duration::Zero();
+  for (int64_t i = 0; i < count; ++i) {
+    at += Duration::Seconds(rng.Exponential(1.0 / arrivals_per_sec));
+    trace.push_back(
+        IoTraceRecord{at, IoKind::kRead, rng.UniformInt(0, span_blocks - 1), 1});
+  }
+  return trace;
+}
+
+IoTrace TraceGenerator::ZipfHotspot(Rng& rng, int64_t count,
+                                    int64_t span_blocks, int zones, double s,
+                                    double arrivals_per_sec) {
+  IoTrace trace;
+  trace.reserve(static_cast<size_t>(count));
+  const ZipfGenerator zipf(zones, s);
+  const int64_t zone_blocks = span_blocks / zones;
+  Duration at = Duration::Zero();
+  for (int64_t i = 0; i < count; ++i) {
+    at += Duration::Seconds(rng.Exponential(1.0 / arrivals_per_sec));
+    const int64_t zone = zipf.Sample(rng);
+    const int64_t offset =
+        zone * zone_blocks + rng.UniformInt(0, zone_blocks - 1);
+    trace.push_back(IoTraceRecord{at, IoKind::kRead, offset, 1});
+  }
+  return trace;
+}
+
+IoTrace TraceGenerator::OnOffBursts(Rng& rng, int bursts, int64_t per_burst,
+                                    int64_t chunk_blocks, Duration idle_mean) {
+  IoTrace trace;
+  Duration at = Duration::Zero();
+  int64_t offset = 0;
+  for (int b = 0; b < bursts; ++b) {
+    for (int64_t i = 0; i < per_burst; ++i) {
+      trace.push_back(IoTraceRecord{at, IoKind::kRead, offset, chunk_blocks});
+      offset += chunk_blocks;
+    }
+    at += Duration::Seconds(rng.Exponential(idle_mean.ToSeconds()));
+  }
+  return trace;
+}
+
+void TraceReplayer::Replay(const IoTrace& trace,
+                           std::function<void(const ReplayResult&)> done) {
+  done_ = std::move(done);
+  started_ = sim_.Now();
+  last_completion_ = started_;
+  if (trace.empty()) {
+    arrivals_done_ = true;
+    MaybeFinish();
+    return;
+  }
+  result_.issued = static_cast<int64_t>(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const IoTraceRecord& rec = trace[i];
+    const bool last = i + 1 == trace.size();
+    sim_.ScheduleAt(started_ + rec.at, [this, rec, last]() {
+      ++outstanding_;
+      if (last) {
+        arrivals_done_ = true;
+      }
+      DiskRequest req;
+      req.kind = rec.kind;
+      req.offset_blocks = rec.offset_blocks;
+      req.nblocks = rec.nblocks;
+      req.done = [this](const IoResult& r) {
+        --outstanding_;
+        if (r.ok) {
+          ++result_.completed_ok;
+          result_.latency.AddDuration(r.Latency());
+        } else {
+          ++result_.failed;
+        }
+        last_completion_ = std::max(last_completion_, r.completed);
+        MaybeFinish();
+      };
+      disk_.Submit(std::move(req));
+    });
+  }
+}
+
+void TraceReplayer::MaybeFinish() {
+  if (!arrivals_done_ || outstanding_ > 0 || !done_) {
+    return;
+  }
+  result_.span = last_completion_ - started_;
+  auto cb = std::move(done_);
+  done_ = nullptr;
+  cb(result_);
+}
+
+}  // namespace fst

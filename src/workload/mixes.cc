@@ -1,0 +1,92 @@
+#include "src/workload/mixes.h"
+
+#include <memory>
+
+namespace fst {
+
+void RunSequentialScan(Simulator& sim, Disk& disk, int64_t nblocks,
+                       std::function<void(double)> done) {
+  const SimTime start = sim.Now();
+  const int64_t block_bytes = disk.params().block_bytes;
+  auto remaining = std::make_shared<int64_t>(nblocks);
+  auto offset = std::make_shared<int64_t>(0);
+  auto step = std::make_shared<std::function<void()>>();
+  // Chunked sequential reads, 64 blocks at a time, one outstanding.
+  *step = [&sim, &disk, block_bytes, nblocks, start, remaining, offset, step,
+           done = std::move(done)]() {
+    if (*remaining == 0) {
+      const double secs = (sim.Now() - start).ToSeconds();
+      const double bytes =
+          static_cast<double>(nblocks) * static_cast<double>(block_bytes);
+      done(secs > 0.0 ? bytes / 1e6 / secs : 0.0);
+      return;
+    }
+    const int64_t chunk = *remaining < 64 ? *remaining : 64;
+    *remaining -= chunk;
+    DiskRequest req;
+    req.kind = IoKind::kRead;
+    req.offset_blocks = *offset;
+    req.nblocks = chunk;
+    *offset += chunk;
+    req.done = [step](const IoResult&) { (*step)(); };
+    disk.Submit(std::move(req));
+  };
+  (*step)();
+}
+
+OpenLoopReader::OpenLoopReader(Simulator& sim, Disk& disk,
+                               OpenLoopParams params)
+    : sim_(sim), disk_(disk), params_(std::move(params)),
+      rng_(sim.rng().Fork()) {}
+
+void OpenLoopReader::Run(std::function<void(const OpenLoopResult&)> done) {
+  done_ = std::move(done);
+  horizon_ = sim_.Now() + params_.run_for;
+  ScheduleNextArrival();
+}
+
+void OpenLoopReader::ScheduleNextArrival() {
+  const Duration gap =
+      Duration::Seconds(rng_.Exponential(1.0 / params_.arrivals_per_sec));
+  const SimTime at = sim_.Now() + gap;
+  if (at > horizon_) {
+    arrivals_done_ = true;
+    MaybeFinish();
+    return;
+  }
+  sim_.ScheduleAt(at, [this]() {
+    ++result_.issued;
+    ++outstanding_;
+    DiskRequest req;
+    req.kind = IoKind::kRead;
+    req.offset_blocks = rng_.UniformInt(0, params_.address_span_blocks - 1);
+    req.nblocks = params_.nblocks_per_read;
+    const int64_t bytes = req.nblocks * disk_.params().block_bytes;
+    req.done = [this, bytes](const IoResult& r) {
+      --outstanding_;
+      if (r.ok) {
+        ++result_.completed_ok;
+        result_.latency.AddDuration(r.Latency());
+      } else {
+        ++result_.failed;
+      }
+      if (params_.on_complete) {
+        params_.on_complete(sim_.Now(), bytes, r.Latency(), r.ok);
+      }
+      MaybeFinish();
+    };
+    disk_.Submit(std::move(req));
+    ScheduleNextArrival();
+  });
+}
+
+void OpenLoopReader::MaybeFinish() {
+  if (!arrivals_done_ || outstanding_ > 0 || !done_) {
+    return;
+  }
+  auto cb = std::move(done_);
+  done_ = nullptr;
+  cb(result_);
+}
+
+}  // namespace fst

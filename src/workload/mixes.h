@@ -1,0 +1,60 @@
+// Simple single-device I/O mixes used by detector and availability
+// experiments: sequential scans (bandwidth probes) and open-loop Poisson
+// random reads (latency/availability probes).
+#ifndef SRC_WORKLOAD_MIXES_H_
+#define SRC_WORKLOAD_MIXES_H_
+
+#include <functional>
+
+#include "src/devices/disk.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/stats.h"
+
+namespace fst {
+
+// Reads `nblocks` sequentially from offset 0; `done(throughput_mbps)`.
+void RunSequentialScan(Simulator& sim, Disk& disk, int64_t nblocks,
+                       std::function<void(double)> done);
+
+struct OpenLoopParams {
+  double arrivals_per_sec = 50.0;
+  Duration run_for = Duration::Seconds(10.0);
+  int64_t nblocks_per_read = 1;
+  int64_t address_span_blocks = 1 << 18;
+  // Observer invoked per completion (optional), e.g. to feed a registry.
+  std::function<void(SimTime now, int64_t bytes, Duration latency, bool ok)>
+      on_complete;
+};
+
+struct OpenLoopResult {
+  int64_t issued = 0;
+  int64_t completed_ok = 0;
+  int64_t failed = 0;
+  Histogram latency;  // ns, successful requests only
+};
+
+// Open-loop Poisson random reads against one disk.
+class OpenLoopReader {
+ public:
+  OpenLoopReader(Simulator& sim, Disk& disk, OpenLoopParams params);
+
+  void Run(std::function<void(const OpenLoopResult&)> done);
+
+ private:
+  void ScheduleNextArrival();
+  void MaybeFinish();
+
+  Simulator& sim_;
+  Disk& disk_;
+  OpenLoopParams params_;
+  Rng rng_;
+  SimTime horizon_;
+  bool arrivals_done_ = false;
+  int64_t outstanding_ = 0;
+  OpenLoopResult result_;
+  std::function<void(const OpenLoopResult&)> done_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_WORKLOAD_MIXES_H_

@@ -1,0 +1,92 @@
+#include "src/workload/parallel_write.h"
+
+#include <algorithm>
+
+namespace fst {
+
+ClusterWriteJob::ClusterWriteJob(Simulator& sim, ClusterJobParams params,
+                                 std::vector<Disk*> node_disks)
+    : sim_(sim), params_(params), disks_(std::move(node_disks)),
+      assigned_(disks_.size(), 0), written_(disks_.size(), 0),
+      next_offset_(disks_.size(), 0) {}
+
+void ClusterWriteJob::Run(std::function<void(const ClusterJobResult&)> done) {
+  done_ = std::move(done);
+  started_ = sim_.Now();
+  const int64_t n = static_cast<int64_t>(disks_.size());
+  if (params_.adaptive) {
+    queue_remaining_ = params_.total_blocks;
+  } else {
+    // Equal division; remainder spread over the first nodes.
+    const int64_t base = params_.total_blocks / n;
+    const int64_t extra = params_.total_blocks % n;
+    for (int64_t i = 0; i < n; ++i) {
+      assigned_[i] = base + (i < extra ? 1 : 0);
+    }
+  }
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    PumpNode(i);
+  }
+}
+
+void ClusterWriteJob::PumpNode(size_t node) {
+  if (failed_ || !done_) {
+    return;
+  }
+  int64_t batch = 0;
+  if (params_.adaptive) {
+    batch = std::min(params_.pull_batch, queue_remaining_);
+    queue_remaining_ -= batch;
+  } else {
+    batch = std::min(params_.pull_batch, assigned_[node]);
+    assigned_[node] -= batch;
+  }
+  if (batch == 0) {
+    if (outstanding_ == 0 && done_) {
+      // All nodes idle and no blocks left: job complete.
+      ClusterJobResult result;
+      result.ok = true;
+      result.makespan = sim_.Now() - started_;
+      const double bytes = static_cast<double>(params_.total_blocks) *
+                           static_cast<double>(params_.block_bytes);
+      result.throughput_mbps =
+          result.makespan.ToSeconds() > 0.0
+              ? bytes / 1e6 / result.makespan.ToSeconds()
+              : 0.0;
+      result.blocks_per_node = written_;
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      cb(result);
+    }
+    return;
+  }
+  ++outstanding_;
+  DiskRequest req;
+  req.kind = IoKind::kWrite;
+  req.offset_blocks = next_offset_[node];
+  req.nblocks = batch;
+  next_offset_[node] += batch;
+  req.done = [this, node, batch](const IoResult& r) {
+    --outstanding_;
+    if (!r.ok) {
+      if (!failed_ && done_) {
+        failed_ = true;
+        ClusterJobResult result;
+        result.ok = false;
+        result.makespan = sim_.Now() - started_;
+        result.blocks_per_node = written_;
+        auto cb = std::move(done_);
+        done_ = nullptr;
+        cb(result);
+      }
+      return;
+    }
+    written_[node] += batch;
+    PumpNode(node);
+    // In adaptive mode a node finishing may also free queue space for
+    // others; nothing further needed — each node self-pumps.
+  };
+  disks_[node]->Submit(std::move(req));
+}
+
+}  // namespace fst

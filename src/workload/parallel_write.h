@@ -1,0 +1,60 @@
+// Cluster-wide parallel write job (the Rivera & Chien / River setting):
+// `total_blocks` blocks must be written across N nodes, each with a local
+// disk. The static schedule gives every node an equal share (the
+// fail-stop-illusion design); the adaptive schedule has idle nodes pull
+// the next batch from a shared queue (the fail-stutter design, as in the
+// River programming environment the authors built).
+#ifndef SRC_WORKLOAD_PARALLEL_WRITE_H_
+#define SRC_WORKLOAD_PARALLEL_WRITE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/devices/disk.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+struct ClusterJobParams {
+  int64_t total_blocks = 4096;
+  int64_t block_bytes = 65536;
+  bool adaptive = false;
+  // Blocks pulled per request in adaptive mode (granularity of stealing).
+  int64_t pull_batch = 16;
+};
+
+struct ClusterJobResult {
+  bool ok = false;
+  Duration makespan = Duration::Zero();
+  double throughput_mbps = 0.0;
+  std::vector<int64_t> blocks_per_node;
+};
+
+class ClusterWriteJob {
+ public:
+  // `node_disks` are borrowed; one per node.
+  ClusterWriteJob(Simulator& sim, ClusterJobParams params,
+                  std::vector<Disk*> node_disks);
+
+  void Run(std::function<void(const ClusterJobResult&)> done);
+
+ private:
+  void PumpNode(size_t node);
+
+  Simulator& sim_;
+  ClusterJobParams params_;
+  std::vector<Disk*> disks_;
+
+  std::vector<int64_t> assigned_;   // static mode: blocks left per node
+  std::vector<int64_t> written_;
+  std::vector<int64_t> next_offset_;
+  int64_t queue_remaining_ = 0;     // adaptive mode: shared queue
+  int64_t outstanding_ = 0;
+  SimTime started_;
+  bool failed_ = false;
+  std::function<void(const ClusterJobResult&)> done_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_WORKLOAD_PARALLEL_WRITE_H_

@@ -1,0 +1,106 @@
+#include "src/workload/scan_query.h"
+
+#include <algorithm>
+
+namespace fst {
+
+ScanQuery::ScanQuery(Simulator& sim, ScanParams params,
+                     std::vector<Disk*> disks, std::vector<Node*> nodes)
+    : sim_(sim), params_(params), disks_(std::move(disks)),
+      nodes_(std::move(nodes)), assigned_(disks_.size(), 0),
+      scanned_(disks_.size(), 0), read_offset_(disks_.size(), 0) {}
+
+void ScanQuery::Run(std::function<void(const ScanResult&)> done) {
+  done_ = std::move(done);
+  started_ = sim_.Now();
+  const int64_t n = static_cast<int64_t>(disks_.size());
+  if (params_.adaptive) {
+    queue_remaining_ = params_.total_tuples;
+  } else {
+    const int64_t base = params_.total_tuples / n;
+    const int64_t extra = params_.total_tuples % n;
+    for (int64_t i = 0; i < n; ++i) {
+      assigned_[i] = base + (i < extra ? 1 : 0);
+    }
+  }
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    PumpNode(i);
+  }
+}
+
+void ScanQuery::Fail() {
+  if (failed_ || !done_) {
+    return;
+  }
+  failed_ = true;
+  ScanResult result;
+  result.ok = false;
+  result.latency = sim_.Now() - started_;
+  result.tuples_per_node = scanned_;
+  auto cb = std::move(done_);
+  done_ = nullptr;
+  cb(result);
+}
+
+void ScanQuery::PumpNode(size_t i) {
+  if (failed_ || !done_) {
+    return;
+  }
+  int64_t chunk = 0;
+  if (params_.adaptive) {
+    chunk = std::min(params_.tuples_per_chunk, queue_remaining_);
+    queue_remaining_ -= chunk;
+  } else {
+    chunk = std::min(params_.tuples_per_chunk, assigned_[i]);
+    assigned_[i] -= chunk;
+  }
+  if (chunk == 0) {
+    if (outstanding_ == 0 && done_) {
+      ScanResult result;
+      result.ok = true;
+      result.latency = sim_.Now() - started_;
+      result.tuples_per_sec =
+          result.latency.ToSeconds() > 0.0
+              ? static_cast<double>(params_.total_tuples) /
+                    result.latency.ToSeconds()
+              : 0.0;
+      result.tuples_per_node = scanned_;
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      cb(result);
+    }
+    return;
+  }
+  ++outstanding_;
+
+  const int64_t bytes = chunk * params_.tuple_bytes;
+  const int64_t nblocks =
+      std::max<int64_t>(1, bytes / disks_[i]->params().block_bytes);
+  DiskRequest read;
+  read.kind = IoKind::kRead;
+  read.offset_blocks = read_offset_[i];
+  read.nblocks = nblocks;
+  read_offset_[i] += nblocks;
+  read.done = [this, i, chunk](const IoResult& r) {
+    if (!r.ok) {
+      --outstanding_;
+      Fail();
+      return;
+    }
+    // Predicate evaluation on the local CPU; the scan emits no tuples
+    // upstream in this model (selectivity folded into work_per_tuple).
+    nodes_[i]->Compute(static_cast<double>(chunk) * params_.work_per_tuple,
+                       [this, i, chunk](const IoResult& c) {
+                         --outstanding_;
+                         if (!c.ok) {
+                           Fail();
+                           return;
+                         }
+                         scanned_[i] += chunk;
+                         PumpNode(i);
+                       });
+  };
+  disks_[i]->Submit(std::move(read));
+}
+
+}  // namespace fst

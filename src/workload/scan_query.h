@@ -1,0 +1,68 @@
+// A partitioned parallel-database scan query (the Gamma / parallel-DB
+// setting the paper's introduction points at: "parallel-performance
+// assumptions are common in parallel databases [16]", and DeWitt & Gray's
+// "interference" fluctuations [17]).
+//
+// A SELECT-with-predicate over a table horizontally partitioned across N
+// nodes: each fragment is read from the local disk and filtered on the
+// local CPU; the query answers when the last fragment finishes. The
+// static plan fixes fragment boundaries at load time (declustering); the
+// adaptive plan splits fragments into chunks that idle nodes steal —
+// intra-query fail-stutter tolerance.
+#ifndef SRC_WORKLOAD_SCAN_QUERY_H_
+#define SRC_WORKLOAD_SCAN_QUERY_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/devices/disk.h"
+#include "src/devices/node.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+struct ScanParams {
+  int64_t total_tuples = 1 << 20;
+  int64_t tuple_bytes = 200;
+  int64_t tuples_per_chunk = 8192;
+  // CPU work per tuple (predicate evaluation).
+  double work_per_tuple = 0.5;
+  bool adaptive = false;
+};
+
+struct ScanResult {
+  bool ok = false;
+  Duration latency = Duration::Zero();  // query completion time
+  double tuples_per_sec = 0.0;
+  std::vector<int64_t> tuples_per_node;
+};
+
+class ScanQuery {
+ public:
+  ScanQuery(Simulator& sim, ScanParams params, std::vector<Disk*> disks,
+            std::vector<Node*> nodes);
+
+  void Run(std::function<void(const ScanResult&)> done);
+
+ private:
+  void PumpNode(size_t i);
+  void Fail();
+
+  Simulator& sim_;
+  ScanParams params_;
+  std::vector<Disk*> disks_;
+  std::vector<Node*> nodes_;
+
+  std::vector<int64_t> assigned_;
+  std::vector<int64_t> scanned_;
+  std::vector<int64_t> read_offset_;
+  int64_t queue_remaining_ = 0;
+  int64_t outstanding_ = 0;
+  SimTime started_;
+  bool failed_ = false;
+  std::function<void(const ScanResult&)> done_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_WORKLOAD_SCAN_QUERY_H_

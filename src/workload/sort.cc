@@ -1,0 +1,128 @@
+#include "src/workload/sort.h"
+
+#include <algorithm>
+
+namespace fst {
+
+SortJob::SortJob(Simulator& sim, SortParams params, std::vector<Disk*> disks,
+                 std::vector<Node*> nodes)
+    : sim_(sim), params_(params), disks_(std::move(disks)),
+      nodes_(std::move(nodes)), assigned_(disks_.size(), 0),
+      processed_(disks_.size(), 0), read_offset_(disks_.size(), 0),
+      write_offset_(disks_.size(), 0) {}
+
+void SortJob::Run(std::function<void(const SortResult&)> done) {
+  done_ = std::move(done);
+  started_ = sim_.Now();
+  const int64_t n = static_cast<int64_t>(disks_.size());
+  if (params_.adaptive) {
+    queue_remaining_ = params_.total_records;
+  } else {
+    const int64_t base = params_.total_records / n;
+    const int64_t extra = params_.total_records % n;
+    for (int64_t i = 0; i < n; ++i) {
+      assigned_[i] = base + (i < extra ? 1 : 0);
+    }
+  }
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    PumpNode(i);
+  }
+}
+
+void SortJob::Fail() {
+  if (failed_ || !done_) {
+    return;
+  }
+  failed_ = true;
+  SortResult result;
+  result.ok = false;
+  result.makespan = sim_.Now() - started_;
+  result.records_per_node = processed_;
+  auto cb = std::move(done_);
+  done_ = nullptr;
+  cb(result);
+}
+
+void SortJob::PumpNode(size_t i) {
+  if (failed_ || !done_) {
+    return;
+  }
+  int64_t batch = 0;
+  if (params_.adaptive) {
+    batch = std::min(params_.records_per_batch, queue_remaining_);
+    queue_remaining_ -= batch;
+  } else {
+    batch = std::min(params_.records_per_batch, assigned_[i]);
+    assigned_[i] -= batch;
+  }
+  if (batch == 0) {
+    if (outstanding_ == 0 && done_) {
+      SortResult result;
+      result.ok = true;
+      result.makespan = sim_.Now() - started_;
+      result.records_per_sec =
+          result.makespan.ToSeconds() > 0.0
+              ? static_cast<double>(params_.total_records) /
+                    result.makespan.ToSeconds()
+              : 0.0;
+      result.records_per_node = processed_;
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      cb(result);
+    }
+    return;
+  }
+  ++outstanding_;
+
+  const int64_t batch_bytes = batch * params_.record_bytes;
+  const int64_t nblocks =
+      std::max<int64_t>(1, batch_bytes / disks_[i]->params().block_bytes);
+
+  // Stage 1: read the batch from the local disk.
+  DiskRequest read;
+  read.kind = IoKind::kRead;
+  read.offset_blocks = read_offset_[i];
+  read.nblocks = nblocks;
+  read_offset_[i] += nblocks;
+  read.done = [this, i, batch, nblocks](const IoResult& r) {
+    if (!r.ok) {
+      --outstanding_;
+      Fail();
+      return;
+    }
+    // Stage 2: partition + sort CPU work.
+    nodes_[i]->Compute(
+        static_cast<double>(batch) * params_.work_per_record,
+        [this, i, batch, nblocks](const IoResult& c) {
+          if (!c.ok) {
+            --outstanding_;
+            Fail();
+            return;
+          }
+          // Stage 3: write the sorted runs back out.
+          DiskRequest write;
+          write.kind = IoKind::kWrite;
+          write.offset_blocks = write_offset_[i];
+          write.nblocks = nblocks;
+          write_offset_[i] += nblocks;
+          write.done = [this, i, batch](const IoResult& w) {
+            if (!w.ok) {
+              --outstanding_;
+              Fail();
+              return;
+            }
+            BatchDone(i, batch);
+          };
+          disks_[i]->Submit(std::move(write));
+        });
+  };
+  disks_[i]->Submit(std::move(read));
+}
+
+void SortJob::BatchDone(size_t i, int64_t records) {
+  --outstanding_;
+  processed_[i] += records;
+  PumpNode(i);
+}
+
+}  // namespace fst

@@ -1,0 +1,71 @@
+// A NOW-Sort-style cluster sort (Section 2.2.2).
+//
+// "The performance of NOW-Sort is quite sensitive to various disturbances
+// and requires a dedicated system to achieve 'peak' results. A node with
+// excess CPU load reduces global sorting performance by a factor of two."
+//
+// Each node runs a read -> partition/sort (CPU) -> write pipeline over
+// record batches. The static schedule fixes each node's share up front;
+// the adaptive schedule lets idle nodes pull the next batch, so a
+// CPU-hogged node simply processes fewer batches instead of dragging the
+// barrier.
+#ifndef SRC_WORKLOAD_SORT_H_
+#define SRC_WORKLOAD_SORT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/devices/disk.h"
+#include "src/devices/node.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+struct SortParams {
+  int64_t total_records = 1 << 20;
+  int64_t record_bytes = 100;
+  int64_t records_per_batch = 4096;
+  // CPU work units per record (partition + key comparison costs).
+  double work_per_record = 1.0;
+  bool adaptive = false;
+};
+
+struct SortResult {
+  bool ok = false;
+  Duration makespan = Duration::Zero();
+  double records_per_sec = 0.0;
+  std::vector<int64_t> records_per_node;
+};
+
+class SortJob {
+ public:
+  // One (disk, node) pair per cluster member; borrowed.
+  SortJob(Simulator& sim, SortParams params, std::vector<Disk*> disks,
+          std::vector<Node*> nodes);
+
+  void Run(std::function<void(const SortResult&)> done);
+
+ private:
+  void PumpNode(size_t i);
+  void BatchDone(size_t i, int64_t records);
+  void Fail();
+
+  Simulator& sim_;
+  SortParams params_;
+  std::vector<Disk*> disks_;
+  std::vector<Node*> nodes_;
+
+  std::vector<int64_t> assigned_;
+  std::vector<int64_t> processed_;
+  std::vector<int64_t> read_offset_;
+  std::vector<int64_t> write_offset_;
+  int64_t queue_remaining_ = 0;
+  int64_t outstanding_ = 0;
+  SimTime started_;
+  bool failed_ = false;
+  std::function<void(const SortResult&)> done_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_WORKLOAD_SORT_H_

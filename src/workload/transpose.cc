@@ -1,0 +1,124 @@
+#include "src/workload/transpose.h"
+
+#include <algorithm>
+
+namespace fst {
+
+TransposeJob::TransposeJob(Simulator& sim, TransposeParams params, Switch& net,
+                           std::vector<int> slow_receivers)
+    : sim_(sim), params_(params), net_(net),
+      is_slow_(net.params().ports, false) {
+  for (int p : slow_receivers) {
+    is_slow_[p] = true;
+  }
+}
+
+void TransposeJob::Run(std::function<void(const TransposeResult&)> done) {
+  done_ = std::move(done);
+  started_ = sim_.Now();
+  const int ports = net_.params().ports;
+  chunks_per_pair_ =
+      (params_.bytes_per_pair + params_.chunk_bytes - 1) / params_.chunk_bytes;
+  chunks_left_.assign(ports, std::vector<int64_t>(ports, 0));
+  in_flight_.assign(ports, std::vector<int64_t>(ports, 0));
+  sender_outstanding_.assign(ports, 0);
+  next_dst_.assign(ports, 0);
+  healthy_remaining_ = 0;
+  total_remaining_ = 0;
+  for (int s = 0; s < ports; ++s) {
+    for (int d = 0; d < ports; ++d) {
+      if (s == d) {
+        continue;
+      }
+      chunks_left_[s][d] = chunks_per_pair_;
+      total_remaining_ += chunks_per_pair_;
+      if (!is_slow_[d]) {
+        healthy_remaining_ += chunks_per_pair_;
+      }
+    }
+    next_dst_[s] = (s + 1) % ports;  // staggered start
+  }
+  for (int s = 0; s < ports; ++s) {
+    PumpSender(s);
+  }
+}
+
+void TransposeJob::PumpSender(int src) {
+  const int ports = net_.params().ports;
+  const bool paced = params_.schedule == TransposeSchedule::kPaced;
+  while (true) {
+    if (paced && sender_outstanding_[src] >= params_.paced_window) {
+      return;
+    }
+    // Find the next destination with work, staggered round-robin; in paced
+    // mode skip destinations that already hold a chunk from this sender.
+    int chosen = -1;
+    for (int step = 0; step < ports; ++step) {
+      const int d = (next_dst_[src] + step) % ports;
+      if (d == src || chunks_left_[src][d] == 0) {
+        continue;
+      }
+      if (paced && in_flight_[src][d] > 0) {
+        continue;
+      }
+      chosen = d;
+      break;
+    }
+    if (chosen < 0) {
+      return;
+    }
+    next_dst_[src] = (chosen + 1) % ports;
+    --chunks_left_[src][chosen];
+    ++in_flight_[src][chosen];
+    ++sender_outstanding_[src];
+
+    NetMessage msg;
+    msg.src = src;
+    msg.dst = chosen;
+    msg.bytes = params_.chunk_bytes;
+    msg.done = [this, src, chosen](SimTime) { OnDelivered(src, chosen); };
+    net_.Send(std::move(msg));
+
+    if (!paced) {
+      continue;  // blast: hand everything to the switch immediately
+    }
+  }
+}
+
+void TransposeJob::OnDelivered(int src, int dst) {
+  --in_flight_[src][dst];
+  --sender_outstanding_[src];
+  --total_remaining_;
+  if (!is_slow_[dst]) {
+    if (--healthy_remaining_ == 0) {
+      result_.healthy_completion = sim_.Now() - started_;
+      const int ports = net_.params().ports;
+      int healthy_ports = 0;
+      for (int p = 0; p < ports; ++p) {
+        if (!is_slow_[p]) {
+          ++healthy_ports;
+        }
+      }
+      const double healthy_bytes = static_cast<double>(chunks_per_pair_) *
+                                   static_cast<double>(params_.chunk_bytes) *
+                                   static_cast<double>(ports - 1) *
+                                   static_cast<double>(healthy_ports);
+      result_.healthy_goodput_mbps =
+          result_.healthy_completion.ToSeconds() > 0.0
+              ? healthy_bytes / 1e6 / result_.healthy_completion.ToSeconds()
+              : 0.0;
+    }
+  }
+  if (total_remaining_ == 0) {
+    result_.full_completion = sim_.Now() - started_;
+    if (done_) {
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      cb(result_);
+    }
+    return;
+  }
+  PumpSender(src);
+}
+
+}  // namespace fst

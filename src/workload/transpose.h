@@ -1,0 +1,79 @@
+// All-to-all transpose over the switch model (Section 2.1.3).
+//
+// "Brewer and Kuszmaul show the effects of a few slow receivers on the
+// performance of all-to-all transposes in the CM-5 data network ... once a
+// receiver falls behind the others, messages accumulate in the network and
+// cause excessive network contention, reducing transpose performance by
+// almost a factor of three."
+//
+// Two schedules:
+//   * kBlast — every sender enqueues all of its chunks immediately
+//     (staggered destination order). With a slow receiver, chunks bound
+//     for it pile up in the fabric; backpressure then stalls *everyone*.
+//   * kPaced — delivery-clocked: a sender keeps at most `window` chunks
+//     outstanding and never more than one per destination, so a slow
+//     receiver holds only its fair share of fabric buffer. This is the
+//     fail-stutter-aware design (the paper points at TCP-style adaptation).
+#ifndef SRC_WORKLOAD_TRANSPOSE_H_
+#define SRC_WORKLOAD_TRANSPOSE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/devices/network.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+enum class TransposeSchedule { kBlast, kPaced };
+
+struct TransposeParams {
+  int64_t bytes_per_pair = 1 << 20;  // payload from each src to each dst
+  int64_t chunk_bytes = 64 << 10;
+  TransposeSchedule schedule = TransposeSchedule::kBlast;
+  int paced_window = 2;  // outstanding chunks per sender in kPaced
+};
+
+struct TransposeResult {
+  // When every chunk addressed to a *healthy* receiver had been delivered.
+  Duration healthy_completion = Duration::Zero();
+  // When the full transpose (including slow receivers) finished.
+  Duration full_completion = Duration::Zero();
+  // Aggregate goodput over the healthy phase, MB/s.
+  double healthy_goodput_mbps = 0.0;
+};
+
+class TransposeJob {
+ public:
+  // `slow_receivers` lists ports already configured slow on the switch;
+  // the job only uses it to split the completion metrics.
+  TransposeJob(Simulator& sim, TransposeParams params, Switch& net,
+               std::vector<int> slow_receivers);
+
+  void Run(std::function<void(const TransposeResult&)> done);
+
+ private:
+  void PumpSender(int src);
+  void OnDelivered(int src, int dst);
+
+  Simulator& sim_;
+  TransposeParams params_;
+  Switch& net_;
+  std::vector<bool> is_slow_;
+
+  int64_t chunks_per_pair_ = 0;
+  // chunks_left_[src][dst]: chunks not yet handed to the switch.
+  std::vector<std::vector<int64_t>> chunks_left_;
+  std::vector<std::vector<int64_t>> in_flight_;
+  std::vector<int> sender_outstanding_;
+  std::vector<int> next_dst_;
+  int64_t healthy_remaining_ = 0;
+  int64_t total_remaining_ = 0;
+  SimTime started_;
+  std::function<void(const TransposeResult&)> done_;
+  TransposeResult result_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_WORKLOAD_TRANSPOSE_H_

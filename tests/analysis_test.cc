@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/availability.h"
+#include "src/analysis/experiment.h"
+#include "src/analysis/table.h"
+
+namespace fst {
+namespace {
+
+TEST(TableTest, RenderAlignsColumns) {
+  Table t({"design", "MB/s"});
+  t.AddRow({"static", "20.0"});
+  t.AddRow({"adaptive", "35.0"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("design"), std::string::npos);
+  EXPECT_NE(out.find("adaptive"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"x", "a", "b"});
+  t.AddNumericRow("row", {1.23456, 2.0}, 2);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("row,1.23,2.00"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.Render());
+  EXPECT_NE(t.ToCsv().find("only,,"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+}
+
+TEST(AvailabilityTest, FunctionCountsSlaAndFailures) {
+  Histogram lat;
+  for (int i = 0; i < 90; ++i) {
+    lat.Add(1e6);  // 1 ms
+  }
+  for (int i = 0; i < 10; ++i) {
+    lat.Add(1e9);  // 1 s
+  }
+  // 100 recorded + 10 failed (offered 110); SLA 10 ms.
+  const double a = Availability(lat, 110, Duration::Millis(10));
+  EXPECT_NEAR(a, 90.0 / 110.0, 0.01);
+}
+
+TEST(AvailabilityTest, TrackerMatchesDefinition) {
+  AvailabilityTracker tracker(Duration::Millis(10));
+  for (int i = 0; i < 90; ++i) {
+    tracker.RecordSuccess(Duration::Millis(1));
+  }
+  for (int i = 0; i < 5; ++i) {
+    tracker.RecordSuccess(Duration::Seconds(1.0));
+  }
+  for (int i = 0; i < 5; ++i) {
+    tracker.RecordFailure();
+  }
+  EXPECT_EQ(tracker.offered(), 100);
+  EXPECT_DOUBLE_EQ(tracker.Value(), 0.9);
+}
+
+TEST(AvailabilityTest, EmptyIsFullyAvailable) {
+  AvailabilityTracker tracker(Duration::Millis(10));
+  EXPECT_DOUBLE_EQ(tracker.Value(), 1.0);
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(Availability(empty, 0, Duration::Millis(10)), 1.0);
+}
+
+TEST(SummarizeTest, BasicStats) {
+  const RepStats s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_EQ(s.n, 5);
+  EXPECT_GT(s.ci95, 0.0);
+}
+
+TEST(ShapeCheckTest, PassAndFail) {
+  ShapeCheck pass("x", 20.5, 20.0, 0.05);
+  EXPECT_TRUE(pass.Pass());
+  EXPECT_NEAR(pass.RelativeError(), 0.025, 1e-12);
+  ShapeCheck fail("y", 30.0, 20.0, 0.05);
+  EXPECT_FALSE(fail.Pass());
+  EXPECT_NE(fail.Describe().find("FAIL"), std::string::npos);
+  EXPECT_NE(pass.Describe().find("PASS"), std::string::npos);
+}
+
+TEST(ShapeReportTest, CollectsFailures) {
+  ShapeReport report;
+  report.Check("a", 10.0, 10.0, 0.1);
+  report.Check("b", 99.0, 10.0, 0.1);
+  report.CheckAtLeast("c", 5.0, 3.0);
+  report.CheckAtMost("d", 5.0, 3.0);
+  EXPECT_FALSE(report.AllPass());
+  EXPECT_EQ(report.failures().size(), 2u);
+  EXPECT_EQ(report.size(), 4u);
+  const std::string out = report.Render();
+  EXPECT_NE(out.find("[PASS] a"), std::string::npos);
+  EXPECT_NE(out.find("[FAIL] b"), std::string::npos);
+}
+
+TEST(ShapeReportTest, AllPassWhenClean) {
+  ShapeReport report;
+  report.Check("a", 1.0, 1.0, 0.01);
+  report.CheckAtLeast("b", 2.0, 1.0);
+  EXPECT_TRUE(report.AllPass());
+}
+
+}  // namespace
+}  // namespace fst

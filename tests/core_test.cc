@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "src/core/classifier.h"
+#include "src/core/detector.h"
+#include "src/core/perf_spec.h"
+#include "src/core/policy.h"
+#include "src/core/registry.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+namespace {
+
+// ---------------------------------------------------------------- spec
+
+TEST(PerfSpecTest, SimpleRateExpectedSeconds) {
+  const auto spec = PerformanceSpec::SimpleRate(10e6);  // 10 MB/s in bytes
+  EXPECT_NEAR(spec.ExpectedSecondsFor(10e6), 1.0, 1e-12);
+  EXPECT_NEAR(spec.ExpectedSecondsFor(1e6), 0.1, 1e-12);
+}
+
+TEST(PerfSpecTest, LatencyCurveIncludesBase) {
+  const auto spec = PerformanceSpec::LatencyCurve(0.010, 10e6, 0.2);
+  EXPECT_NEAR(spec.ExpectedSecondsFor(1e6), 0.110, 1e-12);
+}
+
+TEST(PerfSpecTest, DeficitRatio) {
+  const auto spec = PerformanceSpec::SimpleRate(1e6);
+  EXPECT_NEAR(spec.DeficitRatio(1e6, 2.0), 2.0, 1e-12);
+  EXPECT_NEAR(spec.DeficitRatio(1e6, 0.5), 0.5, 1e-12);
+}
+
+TEST(PerfSpecTest, WithinSpecHonorsTolerance) {
+  const auto spec = PerformanceSpec::RateBand(1e6, 0.25);
+  EXPECT_TRUE(spec.WithinSpec(1e6, 1.0));
+  EXPECT_TRUE(spec.WithinSpec(1e6, 1.24));
+  EXPECT_FALSE(spec.WithinSpec(1e6, 1.3));
+}
+
+TEST(PerfSpecTest, SimplerSpecFlagsMoreFaults) {
+  // The paper's trade-off: the bare-rate spec calls a request with fixed
+  // positioning cost a fault; the latency-curve spec does not.
+  const auto naive = PerformanceSpec::SimpleRate(10e6);
+  const auto faithful = PerformanceSpec::LatencyCurve(0.014, 10e6, 0.10);
+  const double units = 4096.0;
+  const double observed = 0.014 + units / 10e6;  // seek + transfer
+  EXPECT_FALSE(naive.WithinSpec(units, observed));
+  EXPECT_TRUE(faithful.WithinSpec(units, observed));
+}
+
+TEST(PerfSpecTest, ToStringMentionsRate) {
+  const auto spec = PerformanceSpec::SimpleRate(5.5e6);
+  EXPECT_NE(spec.ToString().find("5.5e+06"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- detector
+
+DetectorParams FastDetector() {
+  DetectorParams p;
+  p.window = Duration::Millis(100);
+  p.enter_windows = 3;
+  p.exit_windows = 3;
+  p.enter_deficit = 1.5;
+  p.exit_deficit = 1.2;
+  return p;
+}
+
+// Feeds `count` observations, each `latency_factor` x the spec time.
+void Feed(StutterDetector& det, SimTime& now, int count, double latency_factor,
+          double units = 1e5, double rate = 1e6) {
+  for (int i = 0; i < count; ++i) {
+    const Duration latency = Duration::Seconds(units / rate * latency_factor);
+    now = now + latency;
+    det.Observe(now, units, latency);
+  }
+}
+
+TEST(DetectorTest, StaysHealthyOnSpec) {
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  SimTime now = SimTime::Zero();
+  Feed(det, now, 200, 1.0);
+  EXPECT_EQ(det.state(), PerfState::kHealthy);
+  EXPECT_NEAR(det.SmoothedDeficit(), 1.0, 0.05);
+  EXPECT_NEAR(det.EstimatedRate(), 1e6, 1e5);
+  EXPECT_GT(det.windows_closed(), 10u);
+}
+
+TEST(DetectorTest, EntersStutterAfterPersistentSlowdown) {
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  SimTime now = SimTime::Zero();
+  Feed(det, now, 50, 1.0);
+  ASSERT_EQ(det.state(), PerfState::kHealthy);
+  Feed(det, now, 50, 3.0);
+  EXPECT_EQ(det.state(), PerfState::kStuttering);
+  EXPECT_TRUE(det.ever_stuttered());
+  EXPECT_GT(det.SmoothedDeficit(), 1.5);
+}
+
+TEST(DetectorTest, ShortBlipDoesNotTrigger) {
+  // One bad window (well under enter_windows) must not flip the state:
+  // the paper's "short-term fluctuations ... can likely be ignored".
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  SimTime now = SimTime::Zero();
+  Feed(det, now, 50, 1.0);
+  Feed(det, now, 1, 10.0);  // one slow request ~ one bad window at most
+  Feed(det, now, 50, 1.0);
+  EXPECT_EQ(det.state(), PerfState::kHealthy);
+  EXPECT_FALSE(det.ever_stuttered());
+}
+
+TEST(DetectorTest, RecoversAfterSustainedGoodWindows) {
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  SimTime now = SimTime::Zero();
+  Feed(det, now, 60, 3.0);
+  ASSERT_EQ(det.state(), PerfState::kStuttering);
+  Feed(det, now, 100, 1.0);
+  EXPECT_EQ(det.state(), PerfState::kHealthy);
+  EXPECT_GE(det.state_transitions(), 2);
+}
+
+TEST(DetectorTest, HysteresisGapHoldsState) {
+  // Deficit between exit (1.2) and enter (1.5) thresholds: state holds.
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  SimTime now = SimTime::Zero();
+  Feed(det, now, 60, 1.35);
+  EXPECT_EQ(det.state(), PerfState::kHealthy);
+  Feed(det, now, 60, 3.0);
+  ASSERT_EQ(det.state(), PerfState::kStuttering);
+  Feed(det, now, 60, 1.35);
+  EXPECT_EQ(det.state(), PerfState::kStuttering);
+}
+
+TEST(DetectorTest, FailureIsTerminal) {
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  SimTime now = SimTime::Zero();
+  det.ObserveFailure(now);
+  EXPECT_EQ(det.state(), PerfState::kFailed);
+  Feed(det, now, 100, 1.0);
+  EXPECT_EQ(det.state(), PerfState::kFailed);
+}
+
+TEST(DetectorTest, EstimatedRateTracksSlowdown) {
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  SimTime now = SimTime::Zero();
+  Feed(det, now, 100, 2.0);
+  EXPECT_NEAR(det.EstimatedRate(), 5e5, 1e5);
+}
+
+TEST(DetectorTest, StutterEntryTimeRecorded) {
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  SimTime now = SimTime::Zero();
+  Feed(det, now, 50, 1.0);
+  const SimTime before = now;
+  Feed(det, now, 50, 3.0);
+  ASSERT_TRUE(det.ever_stuttered());
+  EXPECT_GT(det.last_stutter_entry(), before);
+}
+
+
+TEST(DetectorTest, LatencyCurveSpecChargesBasePerRequest) {
+  // Regression: a window of N on-spec requests against a spec with a
+  // per-request base cost must have deficit ~1, not ~N (the base must be
+  // charged per observation, not once per window).
+  const auto spec = PerformanceSpec::LatencyCurve(0.010, 1e6, 0.25);
+  StutterDetector det(spec, FastDetector());
+  SimTime now = SimTime::Zero();
+  for (int i = 0; i < 100; ++i) {
+    const double units = 1e4;
+    const Duration latency = Duration::Seconds(0.010 + units / 1e6);  // on spec
+    now = now + latency;
+    det.Observe(now, units, latency);
+  }
+  EXPECT_EQ(det.state(), PerfState::kHealthy);
+  EXPECT_NEAR(det.SmoothedDeficit(), 1.0, 0.05);
+}
+
+TEST(PerfStateTest, Names) {
+  EXPECT_STREQ(PerfStateName(PerfState::kHealthy), "healthy");
+  EXPECT_STREQ(PerfStateName(PerfState::kStuttering), "stuttering");
+  EXPECT_STREQ(PerfStateName(PerfState::kFailed), "failed");
+}
+
+// ---------------------------------------------------------------- classifier
+
+TEST(ClassifierTest, RequestClassification) {
+  ClassifierParams params;
+  params.correctness_threshold = Duration::Seconds(5.0);
+  FaultClassifier clf(params);
+  const auto spec = PerformanceSpec::RateBand(1e6, 0.25);
+
+  // On spec.
+  EXPECT_EQ(clf.ClassifyRequest(spec, 1e6, Duration::Seconds(1.0)),
+            ComponentHealth::kOk);
+  // Out of band but under T: performance fault.
+  EXPECT_EQ(clf.ClassifyRequest(spec, 1e6, Duration::Seconds(2.0)),
+            ComponentHealth::kPerformanceFaulty);
+  // Beyond T: correctness fault — the paper's threshold rule.
+  EXPECT_EQ(clf.ClassifyRequest(spec, 1e6, Duration::Seconds(6.0)),
+            ComponentHealth::kCorrectnessFaulty);
+}
+
+TEST(ClassifierTest, ComponentClassificationFollowsDetector) {
+  FaultClassifier clf(ClassifierParams{Duration::Seconds(5.0)});
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  SimTime now = SimTime::Zero();
+  EXPECT_EQ(clf.ClassifyComponent(det), ComponentHealth::kOk);
+
+  Feed(det, now, 60, 3.0);
+  EXPECT_EQ(clf.ClassifyComponent(det), ComponentHealth::kPerformanceFaulty);
+
+  det.ObserveFailure(now);
+  EXPECT_EQ(clf.ClassifyComponent(det), ComponentHealth::kCorrectnessFaulty);
+}
+
+TEST(ClassifierTest, OutstandingRequestBeyondTIsCorrectnessFault) {
+  FaultClassifier clf(ClassifierParams{Duration::Seconds(5.0)});
+  StutterDetector det(PerformanceSpec::SimpleRate(1e6), FastDetector());
+  EXPECT_EQ(clf.ClassifyComponent(det, Duration::Seconds(10.0)),
+            ComponentHealth::kCorrectnessFaulty);
+  EXPECT_EQ(clf.ClassifyComponent(det, Duration::Seconds(1.0)),
+            ComponentHealth::kOk);
+}
+
+TEST(ClassifierTest, HealthNames) {
+  EXPECT_STREQ(ComponentHealthName(ComponentHealth::kOk), "ok");
+  EXPECT_STREQ(ComponentHealthName(ComponentHealth::kPerformanceFaulty),
+               "performance-faulty");
+  EXPECT_STREQ(ComponentHealthName(ComponentHealth::kCorrectnessFaulty),
+               "correctness-faulty");
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(RegistryTest, RegisterAndObserve) {
+  PerformanceStateRegistry reg(FastDetector());
+  reg.Register("disk0", PerformanceSpec::SimpleRate(1e6));
+  EXPECT_TRUE(reg.IsRegistered("disk0"));
+  EXPECT_FALSE(reg.IsRegistered("disk1"));
+  EXPECT_EQ(reg.StateOf("disk0"), PerfState::kHealthy);
+  // Unknown components are reported healthy and ignored on observe.
+  reg.Observe("ghost", SimTime::Zero(), 1.0, Duration::Millis(1));
+  EXPECT_EQ(reg.StateOf("ghost"), PerfState::kHealthy);
+}
+
+TEST(RegistryTest, NotificationSuppression) {
+  // Thousands of observations; exactly one state change is published.
+  PerformanceStateRegistry reg(FastDetector());
+  reg.Register("disk0", PerformanceSpec::SimpleRate(1e6));
+  int notifications = 0;
+  reg.Subscribe([&](const StateChange&) { ++notifications; });
+
+  SimTime now = SimTime::Zero();
+  for (int i = 0; i < 1000; ++i) {
+    const Duration latency = Duration::Micros(100);  // on spec
+    now = now + latency;
+    reg.Observe("disk0", now, 100.0, latency);
+  }
+  for (int i = 0; i < 3000; ++i) {
+    const Duration latency = Duration::Micros(300);  // 3x slow
+    now = now + latency;
+    reg.Observe("disk0", now, 100.0, latency);
+  }
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(reg.notifications_sent(), 1u);
+  EXPECT_EQ(reg.observations(), 4000u);
+  EXPECT_EQ(reg.StateOf("disk0"), PerfState::kStuttering);
+  ASSERT_EQ(reg.history().size(), 1u);
+  EXPECT_EQ(reg.history()[0].component, "disk0");
+  EXPECT_EQ(reg.history()[0].to, PerfState::kStuttering);
+}
+
+TEST(RegistryTest, FailurePublishesImmediately) {
+  PerformanceStateRegistry reg(FastDetector());
+  reg.Register("disk0", PerformanceSpec::SimpleRate(1e6));
+  std::vector<StateChange> changes;
+  reg.Subscribe([&](const StateChange& c) { changes.push_back(c); });
+  reg.ObserveFailure("disk0", SimTime::Zero() + Duration::Seconds(1.0));
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].to, PerfState::kFailed);
+  EXPECT_EQ(reg.StateOf("disk0"), PerfState::kFailed);
+}
+
+TEST(RegistryTest, ComponentsInState) {
+  PerformanceStateRegistry reg(FastDetector());
+  reg.Register("a", PerformanceSpec::SimpleRate(1e6));
+  reg.Register("b", PerformanceSpec::SimpleRate(1e6));
+  reg.ObserveFailure("b", SimTime::Zero());
+  const auto healthy = reg.ComponentsIn(PerfState::kHealthy);
+  const auto failed = reg.ComponentsIn(PerfState::kFailed);
+  ASSERT_EQ(healthy.size(), 1u);
+  EXPECT_EQ(healthy[0], "a");
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], "b");
+}
+
+TEST(RegistryTest, DoubleRegisterKeepsFirstSpec) {
+  PerformanceStateRegistry reg(FastDetector());
+  reg.Register("a", PerformanceSpec::SimpleRate(1e6));
+  reg.Register("a", PerformanceSpec::SimpleRate(5e6));
+  ASSERT_NE(reg.detector("a"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.detector("a")->spec().units_per_sec(), 1e6);
+}
+
+// ---------------------------------------------------------------- policy
+
+StateChange MakeChange(PerfState to, double deficit) {
+  StateChange c;
+  c.component = "pair0";
+  c.from = PerfState::kHealthy;
+  c.to = to;
+  c.smoothed_deficit = deficit;
+  return c;
+}
+
+TEST(PolicyTest, EjectOnStutterTreatsStutterAsDeath) {
+  PerformanceStateRegistry reg;
+  EjectOnStutterPolicy policy;
+  EXPECT_EQ(policy.React(MakeChange(PerfState::kStuttering, 2.0), reg).kind,
+            ReactionKind::kEject);
+  EXPECT_EQ(policy.React(MakeChange(PerfState::kFailed, 1.0), reg).kind,
+            ReactionKind::kEject);
+  EXPECT_EQ(policy.React(MakeChange(PerfState::kHealthy, 1.0), reg).kind,
+            ReactionKind::kNone);
+}
+
+TEST(PolicyTest, ProportionalReweightsModerateStutter) {
+  PerformanceStateRegistry reg;
+  ProportionalSharePolicy policy(8.0);
+  const Reaction r = policy.React(MakeChange(PerfState::kStuttering, 2.0), reg);
+  EXPECT_EQ(r.kind, ReactionKind::kReweight);
+  EXPECT_NEAR(r.share, 0.5, 1e-12);
+}
+
+TEST(PolicyTest, ProportionalEjectsBeyondDeficitBar) {
+  PerformanceStateRegistry reg;
+  ProportionalSharePolicy policy(8.0);
+  EXPECT_EQ(policy.React(MakeChange(PerfState::kStuttering, 10.0), reg).kind,
+            ReactionKind::kEject);
+  EXPECT_EQ(policy.React(MakeChange(PerfState::kFailed, 1.0), reg).kind,
+            ReactionKind::kEject);
+}
+
+TEST(PolicyTest, ProportionalRestoresShareOnRecovery) {
+  PerformanceStateRegistry reg;
+  ProportionalSharePolicy policy;
+  StateChange recover = MakeChange(PerfState::kHealthy, 1.0);
+  recover.from = PerfState::kStuttering;
+  const Reaction r = policy.React(recover, reg);
+  EXPECT_EQ(r.kind, ReactionKind::kReweight);
+  EXPECT_DOUBLE_EQ(r.share, 1.0);
+}
+
+TEST(PolicyTest, IgnoreStutterOnlyReactsToDeath) {
+  PerformanceStateRegistry reg;
+  IgnoreStutterPolicy policy;
+  EXPECT_EQ(policy.React(MakeChange(PerfState::kStuttering, 4.0), reg).kind,
+            ReactionKind::kNone);
+  EXPECT_EQ(policy.React(MakeChange(PerfState::kFailed, 1.0), reg).kind,
+            ReactionKind::kEject);
+}
+
+TEST(PolicyTest, Names) {
+  EXPECT_EQ(EjectOnStutterPolicy().name(), "eject-on-stutter");
+  EXPECT_EQ(ProportionalSharePolicy().name(), "proportional-share");
+  EXPECT_EQ(IgnoreStutterPolicy().name(), "ignore-stutter");
+  EXPECT_STREQ(ReactionKindName(ReactionKind::kNone), "none");
+  EXPECT_STREQ(ReactionKindName(ReactionKind::kReweight), "reweight");
+  EXPECT_STREQ(ReactionKindName(ReactionKind::kEject), "eject");
+}
+
+}  // namespace
+}  // namespace fst

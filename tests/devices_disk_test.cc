@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/devices/disk.h"
+#include "src/devices/disk_params.h"
+#include "src/devices/modulators.h"
+#include "src/devices/scsi_bus.h"
+#include "src/simcore/simulator.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+DiskParams FlatParams(double mbps) {
+  DiskParams p;
+  p.flat_bandwidth_mbps = mbps;
+  p.block_bytes = 4096;
+  p.capacity_blocks = 1 << 20;
+  return p;
+}
+
+TEST(DiskTest, SequentialTransferTimeMatchesBandwidth) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(10.0));
+  bool done = false;
+  Duration latency;
+  // The head parks at block 0, so a request at offset 0 is sequential; the
+  // follow-on at offset 1 continues the stream with no positioning cost.
+  DiskRequest first;
+  first.offset_blocks = 0;
+  first.nblocks = 1;
+  first.done = [&](const IoResult&) {};
+  disk.Submit(std::move(first));
+
+  DiskRequest req;
+  req.offset_blocks = 1;
+  req.nblocks = 100;
+  req.done = [&](const IoResult& r) {
+    done = true;
+    latency = r.Latency();
+  };
+  disk.Submit(std::move(req));
+  RunAndExpect(sim, done);
+  // Latency includes waiting behind request 1; both are pure transfers.
+  const double expected = 101.0 * 4096.0 / (10.0 * 1e6);
+  EXPECT_NEAR(latency.ToSeconds(), expected, 1e-9);
+}
+
+TEST(DiskTest, RandomAccessPaysSeekAndRotation) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(10.0));
+  const DiskRequest probe{IoKind::kRead, 500000, 1, nullptr};
+  const Duration service = disk.EstimateServiceTime(probe, 0, sim.Now());
+  const double expected = disk.params().avg_seek.ToSeconds() +
+                          disk.params().AvgRotation().ToSeconds() +
+                          4096.0 / (10.0 * 1e6);
+  EXPECT_NEAR(service.ToSeconds(), expected, 1e-12);
+}
+
+TEST(DiskTest, FifoOrdering) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(5.0));
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    DiskRequest req;
+    req.offset_blocks = i * 1000;
+    req.nblocks = 1;
+    req.done = [&order, i](const IoResult&) { order.push_back(i); };
+    disk.Submit(std::move(req));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DiskTest, ZoneBandwidthFactorOfTwo) {
+  // Van Meter (Section 2.1.2): outer-to-inner zone ratio up to 2x.
+  Simulator sim;
+  DiskParams p = MakeZonedDiskParams(10.0, 2.0, 8, 1 << 20);
+  Disk disk(sim, "zoned", p);
+  EXPECT_DOUBLE_EQ(disk.ZoneBandwidthMbps(0), 10.0);
+  EXPECT_DOUBLE_EQ(disk.ZoneBandwidthMbps((1 << 20) - 1), 5.0);
+  EXPECT_DOUBLE_EQ(disk.NominalBandwidthMbps(), 10.0);
+  // Outer sequential read is ~2x faster than inner.
+  const DiskRequest outer{IoKind::kRead, 0, 256, nullptr};
+  const int64_t inner_start = (1 << 20) - 256;
+  const DiskRequest inner{IoKind::kRead, inner_start, 256, nullptr};
+  const double t_outer =
+      disk.EstimateServiceTime(outer, 0, sim.Now()).ToSeconds();
+  const double t_inner =
+      disk.EstimateServiceTime(inner, inner_start, sim.Now()).ToSeconds();
+  EXPECT_NEAR(t_inner / t_outer, 2.0, 0.01);
+}
+
+TEST(DiskTest, ZoneStraddlingRequestBlendsBandwidth) {
+  Simulator sim;
+  DiskParams p;
+  p.capacity_blocks = 2000;
+  p.zones.push_back(DiskZone{0, 1000, 10.0});
+  p.zones.push_back(DiskZone{1000, 2000, 5.0});
+  Disk disk(sim, "z", p);
+  const DiskRequest straddle{IoKind::kRead, 900, 200, nullptr};
+  const double t = disk.EstimateServiceTime(straddle, 900, sim.Now()).ToSeconds();
+  const double expected = 100.0 * 4096.0 / 10e6 + 100.0 * 4096.0 / 5e6;
+  EXPECT_NEAR(t, expected, 1e-12);
+}
+
+TEST(DiskTest, RemappedBlocksAddPenalty) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(5.5));
+  disk.AddRemappedBlocks(10, 3);
+  EXPECT_EQ(disk.remapped_block_count(), 3u);
+  const DiskRequest through{IoKind::kRead, 0, 64, nullptr};
+  const DiskRequest clean{IoKind::kRead, 100, 64, nullptr};
+  const double t_hit = disk.EstimateServiceTime(through, 0, sim.Now()).ToSeconds();
+  const double t_clean =
+      disk.EstimateServiceTime(clean, 100, sim.Now()).ToSeconds();
+  EXPECT_NEAR(t_hit - t_clean, 3 * disk.params().remap_penalty.ToSeconds(),
+              1e-12);
+}
+
+TEST(DiskTest, HawkAnecdoteBandwidthRatio) {
+  // The Section 2.1.2 experiment shape: the remapped Hawk delivers ~5.0
+  // of the clean drive's 5.5 MB/s on a full sequential scan (ratio ~0.91).
+  Simulator sim;
+  Disk clean(sim, "clean", MakeSeagateHawkParams());
+  Disk degraded(sim, "degraded", MakeDegradedHawkParams());
+  // Apply the catalog profile through disk_params directly to keep this a
+  // devices-only test (catalog has its own test).
+  const int64_t span = clean.params().capacity_blocks;
+  const double scan_s =
+      static_cast<double>(span) * 4096.0 / (5.5 * 1e6);
+  const int remaps = static_cast<int>(scan_s * (5.5 / 5.0 - 1.0) /
+                                      clean.params().remap_penalty.ToSeconds());
+  ApplyBadBlockProfile(degraded, span, remaps, 99);
+
+  const DiskRequest scan{IoKind::kRead, 0, span, nullptr};
+  const double t_clean = clean.EstimateServiceTime(scan, 0, sim.Now()).ToSeconds();
+  const double t_degraded =
+      degraded.EstimateServiceTime(scan, 0, sim.Now()).ToSeconds();
+  EXPECT_NEAR(t_clean / t_degraded, 5.0 / 5.5, 0.02);
+}
+
+TEST(DiskTest, ConstantFactorModulatorSlowsService) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(10.0));
+  disk.AttachModulator(std::make_shared<ConstantFactorModulator>(3.0));
+  const DiskRequest req{IoKind::kRead, 0, 100, nullptr};
+  const double t = disk.EstimateServiceTime(req, 0, sim.Now()).ToSeconds();
+  EXPECT_NEAR(t, 3.0 * 100.0 * 4096.0 / 10e6, 1e-12);
+}
+
+TEST(DiskTest, ModulatorsCompose) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(10.0));
+  disk.AttachModulator(std::make_shared<ConstantFactorModulator>(2.0));
+  disk.AttachModulator(std::make_shared<ConstantFactorModulator>(1.5));
+  const DiskRequest req{IoKind::kRead, 0, 100, nullptr};
+  const double t = disk.EstimateServiceTime(req, 0, sim.Now()).ToSeconds();
+  EXPECT_NEAR(t, 3.0 * 100.0 * 4096.0 / 10e6, 1e-12);
+}
+
+TEST(DiskTest, OfflineWindowDefersService) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(10.0));
+  auto offline = std::make_shared<OfflineWindowModulator>();
+  offline->AddWindow(SimTime::Zero(), Duration::Seconds(1.0));
+  disk.AttachModulator(offline);
+  bool done = false;
+  SimTime completed;
+  DiskRequest req;
+  req.offset_blocks = 0;
+  req.nblocks = 1;
+  req.done = [&](const IoResult& r) {
+    done = true;
+    completed = r.completed;
+  };
+  disk.Submit(std::move(req));
+  RunAndExpect(sim, done);
+  EXPECT_GE(completed.ToSeconds(), 1.0);
+}
+
+TEST(DiskTest, FailStopCompletesPendingWithError) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(10.0));
+  int ok_count = 0;
+  int fail_count = 0;
+  for (int i = 0; i < 3; ++i) {
+    DiskRequest req;
+    req.offset_blocks = i * 100000;
+    req.nblocks = 1000;
+    req.done = [&](const IoResult& r) { r.ok ? ++ok_count : ++fail_count; };
+    disk.Submit(std::move(req));
+  }
+  // Kill the disk before anything can complete.
+  sim.Schedule(Duration::Micros(1), [&]() { disk.FailStop(); });
+  sim.Run();
+  EXPECT_TRUE(disk.has_failed());
+  EXPECT_EQ(fail_count, 2);  // queued requests die; in-service one finishes
+  EXPECT_EQ(ok_count, 1);
+}
+
+TEST(DiskTest, SubmitAfterFailStopFailsImmediately) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(10.0));
+  disk.FailStop();
+  bool failed = false;
+  DiskRequest req;
+  req.offset_blocks = 0;
+  req.nblocks = 1;
+  req.done = [&](const IoResult& r) { failed = !r.ok; };
+  disk.Submit(std::move(req));
+  EXPECT_TRUE(failed);  // synchronous error completion
+}
+
+TEST(DiskTest, FailureCallbackFiresOnce) {
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(10.0));
+  int calls = 0;
+  disk.OnFailure([&]() { ++calls; });
+  disk.FailStop();
+  disk.FailStop();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(DiskTest, MeasuredThroughputMatchesNominal) {
+  // End-to-end: stream 1000 sequential blocks, measured MB/s ~= nominal.
+  Simulator sim;
+  Disk disk(sim, "d0", FlatParams(8.0));
+  const int64_t blocks = 1000;
+  int64_t remaining = blocks;
+  const SimTime start = sim.Now();
+  SimTime end;
+  for (int64_t i = 0; i < blocks; ++i) {
+    DiskRequest req;
+    req.offset_blocks = i;
+    req.nblocks = 1;
+    req.done = [&](const IoResult& r) {
+      if (--remaining == 0) {
+        end = r.completed;
+      }
+    };
+    disk.Submit(std::move(req));
+  }
+  sim.Run();
+  const double secs = (end - start).ToSeconds();
+  const double mbps = static_cast<double>(blocks) * 4096.0 / 1e6 / secs;
+  EXPECT_NEAR(mbps, 8.0, 0.2);  // one positioning op amortized over 1000 blocks
+  EXPECT_EQ(disk.blocks_serviced(), blocks);
+  EXPECT_GT(disk.Utilization(), 0.99);
+}
+
+TEST(ScsiChainTest, ResetStallsAllDisksOnChain) {
+  // Talagala & Patterson: resets affect every disk on the degraded chain.
+  Simulator sim;
+  Disk d0(sim, "d0", FlatParams(10.0));
+  Disk d1(sim, "d1", FlatParams(10.0));
+  Disk other(sim, "other", FlatParams(10.0));
+  ScsiChain chain(sim, "chain0", Duration::Millis(750));
+  chain.Attach(d0);
+  chain.Attach(d1);
+  EXPECT_EQ(chain.disk_count(), 2u);
+
+  chain.TriggerReset();
+  EXPECT_EQ(chain.resets(), 1);
+
+  std::vector<double> completion(3, 0.0);
+  auto submit = [&](Disk& d, int idx) {
+    DiskRequest req;
+    req.offset_blocks = 0;
+    req.nblocks = 1;
+    req.done = [&completion, idx](const IoResult& r) {
+      completion[static_cast<size_t>(idx)] = r.completed.ToSeconds();
+    };
+    d.Submit(std::move(req));
+  };
+  submit(d0, 0);
+  submit(d1, 1);
+  submit(other, 2);
+  sim.Run();
+  EXPECT_GE(completion[0], 0.75);
+  EXPECT_GE(completion[1], 0.75);
+  EXPECT_LT(completion[2], 0.1);  // off-chain disk unaffected
+}
+
+}  // namespace
+}  // namespace fst

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/devices/disk.h"
+#include "src/devices/disk_params.h"
+#include "src/devices/node.h"
+#include "src/devices/scsi_bus.h"
+#include "src/faults/catalog.h"
+#include "src/faults/fault.h"
+#include "src/faults/injector.h"
+#include "src/faults/perf_fault.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/stats.h"
+
+namespace fst {
+namespace {
+
+TEST(PerfFaultTest, IntermittentAlternatesStates) {
+  IntermittentSlowdownModulator mod(Rng(1), 4.0, Duration::Seconds(1.0),
+                                    Duration::Seconds(1.0));
+  bool saw_slow = false;
+  bool saw_normal = false;
+  for (int i = 0; i < 2000; ++i) {
+    const double f =
+        mod.TimeFactor(SimTime::Zero() + Duration::Millis(10L * i));
+    ASSERT_TRUE(f == 1.0 || f == 4.0);
+    saw_slow = saw_slow || f == 4.0;
+    saw_normal = saw_normal || f == 1.0;
+  }
+  EXPECT_TRUE(saw_slow);
+  EXPECT_TRUE(saw_normal);
+  EXPECT_GT(mod.episodes(), 0);
+}
+
+TEST(PerfFaultTest, IntermittentSojournFractionMatchesMeans) {
+  // 1s normal / 3s degraded -> degraded ~75% of the time.
+  IntermittentSlowdownModulator mod(Rng(7), 2.0, Duration::Seconds(1.0),
+                                    Duration::Seconds(3.0));
+  int slow = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (mod.TimeFactor(SimTime::Zero() + Duration::Millis(10L * i)) > 1.0) {
+      ++slow;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(slow) / n, 0.75, 0.05);
+}
+
+TEST(PerfFaultTest, IntermittentQueriesAreMonotoneSafe) {
+  // Repeated queries at the same instant must not re-sample state.
+  IntermittentSlowdownModulator mod(Rng(3), 5.0, Duration::Seconds(1.0),
+                                    Duration::Seconds(1.0));
+  const SimTime t = SimTime::Zero() + Duration::Seconds(10.0);
+  const double first = mod.TimeFactor(t);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(mod.TimeFactor(t), first);
+  }
+}
+
+TEST(PerfFaultTest, DriftGrowsLinearlyAndCaps) {
+  DriftModulator mod(SimTime::Zero() + Duration::Hours(1.0), 0.5, 3.0);
+  EXPECT_DOUBLE_EQ(mod.TimeFactor(SimTime::Zero()), 1.0);
+  EXPECT_DOUBLE_EQ(mod.TimeFactor(SimTime::Zero() + Duration::Hours(1.0)), 1.0);
+  EXPECT_NEAR(mod.TimeFactor(SimTime::Zero() + Duration::Hours(2.0)), 1.5, 1e-9);
+  EXPECT_NEAR(mod.TimeFactor(SimTime::Zero() + Duration::Hours(3.0)), 2.0, 1e-9);
+  // Cap at 3.0 regardless of elapsed time.
+  EXPECT_DOUBLE_EQ(mod.TimeFactor(SimTime::Zero() + Duration::Hours(100.0)), 3.0);
+}
+
+TEST(PerfFaultTest, JitterMedianNearOne) {
+  RandomJitterModulator mod(Rng(11), 0.1);
+  OnlineStats stats;
+  int above = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double f = mod.TimeFactor(SimTime::Zero());
+    stats.Add(f);
+    if (f > 1.0) {
+      ++above;
+    }
+  }
+  // Log-normal with mu=0: median 1, so ~half the draws are above 1.
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.02);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(PerfFaultTest, PeriodicOfflineProducesWindows) {
+  PeriodicOfflineModulator mod(Rng(13), Duration::Seconds(10.0),
+                               Duration::Seconds(1.0));
+  int offline_samples = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const SimTime t = SimTime::Zero() + Duration::Millis(10L * i);
+    if (mod.OfflineUntil(t).has_value()) {
+      ++offline_samples;
+    }
+  }
+  // ~1s offline per ~11s cycle -> ~9% of samples.
+  EXPECT_NEAR(static_cast<double>(offline_samples) / n, 1.0 / 11.0, 0.03);
+  EXPECT_GT(mod.windows_generated(), 50);
+}
+
+TEST(PerfFaultTest, StepModulatorChangesAtBoundaries) {
+  StepModulator mod({{SimTime::Zero() + Duration::Seconds(10.0), 2.0},
+                     {SimTime::Zero() + Duration::Seconds(20.0), 1.0}});
+  EXPECT_DOUBLE_EQ(mod.TimeFactor(SimTime::Zero()), 1.0);
+  EXPECT_DOUBLE_EQ(mod.TimeFactor(SimTime::Zero() + Duration::Seconds(10.0)), 2.0);
+  EXPECT_DOUBLE_EQ(mod.TimeFactor(SimTime::Zero() + Duration::Seconds(15.0)), 2.0);
+  EXPECT_DOUBLE_EQ(mod.TimeFactor(SimTime::Zero() + Duration::Seconds(25.0)), 1.0);
+}
+
+TEST(FaultTest, ClassNames) {
+  EXPECT_STREQ(FaultClassName(FaultClass::kCorrectness), "correctness");
+  EXPECT_STREQ(FaultClassName(FaultClass::kPerformance), "performance");
+}
+
+TEST(InjectorTest, StaticSlowdownRecordsAndSlows) {
+  Simulator sim;
+  DiskParams p;
+  p.flat_bandwidth_mbps = 10.0;
+  Disk disk(sim, "d0", p);
+  FaultInjector injector(sim);
+  injector.InjectStaticSlowdown(disk, 2.0);
+  ASSERT_EQ(injector.injected().size(), 1u);
+  EXPECT_EQ(injector.injected()[0].kind, "static-slowdown");
+  EXPECT_EQ(injector.injected()[0].component, "d0");
+  EXPECT_TRUE(injector.HasPerformanceFault("d0"));
+  EXPECT_FALSE(injector.HasPerformanceFault("d1"));
+  const DiskRequest req{IoKind::kRead, 0, 100, nullptr};
+  EXPECT_NEAR(disk.EstimateServiceTime(req, 0, sim.Now()).ToSeconds(),
+              2.0 * 100.0 * 4096.0 / 10e6, 1e-12);
+}
+
+TEST(InjectorTest, JitterIsNotRecordedAsFault) {
+  Simulator sim;
+  DiskParams p;
+  Disk disk(sim, "d0", p);
+  FaultInjector injector(sim);
+  injector.InjectJitter(disk, 0.1);
+  EXPECT_TRUE(injector.injected().empty());
+  EXPECT_EQ(disk.modulator_count(), 1u);
+}
+
+TEST(InjectorTest, ScheduledFailStopFires) {
+  Simulator sim;
+  DiskParams p;
+  Disk disk(sim, "d0", p);
+  FaultInjector injector(sim);
+  injector.ScheduleFailStop(disk, SimTime::Zero() + Duration::Seconds(5.0));
+  EXPECT_FALSE(disk.has_failed());
+  sim.Run();
+  EXPECT_TRUE(disk.has_failed());
+  ASSERT_EQ(injector.injected().size(), 1u);
+  EXPECT_EQ(injector.injected()[0].fault_class, FaultClass::kCorrectness);
+}
+
+TEST(InjectorTest, ScsiTimeoutRateRoughlyTwoPerDay) {
+  // Talagala & Patterson: ~2/day. Expected count over 30 days ~ 60.
+  Simulator sim(424242);
+  ScsiChain chain(sim, "chain0");
+  FaultInjector injector(sim);
+  const int scheduled = injector.ScheduleScsiTimeouts(
+      chain, kScsiTimeoutsPerDay, SimTime::Zero() + Duration::Hours(24.0 * 30));
+  EXPECT_NEAR(scheduled, 60, 20);  // Poisson(60): +/- ~2.5 sigma
+  sim.Run();
+  EXPECT_EQ(chain.resets(), scheduled);
+}
+
+TEST(InjectorTest, StepChangeRecordsWorstFactor) {
+  Simulator sim;
+  DiskParams p;
+  Disk disk(sim, "d0", p);
+  FaultInjector injector(sim);
+  injector.InjectStepChange(
+      disk, {{SimTime::Zero() + Duration::Seconds(1.0), 3.0},
+             {SimTime::Zero() + Duration::Seconds(2.0), 1.5}});
+  ASSERT_EQ(injector.injected().size(), 1u);
+  EXPECT_DOUBLE_EQ(injector.injected()[0].magnitude, 3.0);
+}
+
+TEST(CatalogTest, HawkAnecdoteScanRatio) {
+  Simulator sim;
+  Disk degraded(sim, "hawk-degraded", MakeDegradedHawkParams());
+  Disk clean(sim, "hawk-clean", MakeSeagateHawkParams());
+  ApplyHawkBadBlockAnecdote(degraded, 7);
+  EXPECT_GT(degraded.remapped_block_count(), 0u);
+  const int64_t span = clean.params().capacity_blocks;
+  const DiskRequest scan{IoKind::kRead, 0, span, nullptr};
+  const double ratio =
+      clean.EstimateServiceTime(scan, 0, sim.Now()).ToSeconds() /
+      degraded.EstimateServiceTime(scan, 0, sim.Now()).ToSeconds();
+  EXPECT_NEAR(ratio, 5.0 / 5.5, 0.02);
+}
+
+TEST(CatalogTest, CacheMaskedChipIs40PercentSlower) {
+  auto mod = MakeCacheMaskedChip();
+  EXPECT_DOUBLE_EQ(mod->TimeFactor(SimTime::Zero()), 1.4);
+}
+
+TEST(CatalogTest, CpuHogDoubles) {
+  auto mod = MakeCpuHog();
+  EXPECT_DOUBLE_EQ(mod->TimeFactor(SimTime::Zero()), 2.0);
+}
+
+TEST(CatalogTest, AgedFileSystemWithinFactorOfTwo) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    auto mod = MakeAgedFileSystem(rng.Fork());
+    const double f = mod->TimeFactor(SimTime::Zero());
+    EXPECT_GE(f, 1.0);
+    EXPECT_LE(f, 2.0);
+  }
+}
+
+TEST(CatalogTest, PageMappingPenaltyWithinHalf) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    auto mod = MakePageMappingPenalty(rng.Fork());
+    const double f = mod->TimeFactor(SimTime::Zero());
+    EXPECT_GE(f, 1.0);
+    EXPECT_LE(f, 1.5);
+  }
+}
+
+TEST(CatalogTest, MemoryHogOvercommitsNode) {
+  Simulator sim;
+  NodeParams np;
+  np.memory_mb = 128.0;
+  Node node(sim, "n0", np);
+  ApplyMemoryHog(node, 256.0);
+  EXPECT_TRUE(node.MemoryOvercommitted());
+}
+
+TEST(CatalogTest, ThermalRecalibrationGeneratesOfflineTime) {
+  auto mod = MakeThermalRecalibration(Rng(23));
+  int offline = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (mod->OfflineUntil(SimTime::Zero() + Duration::Millis(10L * i)).has_value()) {
+      ++offline;
+    }
+  }
+  // ~0.5s per ~60.5s cycle.
+  EXPECT_NEAR(offline / 100000.0, 0.5 / 60.5, 0.01);
+}
+
+TEST(CatalogTest, IndexCoversAllSections) {
+  const auto index = CatalogIndex();
+  EXPECT_GE(index.size(), 14u);
+  bool has_211 = false;
+  bool has_212 = false;
+  bool has_213 = false;
+  bool has_221 = false;
+  bool has_222 = false;
+  for (const auto& e : index) {
+    has_211 = has_211 || e.section == "2.1.1";
+    has_212 = has_212 || e.section == "2.1.2";
+    has_213 = has_213 || e.section == "2.1.3";
+    has_221 = has_221 || e.section == "2.2.1";
+    has_222 = has_222 || e.section == "2.2.2";
+  }
+  EXPECT_TRUE(has_211 && has_212 && has_213 && has_221 && has_222);
+}
+
+TEST(CatalogTest, ConstantsMatchPaperNumbers) {
+  EXPECT_DOUBLE_EQ(kScsiTimeoutsPerDay, 2.0);
+  EXPECT_DOUBLE_EQ(kZoneBandwidthRatio, 2.0);
+  EXPECT_DOUBLE_EQ(kDeadlockStallSeconds, 2.0);
+  EXPECT_NEAR(kRiveraChienSlowdown, 1.0 / 0.7, 1e-12);
+  EXPECT_EQ(kRiveraChienSlowNodes, 4);
+  EXPECT_EQ(kRiveraChienClusterSize, 64);
+  EXPECT_DOUBLE_EQ(kSlowReceiverSpeed, 0.30);
+}
+
+}  // namespace
+}  // namespace fst

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/formal.h"
+#include "src/devices/disk.h"
+#include "src/devices/modulators.h"
+#include "src/faults/injector.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+namespace {
+
+PerformanceSpec TestSpec() { return PerformanceSpec::RateBand(1e6, 0.25); }
+
+ClassifierParams TestClassifier() {
+  return ClassifierParams{Duration::Seconds(10.0)};
+}
+
+SimTime At(double seconds) { return SimTime::Zero() + Duration::Seconds(seconds); }
+
+TEST(TraceCheckerTest, CleanTraceConsistent) {
+  TraceChecker checker(TestSpec(), TestClassifier());
+  for (int i = 0; i < 10; ++i) {
+    checker.RecordIssue(i, At(i), 1e5);
+    checker.RecordComplete(i, At(i + 0.1), true);
+  }
+  EXPECT_TRUE(checker.FailStopConsistent());
+  EXPECT_TRUE(checker.FailStutterConsistent());
+  EXPECT_TRUE(checker.Violations().empty());
+  const auto census = checker.TakeCensus();
+  EXPECT_EQ(census.ok, 10);
+  EXPECT_EQ(census.performance_faulty, 0);
+}
+
+TEST(TraceCheckerTest, CensusClassifiesLatencies) {
+  TraceChecker checker(TestSpec(), TestClassifier());
+  checker.RecordIssue(1, At(0), 1e5);
+  checker.RecordComplete(1, At(0.1), true);  // on spec
+  checker.RecordIssue(2, At(1), 1e5);
+  checker.RecordComplete(2, At(1.5), true);  // 5x slow: performance fault
+  checker.RecordIssue(3, At(2), 1e5);
+  checker.RecordComplete(3, At(14.0), true);  // beyond T: correctness
+  checker.RecordIssue(4, At(20), 1e5);
+  checker.RecordComplete(4, At(20.1), false);  // failed
+  checker.RecordIssue(5, At(21), 1e5);         // never completes
+
+  const auto census = checker.TakeCensus();
+  EXPECT_EQ(census.ok, 1);
+  EXPECT_EQ(census.performance_faulty, 1);
+  EXPECT_EQ(census.correctness_faulty, 1);
+  EXPECT_EQ(census.failed, 1);
+  EXPECT_EQ(census.outstanding, 1);
+}
+
+TEST(TraceCheckerTest, SuccessAfterFailureViolatesFailStop) {
+  TraceChecker checker(TestSpec(), TestClassifier());
+  checker.RecordIssue(1, At(0), 1e5);
+  checker.RecordComplete(1, At(0.1), false);  // absolute failure observed
+  checker.RecordIssue(2, At(1), 1e5);         // issued after the failure...
+  checker.RecordComplete(2, At(1.1), true);   // ...and it succeeds: violation
+  EXPECT_FALSE(checker.FailStopConsistent());
+  EXPECT_FALSE(checker.FailStutterConsistent());
+  ASSERT_FALSE(checker.Violations().empty());
+  EXPECT_NE(checker.Violations()[0].find("fail-stop"), std::string::npos);
+}
+
+TEST(TraceCheckerTest, InFlightSuccessAtFailureIsAllowed) {
+  TraceChecker checker(TestSpec(), TestClassifier());
+  checker.RecordIssue(1, At(0), 1e5);
+  checker.RecordIssue(2, At(0.05), 1e5);      // in flight when 1 fails
+  checker.RecordComplete(1, At(0.1), false);
+  checker.RecordComplete(2, At(0.2), true);   // allowed: issued before failure
+  EXPECT_TRUE(checker.FailStopConsistent());
+}
+
+TEST(TraceCheckerTest, SuccessAfterThresholdBreachViolatesFailStutter) {
+  TraceChecker checker(TestSpec(), TestClassifier());
+  checker.RecordIssue(1, At(0), 1e5);
+  checker.RecordComplete(1, At(11.0), true);  // beyond T = 10 s
+  checker.RecordIssue(2, At(12), 1e5);
+  checker.RecordComplete(2, At(12.1), true);
+  EXPECT_TRUE(checker.FailStopConsistent());  // no unsuccessful completion
+  EXPECT_FALSE(checker.FailStutterConsistent());
+  ASSERT_FALSE(checker.Violations().empty());
+  EXPECT_NE(checker.Violations()[0].find("fail-stutter"), std::string::npos);
+}
+
+TEST(TraceCheckerTest, OrphanCompletionReported) {
+  TraceChecker checker(TestSpec(), TestClassifier());
+  checker.RecordComplete(99, At(1), true);
+  ASSERT_FALSE(checker.Violations().empty());
+  EXPECT_NE(checker.Violations()[0].find("never issued"), std::string::npos);
+}
+
+// Meta-test: the simulated Disk obeys fail-stop consistency under an
+// injected mid-stream death, across seeds.
+class DiskFormalProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiskFormalProperty, DiskIsFailStopConsistent) {
+  Simulator sim(GetParam());
+  DiskParams params;
+  params.flat_bandwidth_mbps = 10.0;
+  params.block_bytes = 65536;
+  Disk disk(sim, "d0", params);
+  FaultInjector injector(sim);
+  Rng rng(GetParam() * 3 + 1);
+  const double death_s = rng.UniformDouble(0.05, 1.5);
+  injector.ScheduleFailStop(disk, SimTime::Zero() + Duration::Seconds(death_s));
+
+  TraceChecker checker(PerformanceSpec::RateBand(10e6, 0.5),
+                       ClassifierParams{Duration::Seconds(30.0)});
+  // Stream requests; keep issuing even after failure (they must all fail).
+  auto pump = std::make_shared<std::function<void(int64_t)>>();
+  *pump = [&sim, &disk, &checker, pump](int64_t i) {
+    if (i >= 400) {
+      return;
+    }
+    checker.RecordIssue(i, sim.Now(), 65536.0);
+    DiskRequest req;
+    req.kind = IoKind::kWrite;
+    req.offset_blocks = i;
+    req.nblocks = 1;
+    req.done = [&sim, &checker, pump, i](const IoResult& r) {
+      checker.RecordComplete(i, sim.Now(), r.ok);
+      (*pump)(i + 1);
+    };
+    disk.Submit(std::move(req));
+  };
+  (*pump)(0);
+  sim.Run();
+
+  EXPECT_TRUE(checker.FailStopConsistent()) << "seed " << GetParam();
+  const auto census = checker.TakeCensus();
+  EXPECT_GT(census.failed, 0);
+  EXPECT_GT(census.ok, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiskFormalProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace fst

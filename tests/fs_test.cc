@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/devices/disk.h"
+#include "src/fs/extent_fs.h"
+#include "src/simcore/simulator.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+DiskParams FsDisk() {
+  DiskParams p;
+  p.flat_bandwidth_mbps = 10.0;
+  p.block_bytes = 4096;
+  p.capacity_blocks = 1 << 18;
+  return p;
+}
+
+FsParams SmallFs() {
+  FsParams p;
+  p.total_blocks = 1 << 18;
+  p.max_extent_blocks = 1 << 16;
+  return p;
+}
+
+TEST(ExtentFsTest, CreateDeleteAccounting) {
+  Simulator sim;
+  Disk disk(sim, "d0", FsDisk());
+  ExtentFileSystem fs(sim, disk, SmallFs());
+  EXPECT_EQ(fs.free_blocks(), 1 << 18);
+  EXPECT_EQ(fs.free_segments(), 1u);
+
+  const FileId a = fs.CreateFile(1000);
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(fs.free_blocks(), (1 << 18) - 1000);
+  EXPECT_EQ(fs.ExtentCountOf(a), 1);  // fresh fs: contiguous
+  EXPECT_EQ(fs.file_count(), 1u);
+
+  EXPECT_TRUE(fs.DeleteFile(a));
+  EXPECT_FALSE(fs.DeleteFile(a));
+  EXPECT_EQ(fs.free_blocks(), 1 << 18);
+  EXPECT_EQ(fs.free_segments(), 1u);  // coalesced back to one run
+}
+
+TEST(ExtentFsTest, AllocationFailsWhenFull) {
+  Simulator sim;
+  Disk disk(sim, "d0", FsDisk());
+  FsParams p;
+  p.total_blocks = 100;
+  ExtentFileSystem fs(sim, disk, p);
+  EXPECT_GE(fs.CreateFile(100), 0);
+  EXPECT_EQ(fs.CreateFile(1), -1);
+  EXPECT_EQ(fs.free_blocks(), 0);
+}
+
+TEST(ExtentFsTest, FreeListCoalescesAcrossNeighbors) {
+  Simulator sim;
+  Disk disk(sim, "d0", FsDisk());
+  ExtentFileSystem fs(sim, disk, SmallFs());
+  const FileId a = fs.CreateFile(100);
+  const FileId b = fs.CreateFile(100);
+  const FileId c = fs.CreateFile(100);
+  ASSERT_GE(c, 0);
+  fs.DeleteFile(a);
+  fs.DeleteFile(c);
+  EXPECT_EQ(fs.free_segments(), 2u);  // hole at front, tail run
+  fs.DeleteFile(b);                   // bridges hole and tail
+  EXPECT_EQ(fs.free_segments(), 1u);
+}
+
+TEST(ExtentFsTest, FragmentedAllocationSpansHoles) {
+  Simulator sim;
+  Disk disk(sim, "d0", FsDisk());
+  FsParams p;
+  p.total_blocks = 1000;
+  ExtentFileSystem fs(sim, disk, p);
+  // Fill with ten 100-block files, delete every other one.
+  std::vector<FileId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(fs.CreateFile(100));
+  }
+  for (int i = 0; i < 10; i += 2) {
+    fs.DeleteFile(ids[static_cast<size_t>(i)]);
+  }
+  // 500 free blocks in five 100-block holes: a 300-block file needs 3.
+  const FileId f = fs.CreateFile(300);
+  ASSERT_GE(f, 0);
+  EXPECT_EQ(fs.ExtentCountOf(f), 3);
+}
+
+TEST(ExtentFsTest, ReadFileReportsThroughput) {
+  Simulator sim;
+  Disk disk(sim, "d0", FsDisk());
+  ExtentFileSystem fs(sim, disk, SmallFs());
+  const FileId f = fs.CreateFile(2560);  // 10 MB at 4 KiB
+  bool done = false;
+  double mbps = 0.0;
+  fs.ReadFile(f, [&](double m, bool ok) {
+    done = true;
+    EXPECT_TRUE(ok);
+    mbps = m;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_NEAR(mbps, 10.0, 0.3);  // contiguous: near-nominal bandwidth
+}
+
+TEST(ExtentFsTest, ReadMissingFileFails) {
+  Simulator sim;
+  Disk disk(sim, "d0", FsDisk());
+  ExtentFileSystem fs(sim, disk, SmallFs());
+  bool failed = false;
+  fs.ReadFile(999, [&](double, bool ok) { failed = !ok; });
+  EXPECT_TRUE(failed);
+}
+
+TEST(ExtentFsTest, AgingFragmentsNewFiles) {
+  Simulator sim;
+  Disk disk(sim, "d0", FsDisk());
+  ExtentFileSystem fs(sim, disk, SmallFs());
+  Rng rng(7);
+  fs.Age(200, rng);
+  const FileId f = fs.CreateFile(512);
+  ASSERT_GE(f, 0);
+  EXPECT_GT(fs.ExtentCountOf(f), 3);
+}
+
+TEST(ExtentFsTest, AgedFileSystemAnecdote) {
+  // The Section 2.2.1 shape: sequential read on an aged fs is up to ~2x
+  // slower; a fresh fs on an identical disk is identical to another fresh
+  // fs on an identical disk.
+  auto read_mbps = [](ExtentFileSystem& fs, Simulator& sim, FileId f) {
+    double mbps = 0.0;
+    bool done = false;
+    fs.ReadFile(f, [&](double m, bool ok) {
+      done = true;
+      EXPECT_TRUE(ok);
+      mbps = m;
+    });
+    sim.Run();
+    EXPECT_TRUE(done);
+    return mbps;
+  };
+
+  Simulator sim;
+  Disk fresh_disk_a(sim, "fresh-a", FsDisk());
+  Disk fresh_disk_b(sim, "fresh-b", FsDisk());
+  Disk aged_disk(sim, "aged", FsDisk());
+  ExtentFileSystem fresh_a(sim, fresh_disk_a, SmallFs());
+  ExtentFileSystem fresh_b(sim, fresh_disk_b, SmallFs());
+  ExtentFileSystem aged(sim, aged_disk, SmallFs());
+
+  Rng rng(11);
+  aged.Age(300, rng);
+
+  const FileId fa = fresh_a.CreateFile(512);
+  const FileId fb = fresh_b.CreateFile(512);
+  const FileId fg = aged.CreateFile(512);
+
+  const double mbps_a = read_mbps(fresh_a, sim, fa);
+  const double mbps_b = read_mbps(fresh_b, sim, fb);
+  const double mbps_aged = read_mbps(aged, sim, fg);
+
+  // Fresh file systems: identical performance.
+  EXPECT_NEAR(mbps_a, mbps_b, 1e-6);
+  // Aged: noticeably slower, bounded near the paper's factor of two.
+  const double ratio = mbps_a / mbps_aged;
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 3.0);
+}
+
+}  // namespace
+}  // namespace fst

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/devices/disk.h"
+#include "src/devices/hedge.h"
+#include "src/devices/modulators.h"
+#include "src/faults/perf_fault.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/stats.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+DiskParams HedgeDisk(double mbps = 10.0) {
+  DiskParams p;
+  p.flat_bandwidth_mbps = mbps;
+  p.block_bytes = 65536;
+  p.capacity_blocks = 1 << 20;
+  return p;
+}
+
+HedgedOp::Attempt ReadFrom(Disk& disk, int64_t offset) {
+  return [&disk, offset](IoCallback done) {
+    DiskRequest req;
+    req.kind = IoKind::kRead;
+    req.offset_blocks = offset;
+    req.nblocks = 1;
+    req.done = std::move(done);
+    disk.Submit(std::move(req));
+  };
+}
+
+TEST(HedgeTest, FastPrimaryNeverHedges) {
+  Simulator sim;
+  Disk a(sim, "a", HedgeDisk());
+  Disk b(sim, "b", HedgeDisk());
+  HedgedOp hedge(sim, HedgeParams{Duration::Millis(100), 1});
+  bool done = false;
+  hedge.Issue({ReadFrom(a, 0), ReadFrom(b, 0)}, [&](const IoResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+  });
+  RunAndExpect(sim, done);
+  EXPECT_EQ(hedge.stats().operations, 1);
+  EXPECT_EQ(hedge.stats().hedges_launched, 0);
+  EXPECT_EQ(b.blocks_serviced(), 0);
+}
+
+TEST(HedgeTest, SlowPrimaryTriggersHedgeAndDuplicateWins) {
+  Simulator sim;
+  Disk slow(sim, "slow", HedgeDisk());
+  slow.AttachModulator(std::make_shared<ConstantFactorModulator>(100.0));
+  Disk fast(sim, "fast", HedgeDisk());
+  HedgedOp hedge(sim, HedgeParams{Duration::Millis(20), 1});
+  bool done = false;
+  Duration latency;
+  hedge.Issue({ReadFrom(slow, 500000), ReadFrom(fast, 500000)},
+              [&](const IoResult& r) {
+                done = true;
+                EXPECT_TRUE(r.ok);
+                latency = r.completed - SimTime::Zero();
+              });
+  RunAndExpect(sim, done);
+  EXPECT_EQ(hedge.stats().hedges_launched, 1);
+  EXPECT_EQ(hedge.stats().hedge_wins, 1);
+  // ~20 ms hedge delay + fast disk's ~21 ms random read, far under the
+  // slow disk's ~2 s.
+  EXPECT_LT(latency.ToSeconds(), 0.1);
+  // The slow disk's duplicate eventually lands and is discarded.
+  sim.Run();
+  EXPECT_EQ(hedge.stats().wasted_completions, 1);
+}
+
+TEST(HedgeTest, FailedPrimaryFailsOverImmediately) {
+  Simulator sim;
+  Disk dead(sim, "dead", HedgeDisk());
+  dead.FailStop();
+  Disk alive(sim, "alive", HedgeDisk());
+  HedgedOp hedge(sim, HedgeParams{Duration::Seconds(10.0), 1});
+  bool done = false;
+  SimTime completed;
+  hedge.Issue({ReadFrom(dead, 0), ReadFrom(alive, 0)}, [&](const IoResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+    completed = r.completed;
+  });
+  RunAndExpect(sim, done);
+  // Failover did not wait out the 10 s hedge delay.
+  EXPECT_LT(completed.ToSeconds(), 1.0);
+}
+
+TEST(HedgeTest, AllAttemptsFailReportsFailure) {
+  Simulator sim;
+  Disk a(sim, "a", HedgeDisk());
+  Disk b(sim, "b", HedgeDisk());
+  a.FailStop();
+  b.FailStop();
+  HedgedOp hedge(sim, HedgeParams{Duration::Millis(10), 1});
+  bool done = false;
+  hedge.Issue({ReadFrom(a, 0), ReadFrom(b, 0)}, [&](const IoResult& r) {
+    done = true;
+    EXPECT_FALSE(r.ok);
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(HedgeTest, MaxHedgesCapsAttempts) {
+  Simulator sim;
+  Disk a(sim, "a", HedgeDisk());
+  Disk b(sim, "b", HedgeDisk());
+  Disk c(sim, "c", HedgeDisk());
+  a.FailStop();
+  b.FailStop();
+  // Only the primary plus zero hedges allowed: attempt c never launches.
+  HedgedOp hedge(sim, HedgeParams{Duration::Millis(10), 0});
+  bool done = false;
+  hedge.Issue({ReadFrom(a, 0), ReadFrom(b, 0), ReadFrom(c, 0)},
+              [&](const IoResult& r) {
+                done = true;
+                EXPECT_FALSE(r.ok);
+              });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(c.blocks_serviced(), 0);
+}
+
+TEST(HedgeTest, EmptyAttemptsFailsImmediately) {
+  Simulator sim;
+  HedgedOp hedge(sim);
+  bool done = false;
+  hedge.Issue({}, [&](const IoResult& r) {
+    done = true;
+    EXPECT_FALSE(r.ok);
+  });
+  EXPECT_TRUE(done);
+}
+
+TEST(HedgeTest, TailLatencyCollapsesUnderStutter) {
+  // The headline property: with an episodically-stuttering primary, hedged
+  // reads cut p99 by an order of magnitude at a small duplicate cost.
+  auto run = [](bool hedged) {
+    Simulator sim(11);
+    Disk primary(sim, "primary", HedgeDisk());
+    primary.AttachModulator(std::make_shared<IntermittentSlowdownModulator>(
+        sim.rng().Fork(), 20.0, Duration::Seconds(2.0), Duration::Seconds(2.0)));
+    Disk mirror(sim, "mirror", HedgeDisk());
+    HedgedOp hedge(sim, HedgeParams{Duration::Millis(60), 1});
+    Histogram latency;
+    Rng rng(7);
+    auto arrive = std::make_shared<std::function<void()>>();
+    const SimTime horizon = SimTime::Zero() + Duration::Seconds(30.0);
+    *arrive = [&, arrive]() {
+      if (sim.Now() >= horizon) {
+        return;
+      }
+      const int64_t offset = rng.UniformInt(0, 1 << 19);
+      auto record = [&latency](const IoResult& r) {
+        if (r.ok) {
+          latency.AddDuration(r.Latency());
+        }
+      };
+      if (hedged) {
+        hedge.Issue({ReadFrom(primary, offset), ReadFrom(mirror, offset)},
+                    record);
+      } else {
+        DiskRequest req;
+        req.kind = IoKind::kRead;
+        req.offset_blocks = offset;
+        req.nblocks = 1;
+        req.done = record;
+        primary.Submit(std::move(req));
+      }
+      sim.Schedule(Duration::Seconds(rng.Exponential(1.0 / 10.0)), *arrive);
+    };
+    (*arrive)();
+    sim.Run();
+    struct Out {
+      double p99;
+      int64_t n;
+    };
+    return Out{latency.P99(), static_cast<int64_t>(latency.count())};
+  };
+  const auto unhedged = run(false);
+  const auto hedged = run(true);
+  EXPECT_GT(unhedged.p99 / hedged.p99, 3.0);
+  EXPECT_GT(hedged.n, 200);
+}
+
+}  // namespace
+}  // namespace fst

@@ -1,0 +1,313 @@
+// End-to-end integration tests: each one runs a miniature version of a
+// derived experiment from DESIGN.md and asserts the paper-predicted shape.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/analysis/availability.h"
+#include "src/analysis/experiment.h"
+#include "src/core/policy.h"
+#include "src/core/registry.h"
+#include "src/devices/disk.h"
+#include "src/devices/modulators.h"
+#include "src/devices/scsi_bus.h"
+#include "src/faults/catalog.h"
+#include "src/faults/injector.h"
+#include "src/faults/perf_fault.h"
+#include "src/raid/raid10.h"
+#include "src/simcore/simulator.h"
+#include "src/workload/mixes.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+DiskParams StdDisk(double mbps = 10.0) {
+  DiskParams p;
+  p.flat_bandwidth_mbps = mbps;
+  p.block_bytes = 65536;
+  p.capacity_blocks = 1 << 20;
+  return p;
+}
+
+struct Volume {
+  Volume(Simulator& sim, int n_pairs, StriperKind kind,
+         PerformanceStateRegistry* registry = nullptr,
+         ReadSelection read_selection = ReadSelection::kRoundRobin) {
+    for (int i = 0; i < 2 * n_pairs; ++i) {
+      disks.push_back(
+          std::make_unique<Disk>(sim, "disk" + std::to_string(i), StdDisk()));
+    }
+    std::vector<Disk*> raw;
+    for (auto& d : disks) {
+      raw.push_back(d.get());
+    }
+    VolumeConfig config;
+    config.block_bytes = 65536;
+    config.striper = kind;
+    config.read_selection = read_selection;
+    volume = std::make_unique<Raid10Volume>(sim, config, raw, registry);
+  }
+  std::vector<std::unique_ptr<Disk>> disks;
+  std::unique_ptr<Raid10Volume> volume;
+};
+
+// E1 (Section 3.2): across a sweep of b/B the ordering
+// adaptive ~ proportional = (N-1)B + b > static = N*b must hold.
+TEST(IntegrationE1, ScenarioOrderingAcrossSlowdownSweep) {
+  ShapeReport report;
+  for (double slow_factor : {1.25, 2.0, 4.0}) {
+    const double b = 10.0 / slow_factor;
+    auto run = [&](StriperKind kind, bool calibrate) {
+      Simulator sim(7);
+      Volume v(sim, 4, kind);
+      v.disks[0]->AttachModulator(
+          std::make_shared<ConstantFactorModulator>(slow_factor));
+      double mbps = 0.0;
+      bool finished = false;
+      auto write = [&]() {
+        v.volume->WriteBlocks(1600, [&](const BatchResult& r) {
+          finished = true;
+          mbps = r.ThroughputMbps();
+        });
+      };
+      if (calibrate) {
+        v.volume->Calibrate(write);
+      } else {
+        write();
+      }
+      sim.Run();
+      EXPECT_TRUE(finished);
+      return mbps;
+    };
+    const double s = run(StriperKind::kStatic, false);
+    const double p = run(StriperKind::kProportional, true);
+    const double a = run(StriperKind::kAdaptive, false);
+    char label[64];
+    std::snprintf(label, sizeof(label), "E1 b/B=%.2f", 1.0 / slow_factor);
+    report.Check(std::string(label) + " static=N*b", s, 4.0 * b, 0.08);
+    report.Check(std::string(label) + " proportional=(N-1)B+b", p, 30.0 + b, 0.08);
+    report.Check(std::string(label) + " adaptive=(N-1)B+b", a, 30.0 + b, 0.08);
+  }
+  EXPECT_TRUE(report.AllPass()) << report.Render();
+}
+
+// E2: install-time gauging goes stale when a pair's performance changes
+// after calibration; the adaptive design keeps tracking.
+TEST(IntegrationE2, ProportionalGoesStaleAfterCalibration) {
+  auto run = [&](StriperKind kind) {
+    Simulator sim(11);
+    Volume v(sim, 4, kind);
+    // Healthy at calibration time; slows 3x shortly after.
+    v.disks[0]->AttachModulator(std::make_shared<StepModulator>(
+        std::vector<StepModulator::Step>{{SimTime::Zero() + Duration::Seconds(3.0), 3.0}}));
+    double mbps = 0.0;
+    bool finished = false;
+    v.volume->Calibrate([&]() {
+      v.volume->WriteBlocks(3200, [&](const BatchResult& r) {
+        finished = true;
+        mbps = r.ThroughputMbps();
+      });
+    });
+    sim.Run();
+    EXPECT_TRUE(finished);
+    return mbps;
+  };
+  const double proportional = run(StriperKind::kProportional);
+  const double adaptive = run(StriperKind::kAdaptive);
+  // Post-change available bandwidth = 3*10 + 3.33 = 33.3; proportional
+  // planned equal-ish shares and re-tracks the now-slow pair.
+  EXPECT_GT(adaptive, proportional * 1.2);
+}
+
+// E10/E12 kernel: detectors flag exactly the components with injected
+// long-lived faults — and flag a degrading disk before it absolutely fails.
+TEST(IntegrationDetection, DetectorMatchesInjectedGroundTruth) {
+  Simulator sim(13);
+  PerformanceStateRegistry registry;
+  FaultInjector injector(sim);
+
+  std::vector<std::unique_ptr<Disk>> disks;
+  for (int i = 0; i < 8; ++i) {
+    disks.push_back(
+        std::make_unique<Disk>(sim, "disk" + std::to_string(i), StdDisk()));
+    registry.Register(disks.back()->name(),
+                      PerformanceSpec::RateBand(10e6, 0.25));
+  }
+  // Ground truth: disks 2 and 5 are performance-faulty; benign jitter on 6.
+  injector.InjectStaticSlowdown(*disks[2], 3.0);
+  injector.InjectIntermittentSlowdown(*disks[5], 4.0, Duration::Seconds(1.0),
+                                      Duration::Seconds(4.0));
+  injector.InjectJitter(*disks[6], 0.05);
+
+  // Drive sequential streams through every disk, feeding the registry.
+  for (auto& d : disks) {
+    auto pump = std::make_shared<std::function<void(int64_t)>>();
+    Disk* disk = d.get();
+    *pump = [&sim, &registry, disk, pump](int64_t offset) {
+      if (offset >= 3000) {
+        return;
+      }
+      DiskRequest req;
+      req.kind = IoKind::kWrite;
+      req.offset_blocks = offset;
+      req.nblocks = 1;
+      req.done = [&sim, &registry, disk, pump, offset](const IoResult& r) {
+        registry.Observe(disk->name(), sim.Now(), 65536.0, r.Latency());
+        (*pump)(offset + 1);
+      };
+      disk->Submit(std::move(req));
+    };
+    (*pump)(0);
+  }
+  sim.Run();
+
+  for (int i = 0; i < 8; ++i) {
+    const std::string name = "disk" + std::to_string(i);
+    const bool flagged = registry.StateOf(name) == PerfState::kStuttering;
+    const bool truth = injector.HasPerformanceFault(name);
+    EXPECT_EQ(flagged, truth) << name;
+  }
+}
+
+TEST(IntegrationDetection, DriftFlagsBeforeAbsoluteFailure) {
+  // E12: "erratic performance may be an early indicator of impending
+  // failure" — the detector must stutter before the scheduled death.
+  Simulator sim(17);
+  PerformanceStateRegistry registry;
+  FaultInjector injector(sim);
+  Disk disk(sim, "dying", StdDisk());
+  registry.Register("dying", PerformanceSpec::RateBand(10e6, 0.25));
+
+  const SimTime death = SimTime::Zero() + Duration::Seconds(60.0);
+  injector.InjectDrift(disk, SimTime::Zero(), /*slope_per_hour=*/240.0);
+  injector.ScheduleFailStop(disk, death);
+
+  auto pump = std::make_shared<std::function<void(int64_t)>>();
+  *pump = [&](int64_t offset) {
+    DiskRequest req;
+    req.kind = IoKind::kWrite;
+    req.offset_blocks = offset;
+    req.nblocks = 1;
+    req.done = [&registry, &sim, pump, offset](const IoResult& r) {
+      if (!r.ok) {
+        registry.ObserveFailure("dying", sim.Now());
+        return;
+      }
+      registry.Observe("dying", sim.Now(), 65536.0, r.Latency());
+      (*pump)(offset + 1);
+    };
+    disk.Submit(std::move(req));
+  };
+  (*pump)(0);
+  sim.Run();
+
+  ASSERT_NE(registry.detector("dying"), nullptr);
+  EXPECT_TRUE(registry.detector("dying")->ever_stuttered());
+  const Duration lead = death - registry.detector("dying")->last_stutter_entry();
+  EXPECT_GT(lead.ToSeconds(), 10.0);
+  EXPECT_EQ(registry.StateOf("dying"), PerfState::kFailed);
+}
+
+// E11: Gray & Reuter availability under a stuttering mirror — reading from
+// the less-loaded mirror (fail-stutter-aware) beats always-primary.
+TEST(IntegrationAvailability, FasterMirrorSelectionImprovesAvailability) {
+  auto run = [&](ReadSelection selection) {
+    Simulator sim(19);
+    Volume v(sim, 2, StriperKind::kAdaptive, nullptr, selection);
+    // Episodic 8x stutter on disk0 (pair0 primary).
+    v.disks[0]->AttachModulator(std::make_shared<IntermittentSlowdownModulator>(
+        sim.rng().Fork(), 8.0, Duration::Seconds(2.0), Duration::Seconds(2.0)));
+    bool ready = false;
+    v.volume->WriteBlocks(400, [&](const BatchResult&) { ready = true; });
+    sim.Run();
+    EXPECT_TRUE(ready);
+
+    // Open-loop reads against the volume for 20 s.
+    AvailabilityTracker tracker(Duration::Millis(60));
+    Rng rng(23);
+    auto arrive = std::make_shared<std::function<void()>>();
+    const SimTime horizon = sim.Now() + Duration::Seconds(20.0);
+    *arrive = [&, arrive]() {
+      if (sim.Now() >= horizon) {
+        return;
+      }
+      v.volume->ReadBlock(rng.UniformInt(0, 399), [&](const IoResult& r) {
+        if (r.ok) {
+          tracker.RecordSuccess(r.Latency());
+        } else {
+          tracker.RecordFailure();
+        }
+      });
+      sim.Schedule(Duration::Seconds(rng.Exponential(1.0 / 40.0)), *arrive);
+    };
+    (*arrive)();
+    sim.Run();
+    EXPECT_GT(tracker.offered(), 400);
+    return tracker.Value();
+  };
+  const double primary = run(ReadSelection::kPrimary);
+  const double faster = run(ReadSelection::kFaster);
+  EXPECT_GT(faster, primary);
+  EXPECT_GT(faster, 0.9);
+}
+
+// E4 kernel: SCSI resets at farm scale visibly dent availability.
+TEST(IntegrationScsi, TimeoutStormsDentAvailability) {
+  Simulator sim(29);
+  FaultInjector injector(sim);
+  std::vector<std::unique_ptr<Disk>> disks;
+  std::vector<std::unique_ptr<ScsiChain>> chains;
+  const int kChains = 4;
+  const int kDisksPerChain = 5;
+  for (int c = 0; c < kChains; ++c) {
+    chains.push_back(std::make_unique<ScsiChain>(
+        sim, "chain" + std::to_string(c), Duration::Millis(750)));
+    for (int d = 0; d < kDisksPerChain; ++d) {
+      disks.push_back(std::make_unique<Disk>(
+          sim, "c" + std::to_string(c) + "d" + std::to_string(d), StdDisk()));
+      chains[static_cast<size_t>(c)]->Attach(*disks.back());
+    }
+  }
+  // Accelerated error process so a 10-minute window sees several resets.
+  int scheduled = 0;
+  for (auto& chain : chains) {
+    scheduled += injector.ScheduleScsiTimeouts(
+        *chain, /*per_day=*/300.0, SimTime::Zero() + Duration::Minutes(10.0));
+  }
+  ASSERT_GT(scheduled, 0);
+
+  AvailabilityTracker tracker(Duration::Millis(100));
+  Rng rng(31);
+  auto arrive = std::make_shared<std::function<void()>>();
+  const SimTime horizon = SimTime::Zero() + Duration::Minutes(10.0);
+  *arrive = [&, arrive]() {
+    if (sim.Now() >= horizon) {
+      return;
+    }
+    Disk& d = *disks[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(disks.size()) - 1))];
+    DiskRequest req;
+    req.kind = IoKind::kRead;
+    req.offset_blocks = rng.UniformInt(0, 100000);
+    req.nblocks = 1;
+    req.done = [&](const IoResult& r) {
+      if (r.ok) {
+        tracker.RecordSuccess(r.Latency());
+      } else {
+        tracker.RecordFailure();
+      }
+    };
+    d.Submit(std::move(req));
+    sim.Schedule(Duration::Seconds(rng.Exponential(1.0 / 50.0)), *arrive);
+  };
+  (*arrive)();
+  sim.Run();
+
+  EXPECT_GT(tracker.offered(), 10000);
+  EXPECT_LT(tracker.Value(), 0.999);  // resets visibly dent availability
+  EXPECT_GT(tracker.Value(), 0.8);    // but the farm still mostly serves
+}
+
+}  // namespace
+}  // namespace fst

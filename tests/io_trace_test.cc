@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/devices/disk.h"
+#include "src/simcore/rng.h"
+#include "src/simcore/simulator.h"
+#include "src/workload/io_trace.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  const ZipfGenerator zipf(100, 1.0);
+  double total = 0.0;
+  for (int64_t r = 0; r < 100; ++r) {
+    total += zipf.ProbabilityOf(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroIsHottest) {
+  const ZipfGenerator zipf(10, 1.2);
+  EXPECT_GT(zipf.ProbabilityOf(0), zipf.ProbabilityOf(1));
+  EXPECT_GT(zipf.ProbabilityOf(1), zipf.ProbabilityOf(9));
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchProbabilities) {
+  const ZipfGenerator zipf(8, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(8, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<size_t>(zipf.Sample(rng))];
+  }
+  for (int64_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(r)]) / n,
+                zipf.ProbabilityOf(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  const ZipfGenerator zipf(4, 0.0);
+  for (int64_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(zipf.ProbabilityOf(r), 0.25, 1e-9);
+  }
+}
+
+TEST(TraceGeneratorTest, SequentialLayout) {
+  const IoTrace trace =
+      TraceGenerator::Sequential(5, 100, 8, Duration::Millis(10));
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace[0].offset_blocks, 100);
+  EXPECT_EQ(trace[4].offset_blocks, 100 + 4 * 8);
+  EXPECT_EQ(trace[4].at.nanos(), Duration::Millis(40).nanos());
+}
+
+TEST(TraceGeneratorTest, ArrivalsNondecreasing) {
+  Rng rng(7);
+  for (const IoTrace& trace :
+       {TraceGenerator::RandomUniform(rng, 500, 1 << 16, 100.0),
+        TraceGenerator::ZipfHotspot(rng, 500, 1 << 16, 16, 1.0, 100.0),
+        TraceGenerator::OnOffBursts(rng, 10, 20, 8, Duration::Millis(50))}) {
+    for (size_t i = 1; i < trace.size(); ++i) {
+      ASSERT_GE(trace[i].at.nanos(), trace[i - 1].at.nanos());
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  const IoTrace ta = TraceGenerator::ZipfHotspot(a, 200, 1 << 16, 8, 1.0, 50.0);
+  const IoTrace tb = TraceGenerator::ZipfHotspot(b, 200, 1 << 16, 8, 1.0, 50.0);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i].offset_blocks, tb[i].offset_blocks);
+    ASSERT_EQ(ta[i].at.nanos(), tb[i].at.nanos());
+  }
+}
+
+TEST(TraceGeneratorTest, ZipfHotspotSkewsToFirstZone) {
+  Rng rng(9);
+  const int64_t span = 1 << 16;
+  const IoTrace trace = TraceGenerator::ZipfHotspot(rng, 5000, span, 8, 1.2, 100.0);
+  const int64_t zone_blocks = span / 8;
+  int64_t in_zone0 = 0;
+  for (const auto& rec : trace) {
+    if (rec.offset_blocks < zone_blocks) {
+      ++in_zone0;
+    }
+  }
+  // Zipf(1.2) over 8 zones: zone 0 carries ~42% of accesses.
+  EXPECT_GT(in_zone0, 5000 * 3 / 10);
+}
+
+TEST(TraceReplayerTest, ReplaysAllRecords) {
+  Simulator sim(3);
+  DiskParams p;
+  p.flat_bandwidth_mbps = 10.0;
+  p.block_bytes = 65536;
+  p.capacity_blocks = 1 << 20;
+  Disk disk(sim, "d0", p);
+  Rng rng(11);
+  const IoTrace trace = TraceGenerator::RandomUniform(rng, 200, 1 << 18, 100.0);
+  TraceReplayer replayer(sim, disk);
+  bool done = false;
+  ReplayResult result;
+  replayer.Replay(trace, [&](const ReplayResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_EQ(result.issued, 200);
+  EXPECT_EQ(result.completed_ok, 200);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_EQ(result.latency.count(), 200u);
+  EXPECT_GT(result.span.ToSeconds(), 1.0);
+}
+
+TEST(TraceReplayerTest, EmptyTraceCompletes) {
+  Simulator sim;
+  DiskParams p;
+  Disk disk(sim, "d0", p);
+  TraceReplayer replayer(sim, disk);
+  bool done = false;
+  replayer.Replay({}, [&](const ReplayResult& r) {
+    done = true;
+    EXPECT_EQ(r.issued, 0);
+  });
+  EXPECT_TRUE(done);
+}
+
+TEST(TraceReplayerTest, FailedDiskCountsFailures) {
+  Simulator sim;
+  DiskParams p;
+  Disk disk(sim, "d0", p);
+  disk.FailStop();
+  TraceReplayer replayer(sim, disk);
+  const IoTrace trace = TraceGenerator::Sequential(10, 0, 1, Duration::Millis(1));
+  bool done = false;
+  ReplayResult result;
+  replayer.Replay(trace, [&](const ReplayResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_EQ(result.failed, 10);
+  EXPECT_EQ(result.completed_ok, 0);
+}
+
+}  // namespace
+}  // namespace fst

@@ -1,0 +1,676 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "src/core/registry.h"
+#include "src/devices/disk.h"
+#include "src/devices/modulators.h"
+#include "src/faults/injector.h"
+#include "src/raid/address_map.h"
+#include "src/raid/mirror_pair.h"
+#include "src/raid/raid10.h"
+#include "src/raid/recon.h"
+#include "src/raid/striper.h"
+#include "src/simcore/simulator.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+// ---------------------------------------------------------------- address map
+
+TEST(AddressMapTest, RecordNextAllocatesSequentially) {
+  AddressMap map(2);
+  EXPECT_EQ(map.RecordNext(100, 0), 0);
+  EXPECT_EQ(map.RecordNext(200, 0), 1);
+  EXPECT_EQ(map.RecordNext(300, 1), 0);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.BlocksOnPair(0), 2);
+  EXPECT_EQ(map.BlocksOnPair(1), 1);
+  const auto loc = map.Lookup(200);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->pair, 0);
+  EXPECT_EQ(loc->physical, 1);
+  EXPECT_FALSE(map.Lookup(999).has_value());
+}
+
+TEST(AddressMapTest, OverwriteMovesLiveCount) {
+  AddressMap map(2);
+  map.RecordNext(1, 0);
+  map.RecordNext(1, 1);  // rewrite block 1 onto pair 1
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.BlocksOnPair(0), 0);
+  EXPECT_EQ(map.BlocksOnPair(1), 1);
+  // Physical space on pair 0 is not reclaimed (no compaction).
+  EXPECT_EQ(map.AllocatedOnPair(0), 1);
+}
+
+TEST(AddressMapTest, MemoryEstimateGrowsWithEntries) {
+  AddressMap map(4);
+  const size_t empty = map.EstimatedMemoryBytes();
+  for (int i = 0; i < 10000; ++i) {
+    map.RecordNext(i, i % 4);
+  }
+  EXPECT_GT(map.EstimatedMemoryBytes(), empty + 10000 * sizeof(LogicalBlock));
+}
+
+// ---------------------------------------------------------------- stripers
+
+TEST(StriperTest, StaticEqualDivision) {
+  StaticStriper s;
+  const BatchPlan plan = s.Plan(100, {1.0, 1.0, 1.0, 1.0});
+  ASSERT_EQ(plan.per_pair.size(), 4u);
+  EXPECT_FALSE(plan.pull_based);
+  for (const auto& q : plan.per_pair) {
+    EXPECT_EQ(q.size(), 25u);
+  }
+  EXPECT_FALSE(s.RequiresBookkeeping());
+}
+
+TEST(StriperTest, StaticSkipsDeadPairs) {
+  StaticStriper s;
+  const BatchPlan plan = s.Plan(90, {1.0, 0.0, 1.0});
+  EXPECT_EQ(plan.per_pair[0].size(), 45u);
+  EXPECT_EQ(plan.per_pair[1].size(), 0u);
+  EXPECT_EQ(plan.per_pair[2].size(), 45u);
+}
+
+TEST(StriperTest, StaticCoversAllBlocksExactlyOnce) {
+  StaticStriper s;
+  const BatchPlan plan = s.Plan(101, {1.0, 1.0, 1.0});
+  std::vector<bool> seen(101, false);
+  for (const auto& q : plan.per_pair) {
+    for (LogicalBlock b : q) {
+      ASSERT_FALSE(seen[static_cast<size_t>(b)]);
+      seen[static_cast<size_t>(b)] = true;
+    }
+  }
+  for (bool v : seen) {
+    EXPECT_TRUE(v);
+  }
+}
+
+TEST(StriperTest, ApportionSumsAndRatios) {
+  const auto shares = ProportionalStriper::Apportion(1000, {10.0, 10.0, 5.0});
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), int64_t{0}), 1000);
+  EXPECT_EQ(shares[0], 400);
+  EXPECT_EQ(shares[1], 400);
+  EXPECT_EQ(shares[2], 200);
+}
+
+TEST(StriperTest, ApportionHandlesRemainders) {
+  const auto shares = ProportionalStriper::Apportion(10, {1.0, 1.0, 1.0});
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), int64_t{0}), 10);
+  for (int64_t s : shares) {
+    EXPECT_GE(s, 3);
+    EXPECT_LE(s, 4);
+  }
+}
+
+TEST(StriperTest, ApportionZeroRateGetsNothing) {
+  const auto shares = ProportionalStriper::Apportion(100, {1.0, 0.0, 1.0});
+  EXPECT_EQ(shares[1], 0);
+  EXPECT_EQ(shares[0] + shares[2], 100);
+}
+
+TEST(StriperTest, ProportionalPlanMatchesApportion) {
+  ProportionalStriper s;
+  const BatchPlan plan = s.Plan(1000, {10.0, 5.0});
+  EXPECT_EQ(plan.per_pair[0].size(), 667u);
+  EXPECT_EQ(plan.per_pair[1].size(), 333u);
+  EXPECT_FALSE(s.RequiresBookkeeping());
+}
+
+TEST(StriperTest, ProportionalPlanInterleaves) {
+  // Smooth WRR: the fast pair should not be handed all its blocks first.
+  ProportionalStriper s;
+  const BatchPlan plan = s.Plan(100, {3.0, 1.0});
+  // Pair 1's first block should come early in logical order, not at 75+.
+  ASSERT_FALSE(plan.per_pair[1].empty());
+  EXPECT_LT(plan.per_pair[1].front(), 10);
+}
+
+TEST(StriperTest, AdaptiveIsPullBased) {
+  AdaptiveStriper s;
+  const BatchPlan plan = s.Plan(100, {1.0, 1.0});
+  EXPECT_TRUE(plan.pull_based);
+  EXPECT_TRUE(s.RequiresBookkeeping());
+}
+
+TEST(StriperTest, FactoryAndNames) {
+  EXPECT_EQ(MakeStriper(StriperKind::kStatic)->name(), "static");
+  EXPECT_EQ(MakeStriper(StriperKind::kProportional)->name(), "proportional");
+  EXPECT_EQ(MakeStriper(StriperKind::kAdaptive)->name(), "adaptive");
+  EXPECT_STREQ(StriperKindName(StriperKind::kAdaptive), "adaptive");
+}
+
+TEST(StriperTest, PairSimilarDisksMaximizesMinRates) {
+  // Rates {10, 9, 5, 4}: similar pairing gives (10,9),(5,4) -> mins 9+4=13;
+  // naive (10,5),(9,4) would give 5+4=9.
+  const auto pairs = PairSimilarDisks({5.0, 10.0, 4.0, 9.0});
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, 1);   // 10.0
+  EXPECT_EQ(pairs[0].second, 3);  // 9.0
+  EXPECT_EQ(pairs[1].first, 0);   // 5.0
+  EXPECT_EQ(pairs[1].second, 2);  // 4.0
+}
+
+// ---------------------------------------------------------------- fixtures
+
+DiskParams VolumeDisk(double mbps) {
+  DiskParams p;
+  p.flat_bandwidth_mbps = mbps;
+  p.block_bytes = 65536;
+  p.capacity_blocks = 1 << 20;
+  return p;
+}
+
+// A test volume: N pairs of 10 MB/s disks; one disk of pair 0 is slowed by
+// `slow_factor` (so pair 0 writes at 10/slow_factor MB/s).
+struct TestCluster {
+  TestCluster(Simulator& sim, int n_pairs, double slow_factor,
+              StriperKind kind, PerformanceStateRegistry* registry = nullptr,
+              double mbps = 10.0) {
+    for (int i = 0; i < 2 * n_pairs; ++i) {
+      disks.push_back(std::make_unique<Disk>(sim, "disk" + std::to_string(i),
+                                             VolumeDisk(mbps)));
+    }
+    if (slow_factor > 1.0) {
+      disks[0]->AttachModulator(
+          std::make_shared<ConstantFactorModulator>(slow_factor));
+    }
+    std::vector<Disk*> raw;
+    for (auto& d : disks) {
+      raw.push_back(d.get());
+    }
+    VolumeConfig config;
+    config.block_bytes = 65536;
+    config.striper = kind;
+    volume = std::make_unique<Raid10Volume>(sim, config, raw, registry);
+  }
+
+  std::vector<std::unique_ptr<Disk>> disks;
+  std::unique_ptr<Raid10Volume> volume;
+};
+
+// ---------------------------------------------------------------- mirror pair
+
+TEST(MirrorPairTest, WriteCompletesAtSlowerDisk) {
+  Simulator sim;
+  Disk fast(sim, "fast", VolumeDisk(10.0));
+  Disk slow(sim, "slow", VolumeDisk(10.0));
+  slow.AttachModulator(std::make_shared<ConstantFactorModulator>(2.0));
+  MirrorPair pair(sim, "pair0", &fast, &slow);
+  bool done = false;
+  Duration latency;
+  pair.WriteBlock(0, [&](const IoResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+    latency = r.Latency();
+  });
+  RunAndExpect(sim, done);
+  EXPECT_NEAR(latency.ToSeconds(), 2.0 * 65536.0 / 10e6, 1e-9);
+  EXPECT_EQ(pair.writes_completed(), 1);
+}
+
+TEST(MirrorPairTest, DegradedWriteSucceedsOnSurvivor) {
+  Simulator sim;
+  Disk a(sim, "a", VolumeDisk(10.0));
+  Disk b(sim, "b", VolumeDisk(10.0));
+  MirrorPair pair(sim, "pair0", &a, &b);
+  a.FailStop();
+  EXPECT_TRUE(pair.degraded());
+  EXPECT_TRUE(pair.alive());
+  EXPECT_EQ(pair.survivor(), &b);
+  bool done = false;
+  pair.WriteBlock(0, [&](const IoResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+  });
+  RunAndExpect(sim, done);
+}
+
+TEST(MirrorPairTest, PairDeathNotifiesOnce) {
+  Simulator sim;
+  Disk a(sim, "a", VolumeDisk(10.0));
+  Disk b(sim, "b", VolumeDisk(10.0));
+  MirrorPair pair(sim, "pair0", &a, &b);
+  int deaths = 0;
+  pair.OnPairFailure([&]() { ++deaths; });
+  a.FailStop();
+  EXPECT_EQ(deaths, 0);
+  b.FailStop();
+  EXPECT_EQ(deaths, 1);
+  EXPECT_FALSE(pair.alive());
+  bool failed = false;
+  pair.WriteBlock(0, [&](const IoResult& r) { failed = !r.ok; });
+  EXPECT_TRUE(failed);
+}
+
+TEST(MirrorPairTest, RoundRobinReadsAlternate) {
+  Simulator sim;
+  Disk a(sim, "a", VolumeDisk(10.0));
+  Disk b(sim, "b", VolumeDisk(10.0));
+  MirrorPair pair(sim, "pair0", &a, &b);
+  for (int i = 0; i < 4; ++i) {
+    pair.ReadBlock(0, ReadSelection::kRoundRobin, nullptr);
+  }
+  sim.Run();
+  EXPECT_EQ(a.blocks_serviced(), 2);
+  EXPECT_EQ(b.blocks_serviced(), 2);
+}
+
+TEST(MirrorPairTest, ReadFailsOverToMirror) {
+  Simulator sim;
+  Disk a(sim, "a", VolumeDisk(10.0));
+  Disk b(sim, "b", VolumeDisk(10.0));
+  MirrorPair pair(sim, "pair0", &a, &b);
+  a.FailStop();
+  bool ok = false;
+  pair.ReadBlock(0, ReadSelection::kPrimary, [&](const IoResult& r) {
+    ok = r.ok;
+  });
+  sim.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(pair.reads_completed(), 1);
+}
+
+TEST(MirrorPairTest, NominalBandwidthIsMinOfDisks) {
+  Simulator sim;
+  Disk a(sim, "a", VolumeDisk(10.0));
+  Disk b(sim, "b", VolumeDisk(6.0));
+  MirrorPair pair(sim, "pair0", &a, &b);
+  EXPECT_DOUBLE_EQ(pair.NominalBandwidthMbps(), 6.0);
+  b.FailStop();
+  EXPECT_DOUBLE_EQ(pair.NominalBandwidthMbps(), 10.0);
+}
+
+// ---------------------------------------------------------------- E1 scenarios
+
+// The central reproduction: Section 3.2's three designs against one slow
+// pair (b = B/2), N = 4 pairs at B = 10 MB/s each.
+//   scenario 1 (static):        N*b          = 20 MB/s
+//   scenario 2 (proportional):  (N-1)*B + b  = 35 MB/s
+//   scenario 3 (adaptive):      (N-1)*B + b  = 35 MB/s
+double RunScenario(StriperKind kind, bool calibrate, double slow_factor = 2.0,
+                   int n_pairs = 4, int64_t blocks = 2000) {
+  Simulator sim(1234);
+  TestCluster cluster(sim, n_pairs, slow_factor, kind);
+  double throughput = 0.0;
+  bool finished = false;
+  auto write = [&]() {
+    cluster.volume->WriteBlocks(blocks, [&](const BatchResult& r) {
+      EXPECT_TRUE(r.ok);
+      throughput = r.ThroughputMbps();
+      finished = true;
+    });
+  };
+  if (calibrate) {
+    cluster.volume->Calibrate(write);
+  } else {
+    write();
+  }
+  sim.Run();
+  EXPECT_TRUE(finished);
+  return throughput;
+}
+
+TEST(ScenarioTest, StaticTracksSlowPair) {
+  const double mbps = RunScenario(StriperKind::kStatic, false);
+  EXPECT_NEAR(mbps, 20.0, 1.0);
+}
+
+TEST(ScenarioTest, ProportionalUsesSlowPairAtItsRate) {
+  const double mbps = RunScenario(StriperKind::kProportional, true);
+  EXPECT_NEAR(mbps, 35.0, 1.5);
+}
+
+TEST(ScenarioTest, AdaptiveMatchesAvailableBandwidth) {
+  const double mbps = RunScenario(StriperKind::kAdaptive, false);
+  EXPECT_NEAR(mbps, 35.0, 1.5);
+}
+
+TEST(ScenarioTest, NoFaultAllEqual) {
+  // With no slow disk all three designs deliver ~N*B.
+  for (StriperKind kind :
+       {StriperKind::kStatic, StriperKind::kProportional, StriperKind::kAdaptive}) {
+    const double mbps = RunScenario(kind, kind == StriperKind::kProportional,
+                                    /*slow_factor=*/1.0);
+    EXPECT_NEAR(mbps, 40.0, 1.5) << StriperKindName(kind);
+  }
+}
+
+TEST(ScenarioTest, ProportionalWithoutCalibrationFallsBackToNominal) {
+  // Uncalibrated, the proportional design plans on (identical) nominal
+  // rates and degenerates to the static design's N*b.
+  const double mbps = RunScenario(StriperKind::kProportional, false);
+  EXPECT_NEAR(mbps, 20.0, 1.0);
+}
+
+// ---------------------------------------------------------------- volume mechanics
+
+TEST(VolumeTest, AllBlocksMappedExactlyOnce) {
+  Simulator sim;
+  TestCluster cluster(sim, 4, 2.0, StriperKind::kAdaptive);
+  bool finished = false;
+  cluster.volume->WriteBlocks(500, [&](const BatchResult& r) {
+    finished = true;
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.blocks, 500);
+    int64_t total = 0;
+    for (int64_t c : r.blocks_per_pair) {
+      total += c;
+    }
+    EXPECT_EQ(total, 500);
+  });
+  RunAndExpect(sim, finished);
+  const AddressMap& map = cluster.volume->address_map();
+  EXPECT_EQ(map.size(), 500u);
+  for (LogicalBlock b = 0; b < 500; ++b) {
+    EXPECT_TRUE(map.Lookup(b).has_value()) << b;
+  }
+}
+
+TEST(VolumeTest, AdaptivePlacesFewerBlocksOnSlowPair) {
+  Simulator sim;
+  TestCluster cluster(sim, 4, 2.0, StriperKind::kAdaptive);
+  bool finished = false;
+  std::vector<int64_t> per_pair;
+  cluster.volume->WriteBlocks(2000, [&](const BatchResult& r) {
+    finished = true;
+    per_pair = r.blocks_per_pair;
+  });
+  RunAndExpect(sim, finished);
+  // Slow pair (0) runs at half rate: ~2/7 of a fast pair's share.
+  EXPECT_LT(per_pair[0], per_pair[1] * 0.65);
+  EXPECT_NEAR(static_cast<double>(per_pair[0]),
+              2000.0 * 5.0 / 35.0, 2000.0 * 0.03);
+}
+
+TEST(VolumeTest, CalibrationMeasuresSlowPair) {
+  Simulator sim;
+  TestCluster cluster(sim, 4, 2.0, StriperKind::kProportional);
+  bool calibrated = false;
+  cluster.volume->Calibrate([&]() { calibrated = true; });
+  RunAndExpect(sim, calibrated);
+  ASSERT_TRUE(cluster.volume->calibrated());
+  const auto& rates = cluster.volume->calibrated_rates();
+  EXPECT_NEAR(rates[0] / rates[1], 0.5, 0.05);
+  EXPECT_NEAR(rates[1], 10e6, 0.5e6);
+}
+
+TEST(VolumeTest, PairDeathHaltsVolume) {
+  Simulator sim;
+  TestCluster cluster(sim, 3, 1.0, StriperKind::kStatic);
+  bool finished = false;
+  bool batch_ok = true;
+  cluster.volume->WriteBlocks(3000, [&](const BatchResult& r) {
+    finished = true;
+    batch_ok = r.ok;
+  });
+  // Kill both disks of pair 1 mid-batch.
+  sim.Schedule(Duration::Millis(100), [&]() {
+    cluster.disks[2]->FailStop();
+    cluster.disks[3]->FailStop();
+  });
+  RunAndExpect(sim, finished);
+  EXPECT_FALSE(batch_ok);
+  EXPECT_TRUE(cluster.volume->halted());
+  // Subsequent batches fail immediately.
+  bool second_done = false;
+  cluster.volume->WriteBlocks(10, [&](const BatchResult& r) {
+    second_done = true;
+    EXPECT_FALSE(r.ok);
+  });
+  EXPECT_TRUE(second_done);
+}
+
+TEST(VolumeTest, SingleDiskFailureDegradesButCompletes) {
+  Simulator sim;
+  TestCluster cluster(sim, 3, 1.0, StriperKind::kAdaptive);
+  bool finished = false;
+  bool batch_ok = false;
+  cluster.volume->WriteBlocks(1500, [&](const BatchResult& r) {
+    finished = true;
+    batch_ok = r.ok;
+  });
+  sim.Schedule(Duration::Millis(100), [&]() { cluster.disks[0]->FailStop(); });
+  RunAndExpect(sim, finished);
+  EXPECT_TRUE(batch_ok);
+  EXPECT_FALSE(cluster.volume->halted());
+  EXPECT_TRUE(cluster.volume->pair(0).degraded());
+}
+
+TEST(VolumeTest, EjectRedistributesStaticQueue) {
+  Simulator sim;
+  TestCluster cluster(sim, 4, 1.0, StriperKind::kStatic);
+  bool finished = false;
+  std::vector<int64_t> per_pair;
+  cluster.volume->WriteBlocks(2000, [&](const BatchResult& r) {
+    finished = true;
+    EXPECT_TRUE(r.ok);
+    per_pair = r.blocks_per_pair;
+  });
+  sim.Schedule(Duration::Millis(200), [&]() { cluster.volume->EjectPair(0); });
+  RunAndExpect(sim, finished);
+  EXPECT_TRUE(cluster.volume->IsEjected(0));
+  // Pair 0 got strictly fewer than its static share; everything still landed.
+  EXPECT_LT(per_pair[0], 500);
+  EXPECT_EQ(per_pair[0] + per_pair[1] + per_pair[2] + per_pair[3], 2000);
+}
+
+TEST(VolumeTest, EjectRefusesLastPair) {
+  Simulator sim;
+  TestCluster cluster(sim, 2, 1.0, StriperKind::kAdaptive);
+  cluster.volume->EjectPair(0);
+  EXPECT_TRUE(cluster.volume->IsEjected(0));
+  cluster.volume->EjectPair(1);
+  EXPECT_FALSE(cluster.volume->IsEjected(1));
+}
+
+TEST(VolumeTest, ReadBackAllBlocks) {
+  Simulator sim;
+  TestCluster cluster(sim, 2, 1.0, StriperKind::kAdaptive);
+  bool finished = false;
+  cluster.volume->WriteBlocks(200, [&](const BatchResult&) { finished = true; });
+  RunAndExpect(sim, finished);
+  int ok_reads = 0;
+  for (LogicalBlock b = 0; b < 200; ++b) {
+    cluster.volume->ReadBlock(b, [&](const IoResult& r) {
+      if (r.ok) {
+        ++ok_reads;
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(ok_reads, 200);
+}
+
+TEST(VolumeTest, ReadUnmappedBlockFails) {
+  Simulator sim;
+  TestCluster cluster(sim, 2, 1.0, StriperKind::kAdaptive);
+  bool failed = false;
+  cluster.volume->ReadBlock(42, [&](const IoResult& r) { failed = !r.ok; });
+  EXPECT_TRUE(failed);
+}
+
+TEST(VolumeTest, RegistryDetectsSlowPairDuringBatch) {
+  Simulator sim;
+  PerformanceStateRegistry registry;
+  TestCluster cluster(sim, 4, 3.0, StriperKind::kStatic, &registry);
+  bool finished = false;
+  cluster.volume->WriteBlocks(4000, [&](const BatchResult&) { finished = true; });
+  RunAndExpect(sim, finished);
+  EXPECT_EQ(registry.StateOf("pair0"), PerfState::kStuttering);
+  EXPECT_EQ(registry.StateOf("pair1"), PerfState::kHealthy);
+  // Thousands of per-block observations; only O(1) state changes published.
+  EXPECT_GE(registry.observations(), 4000u);
+  EXPECT_LE(registry.history().size(), 3u);
+}
+
+TEST(VolumeTest, TotalNominalSumsLivePairs) {
+  Simulator sim;
+  TestCluster cluster(sim, 4, 2.0, StriperKind::kStatic);
+  // Modulated slowdown does not change nominal (spec-sheet) bandwidth.
+  EXPECT_DOUBLE_EQ(cluster.volume->TotalNominalMbps(), 40.0);
+}
+
+// ---------------------------------------------------------------- rebuild
+
+TEST(RebuildTest, CopiesExtentAndAdoptsSpare) {
+  Simulator sim;
+  Disk a(sim, "a", VolumeDisk(10.0));
+  Disk b(sim, "b", VolumeDisk(10.0));
+  Disk spare(sim, "spare", VolumeDisk(10.0));
+  MirrorPair pair(sim, "pair0", &a, &b);
+  // Write 100 blocks, then lose disk b.
+  int writes = 0;
+  for (PhysicalBlock p = 0; p < 100; ++p) {
+    pair.WriteBlock(p, [&](const IoResult& r) {
+      if (r.ok) {
+        ++writes;
+      }
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(writes, 100);
+  b.FailStop();
+  ASSERT_TRUE(pair.degraded());
+
+  Rebuilder rebuilder(sim, RebuildParams{32});
+  bool rebuilt = false;
+  Duration elapsed;
+  rebuilder.Rebuild(pair, &spare, 100, [&](Duration d, bool ok) {
+    rebuilt = true;
+    elapsed = d;
+    EXPECT_TRUE(ok);
+  });
+  RunAndExpect(sim, rebuilt);
+  EXPECT_EQ(rebuilder.blocks_copied(), 100);
+  EXPECT_FALSE(pair.degraded());
+  EXPECT_EQ(pair.alive_disks(), 2);
+  EXPECT_GT(elapsed.ToSeconds(), 0.0);
+  // The adopted spare now absorbs mirrored writes.
+  bool done = false;
+  pair.WriteBlock(100, [&](const IoResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+  });
+  RunAndExpect(sim, done);
+  EXPECT_GT(spare.blocks_serviced(), 100);
+}
+
+TEST(RebuildTest, SurvivorDeathAbortsRebuild) {
+  Simulator sim;
+  Disk a(sim, "a", VolumeDisk(10.0));
+  Disk b(sim, "b", VolumeDisk(10.0));
+  Disk spare(sim, "spare", VolumeDisk(10.0));
+  MirrorPair pair(sim, "pair0", &a, &b);
+  b.FailStop();
+  Rebuilder rebuilder(sim);
+  bool called = false;
+  bool ok = true;
+  rebuilder.Rebuild(pair, &spare, 10000, [&](Duration, bool success) {
+    called = true;
+    ok = success;
+  });
+  sim.Schedule(Duration::Millis(10), [&]() { a.FailStop(); });
+  RunAndExpect(sim, called);
+  EXPECT_FALSE(ok);
+}
+
+TEST(VolumeTest, HotSparePool) {
+  Simulator sim;
+  TestCluster cluster(sim, 2, 1.0, StriperKind::kStatic);
+  Disk spare(sim, "spare", VolumeDisk(10.0));
+  EXPECT_EQ(cluster.volume->TakeHotSpare(), nullptr);
+  cluster.volume->AddHotSpare(&spare);
+  EXPECT_EQ(cluster.volume->spare_count(), 1u);
+  EXPECT_EQ(cluster.volume->TakeHotSpare(), &spare);
+  EXPECT_EQ(cluster.volume->spare_count(), 0u);
+}
+
+
+// ---------------------------------------------------------------- edge cases
+
+TEST(VolumeTest, ZeroBlockBatchCompletesImmediately) {
+  Simulator sim;
+  TestCluster cluster(sim, 2, 1.0, StriperKind::kAdaptive);
+  bool finished = false;
+  cluster.volume->WriteBlocks(0, [&](const BatchResult& r) {
+    finished = true;
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.blocks, 0);
+  });
+  EXPECT_TRUE(finished);  // no events needed
+}
+
+TEST(VolumeTest, SinglePairVolumeWorks) {
+  Simulator sim;
+  TestCluster cluster(sim, 1, 1.0, StriperKind::kStatic);
+  bool finished = false;
+  cluster.volume->WriteBlocks(100, [&](const BatchResult& r) {
+    finished = true;
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.blocks_per_pair[0], 100);
+  });
+  RunAndExpect(sim, finished);
+}
+
+TEST(VolumeTest, BackToBackBatches) {
+  Simulator sim;
+  TestCluster cluster(sim, 2, 1.0, StriperKind::kAdaptive);
+  int batches = 0;
+  std::function<void(int)> next = [&](int remaining) {
+    if (remaining == 0) {
+      return;
+    }
+    cluster.volume->WriteBlocks(50, [&, remaining](const BatchResult& r) {
+      EXPECT_TRUE(r.ok);
+      ++batches;
+      next(remaining - 1);
+    });
+  };
+  next(3);
+  sim.Run();
+  EXPECT_EQ(batches, 3);
+  // Logical blocks overwrite across batches: the map holds one entry per
+  // distinct logical block.
+  EXPECT_EQ(cluster.volume->address_map().size(), 50u);
+}
+
+TEST(VolumeTest, CalibrateWithDeadPairSkipsIt) {
+  Simulator sim;
+  TestCluster cluster(sim, 3, 1.0, StriperKind::kProportional);
+  cluster.disks[0]->FailStop();
+  cluster.disks[1]->FailStop();  // pair 0 dead before calibration
+  // Pair death halts the volume per paper semantics; calibration still
+  // reports (rate 0 for the dead pair).
+  bool calibrated = false;
+  cluster.volume->Calibrate([&]() { calibrated = true; });
+  sim.Run();
+  EXPECT_TRUE(calibrated);
+  EXPECT_DOUBLE_EQ(cluster.volume->calibrated_rates()[0], 0.0);
+  EXPECT_GT(cluster.volume->calibrated_rates()[1], 0.0);
+}
+
+TEST(StriperTest, ZeroBlocksPlansEmpty) {
+  for (StriperKind kind : {StriperKind::kStatic, StriperKind::kProportional}) {
+    auto striper = MakeStriper(kind);
+    const BatchPlan plan = striper->Plan(0, {1.0, 1.0});
+    for (const auto& q : plan.per_pair) {
+      EXPECT_TRUE(q.empty()) << striper->name();
+    }
+  }
+}
+
+TEST(StriperTest, SinglePairGetsEverything) {
+  StaticStriper s;
+  const BatchPlan plan = s.Plan(42, {1.0});
+  ASSERT_EQ(plan.per_pair.size(), 1u);
+  EXPECT_EQ(plan.per_pair[0].size(), 42u);
+}
+
+}  // namespace
+}  // namespace fst

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "src/devices/network.h"
+#include "src/devices/node.h"
+#include "src/faults/catalog.h"
+#include "src/river/distributed_queue.h"
+#include "src/simcore/simulator.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+// 4 producers on ports 0-3, 4 consumers on ports 4-7.
+struct DqRig {
+  DqRig(Simulator& sim, DqParams params) {
+    SwitchParams sp;
+    sp.ports = 8;
+    sp.link_mbps = 100.0;
+    sp.fabric_buffer_bytes = 8 << 20;
+    net = std::make_unique<Switch>(sim, sp);
+    NodeParams np;
+    np.cpu_rate = 1e6;
+    for (int i = 0; i < 4; ++i) {
+      consumers.push_back(
+          std::make_unique<Node>(sim, "consumer" + std::to_string(i), np));
+    }
+    std::vector<Node*> raw;
+    for (auto& c : consumers) {
+      raw.push_back(c.get());
+    }
+    dq = std::make_unique<DistributedQueue>(
+        sim, *net, std::vector<int>{0, 1, 2, 3}, std::vector<int>{4, 5, 6, 7},
+        raw, params);
+  }
+  std::unique_ptr<Switch> net;
+  std::vector<std::unique_ptr<Node>> consumers;
+  std::unique_ptr<DistributedQueue> dq;
+};
+
+DqParams SmallDq(DqDispatch dispatch) {
+  DqParams p;
+  p.records_per_producer = 500;
+  p.record_bytes = 8192;
+  p.work_per_record = 1000.0;
+  p.credits_per_consumer = 4;
+  p.dispatch = dispatch;
+  return p;
+}
+
+TEST(DistributedQueueTest, ProcessesEveryRecordEvenly) {
+  Simulator sim(3);
+  DqRig rig(sim, SmallDq(DqDispatch::kCreditBalanced));
+  bool done = false;
+  DqResult result;
+  rig.dq->Run([&](const DqResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_TRUE(result.ok);
+  const int64_t total = std::accumulate(result.records_per_consumer.begin(),
+                                        result.records_per_consumer.end(),
+                                        int64_t{0});
+  EXPECT_EQ(total, 2000);
+  for (int64_t c : result.records_per_consumer) {
+    EXPECT_NEAR(static_cast<double>(c), 500.0, 60.0);
+  }
+}
+
+TEST(DistributedQueueTest, SlowConsumerGetsProportionallyLess) {
+  Simulator sim(3);
+  DqRig rig(sim, SmallDq(DqDispatch::kCreditBalanced));
+  rig.consumers[0]->AttachModulator(MakeCpuHog());  // 2x slower
+  bool done = false;
+  DqResult result;
+  rig.dq->Run([&](const DqResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  // Rates 0.5 : 1 : 1 : 1 -> slow consumer takes ~2/7 of a healthy share.
+  EXPECT_LT(result.records_per_consumer[0],
+            result.records_per_consumer[1] * 0.65);
+}
+
+TEST(DistributedQueueTest, CreditModeBeatsRoundRobinUnderStutter) {
+  auto run = [](DqDispatch dispatch) {
+    Simulator sim(3);
+    DqRig rig(sim, SmallDq(dispatch));
+    rig.consumers[0]->AttachModulator(MakeCpuHog());
+    double rps = 0.0;
+    bool done = false;
+    rig.dq->Run([&](const DqResult& r) {
+      done = true;
+      rps = r.records_per_sec;
+    });
+    sim.Run();
+    EXPECT_TRUE(done);
+    return rps;
+  };
+  const double credit = run(DqDispatch::kCreditBalanced);
+  const double rr = run(DqDispatch::kRoundRobin);
+  // Round-robin is gated by the 2x-slow consumer (~2000 rec/s); the
+  // credit-balanced DQ delivers ~sum of rates (~3500 rec/s).
+  EXPECT_GT(credit / rr, 1.4);
+}
+
+TEST(DistributedQueueTest, ConsumerDeathFailsJob) {
+  Simulator sim(5);
+  DqRig rig(sim, SmallDq(DqDispatch::kCreditBalanced));
+  bool done = false;
+  bool ok = true;
+  rig.dq->Run([&](const DqResult& r) {
+    done = true;
+    ok = r.ok;
+  });
+  sim.Schedule(Duration::Millis(100), [&]() { rig.consumers[2]->FailStop(); });
+  RunAndExpect(sim, done);
+  EXPECT_FALSE(ok);
+}
+
+TEST(DistributedQueueTest, ZeroRecordsCompletesImmediately) {
+  Simulator sim;
+  DqParams p = SmallDq(DqDispatch::kCreditBalanced);
+  p.records_per_producer = 0;
+  DqRig rig(sim, p);
+  bool done = false;
+  rig.dq->Run([&](const DqResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+  });
+  EXPECT_TRUE(done);
+}
+
+TEST(DistributedQueueTest, DeterministicReplay) {
+  auto run = []() {
+    Simulator sim(7);
+    DqRig rig(sim, SmallDq(DqDispatch::kCreditBalanced));
+    rig.consumers[1]->AttachModulator(MakeCpuHog());
+    int64_t makespan = 0;
+    rig.dq->Run([&](const DqResult& r) { makespan = r.makespan.nanos(); });
+    sim.Run();
+    return makespan;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace fst
+
+// ------------------------------------------------------------ graduated decluster
+
+#include "src/river/graduated_decluster.h"
+#include "src/devices/modulators.h"
+
+namespace fst {
+namespace {
+
+DiskParams GdDisk() {
+  DiskParams p;
+  p.flat_bandwidth_mbps = 10.0;
+  p.block_bytes = 65536;
+  p.capacity_blocks = 1 << 20;
+  return p;
+}
+
+struct GdRig {
+  GdRig(Simulator& sim, int n) {
+    for (int i = 0; i < n; ++i) {
+      disks.push_back(
+          std::make_unique<Disk>(sim, "gd" + std::to_string(i), GdDisk()));
+    }
+  }
+  std::vector<Disk*> raw() {
+    std::vector<Disk*> out;
+    for (auto& d : disks) {
+      out.push_back(d.get());
+    }
+    return out;
+  }
+  std::vector<std::unique_ptr<Disk>> disks;
+};
+
+GdParams SmallGd(ReplicaChoice choice) {
+  GdParams p;
+  p.blocks_per_segment = 512;
+  p.chunk_blocks = 16;
+  p.choice = choice;
+  return p;
+}
+
+TEST(GraduatedDeclusterTest, HealthyClusterBalancedService) {
+  Simulator sim(3);
+  GdRig rig(sim, 8);
+  GraduatedDecluster gd(sim, rig.raw(), SmallGd(ReplicaChoice::kGraduated));
+  bool done = false;
+  GdResult result;
+  gd.Run([&](const GdResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_TRUE(result.ok);
+  int64_t total = 0;
+  for (int64_t b : result.blocks_served_by_disk) {
+    total += b;
+  }
+  EXPECT_EQ(total, 8 * 512);
+  EXPECT_NEAR(result.aggregate_mbps, 76.0, 8.0);  // two streams/disk: some seeks
+}
+
+TEST(GraduatedDeclusterTest, SlowDiskLoadShiftsToMirror) {
+  Simulator sim(3);
+  GdRig rig(sim, 8);
+  rig.disks[2]->AttachModulator(
+      std::make_shared<ConstantFactorModulator>(3.0));
+  GraduatedDecluster gd(sim, rig.raw(), SmallGd(ReplicaChoice::kGraduated));
+  bool done = false;
+  GdResult result;
+  gd.Run([&](const GdResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  // The slow disk serves far fewer blocks than its healthy peers.
+  EXPECT_LT(result.blocks_served_by_disk[2],
+            result.blocks_served_by_disk[5] / 2);
+}
+
+TEST(GraduatedDeclusterTest, GdBeatsFixedPrimaryUnderStutter) {
+  auto run = [](ReplicaChoice choice) {
+    Simulator sim(3);
+    GdRig rig(sim, 8);
+    rig.disks[2]->AttachModulator(
+        std::make_shared<ConstantFactorModulator>(3.0));
+    GraduatedDecluster gd(sim, rig.raw(), SmallGd(choice));
+    double mbps = 0.0;
+    bool done = false;
+    gd.Run([&](const GdResult& r) {
+      done = true;
+      mbps = r.aggregate_mbps;
+    });
+    sim.Run();
+    EXPECT_TRUE(done);
+    return mbps;
+  };
+  const double gd = run(ReplicaChoice::kGraduated);
+  const double fixed = run(ReplicaChoice::kFixedPrimary);
+  // Fixed-primary gates on the slow disk (N * b = 8 * 3.3 = ~27 MB/s).
+  EXPECT_NEAR(fixed, 8.0 * 10.0 / 3.0, 3.0);
+  EXPECT_GT(gd / fixed, 1.5);
+}
+
+TEST(GraduatedDeclusterTest, DiskDeathFallsOverToReplica) {
+  Simulator sim(5);
+  GdRig rig(sim, 4);
+  rig.disks[1]->FailStop();
+  GraduatedDecluster gd(sim, rig.raw(), SmallGd(ReplicaChoice::kGraduated));
+  bool done = false;
+  GdResult result;
+  gd.Run([&](const GdResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.blocks_served_by_disk[1], 0);
+}
+
+}  // namespace
+}  // namespace fst

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/devices/disk.h"
+#include "src/devices/modulators.h"
+#include "src/devices/node.h"
+#include "src/faults/catalog.h"
+#include "src/simcore/simulator.h"
+#include "src/workload/scan_query.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+struct DbCluster {
+  DbCluster(Simulator& sim, int n) {
+    DiskParams dp;
+    dp.flat_bandwidth_mbps = 10.0;
+    dp.block_bytes = 65536;
+    NodeParams np;
+    np.cpu_rate = 1e6;
+    for (int i = 0; i < n; ++i) {
+      disks.push_back(
+          std::make_unique<Disk>(sim, "frag" + std::to_string(i), dp));
+      nodes.push_back(
+          std::make_unique<Node>(sim, "proc" + std::to_string(i), np));
+    }
+  }
+  std::vector<Disk*> raw_disks() {
+    std::vector<Disk*> out;
+    for (auto& d : disks) {
+      out.push_back(d.get());
+    }
+    return out;
+  }
+  std::vector<Node*> raw_nodes() {
+    std::vector<Node*> out;
+    for (auto& n : nodes) {
+      out.push_back(n.get());
+    }
+    return out;
+  }
+  std::vector<std::unique_ptr<Disk>> disks;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+ScanParams SmallScan(bool adaptive) {
+  ScanParams p;
+  p.total_tuples = 1 << 18;
+  p.tuple_bytes = 200;
+  p.tuples_per_chunk = 4096;
+  p.work_per_tuple = 0.5;
+  p.adaptive = adaptive;
+  return p;
+}
+
+TEST(ScanQueryTest, CompletesAndCountsTuples) {
+  Simulator sim;
+  DbCluster db(sim, 4);
+  ScanQuery query(sim, SmallScan(false), db.raw_disks(), db.raw_nodes());
+  bool done = false;
+  ScanResult result;
+  query.Run([&](const ScanResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_TRUE(result.ok);
+  int64_t total = 0;
+  for (int64_t t : result.tuples_per_node) {
+    total += t;
+  }
+  EXPECT_EQ(total, SmallScan(false).total_tuples);
+  for (int64_t t : result.tuples_per_node) {
+    EXPECT_EQ(t, SmallScan(false).total_tuples / 4);  // even decluster
+  }
+}
+
+TEST(ScanQueryTest, StragglerFragmentGatesStaticQuery) {
+  // The parallel-DB claim: "if performance of a single disk is
+  // consistently lower than the rest, the performance of the entire
+  // storage system tracks that of the single, slow disk."
+  auto run = [](bool slow, bool adaptive) {
+    Simulator sim(3);
+    DbCluster db(sim, 8);
+    if (slow) {
+      db.disks[0]->AttachModulator(
+          std::make_shared<ConstantFactorModulator>(2.5));
+    }
+    ScanQuery query(sim, SmallScan(adaptive), db.raw_disks(), db.raw_nodes());
+    double latency = 0.0;
+    bool done = false;
+    query.Run([&](const ScanResult& r) {
+      done = true;
+      latency = r.latency.ToSeconds();
+    });
+    sim.Run();
+    EXPECT_TRUE(done);
+    return latency;
+  };
+  const double clean = run(false, false);
+  const double straggler_static = run(true, false);
+  const double straggler_adaptive = run(true, true);
+  // This scan is IO-bound, so the 2.5x-slow fragment gates the query.
+  EXPECT_GT(straggler_static / clean, 2.0);
+  // Chunk stealing recovers most of it (1/8 of capacity degraded).
+  EXPECT_LT(straggler_adaptive / clean, 1.4);
+}
+
+TEST(ScanQueryTest, AdaptiveSkewsChunksAwayFromStraggler) {
+  Simulator sim(5);
+  DbCluster db(sim, 4);
+  db.disks[0]->AttachModulator(std::make_shared<ConstantFactorModulator>(3.0));
+  ScanQuery query(sim, SmallScan(true), db.raw_disks(), db.raw_nodes());
+  bool done = false;
+  ScanResult result;
+  query.Run([&](const ScanResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_LT(result.tuples_per_node[0], result.tuples_per_node[1]);
+}
+
+TEST(ScanQueryTest, FragmentFailureFailsQuery) {
+  Simulator sim(7);
+  DbCluster db(sim, 4);
+  ScanQuery query(sim, SmallScan(false), db.raw_disks(), db.raw_nodes());
+  bool done = false;
+  bool ok = true;
+  query.Run([&](const ScanResult& r) {
+    done = true;
+    ok = r.ok;
+  });
+  sim.Schedule(Duration::Millis(100), [&]() { db.disks[1]->FailStop(); });
+  RunAndExpect(sim, done);
+  EXPECT_FALSE(ok);
+}
+
+TEST(ScanQueryTest, ZeroTuplesCompletesImmediately) {
+  Simulator sim;
+  DbCluster db(sim, 2);
+  ScanParams p = SmallScan(false);
+  p.total_tuples = 0;
+  ScanQuery query(sim, p, db.raw_disks(), db.raw_nodes());
+  bool done = false;
+  query.Run([&](const ScanResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace fst

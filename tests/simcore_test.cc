@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/simcore/event_queue.h"
+#include "src/simcore/metrics.h"
+#include "src/simcore/rng.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/stats.h"
+#include "src/simcore/time.h"
+#include "src/simcore/timeseries.h"
+#include "src/simcore/trace.h"
+
+namespace fst {
+namespace {
+
+// ---------------------------------------------------------------- time
+
+TEST(TimeTest, DurationConstructorsAgree) {
+  EXPECT_EQ(Duration::Micros(1).nanos(), 1000);
+  EXPECT_EQ(Duration::Millis(1).nanos(), 1000000);
+  EXPECT_EQ(Duration::Seconds(1.0).nanos(), 1000000000);
+  EXPECT_EQ(Duration::Minutes(1.0).nanos(), Duration::Seconds(60.0).nanos());
+  EXPECT_EQ(Duration::Hours(1.0).nanos(), Duration::Minutes(60.0).nanos());
+}
+
+TEST(TimeTest, DurationArithmetic) {
+  const Duration a = Duration::Millis(3);
+  const Duration b = Duration::Millis(2);
+  EXPECT_EQ((a + b).nanos(), Duration::Millis(5).nanos());
+  EXPECT_EQ((a - b).nanos(), Duration::Millis(1).nanos());
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+  EXPECT_EQ((a * 2.0).nanos(), Duration::Millis(6).nanos());
+  EXPECT_EQ((a / 3.0).nanos(), Duration::Millis(1).nanos());
+}
+
+TEST(TimeTest, SimTimeOrderingAndOffset) {
+  const SimTime t0 = SimTime::Zero();
+  const SimTime t1 = t0 + Duration::Seconds(1.0);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - t0).nanos(), Duration::Seconds(1.0).nanos());
+  EXPECT_EQ((t1 - Duration::Seconds(1.0)).nanos(), t0.nanos());
+}
+
+TEST(TimeTest, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::Nanos(12).ToString(), "12ns");
+  EXPECT_EQ(Duration::Micros(3).ToString(), "3.00us");
+  EXPECT_EQ(Duration::Millis(5).ToString(), "5.00ms");
+  EXPECT_EQ(Duration::Seconds(2.5).ToString(), "2.500s");
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const int64_t v = rng.UniformInt(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++seen[static_cast<size_t>(v)];
+  }
+  for (int count : seen) {
+    EXPECT_NEAR(count, 10000, 500);  // ~5 sigma
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.Normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ParetoLowerBound) {
+  Rng rng(15);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // The child stream must not replay the parent stream.
+  Rng parent2(21);
+  parent2.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.NextU64() == parent.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+// ---------------------------------------------------------------- event queue
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(SimTime(30), [&]() { order.push_back(3); });
+  q.Push(SimTime(10), [&]() { order.push_back(1); });
+  q.Push(SimTime(20), [&]() { order.push_back(2); });
+  while (auto e = q.Pop()) {
+    e->cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(SimTime(5), [&order, i]() { order.push_back(i); });
+  }
+  while (auto e = q.Pop()) {
+    e->cb();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.Push(SimTime(10), [&]() { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // double-cancel fails
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(EventId{}));
+  EXPECT_FALSE(q.Cancel(EventId{999}));
+}
+
+TEST(EventQueueTest, PeekSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.Push(SimTime(1), []() {});
+  q.Push(SimTime(2), []() {});
+  q.Cancel(early);
+  ASSERT_TRUE(q.PeekTime().has_value());
+  EXPECT_EQ(q.PeekTime()->nanos(), 2);
+}
+
+TEST(EventQueueTest, LiveSizeTracksCancellation) {
+  EventQueue q;
+  const EventId a = q.Push(SimTime(1), []() {});
+  q.Push(SimTime(2), []() {});
+  EXPECT_EQ(q.live_size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.live_size(), 1u);
+}
+
+// ---------------------------------------------------------------- simulator
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.Schedule(Duration::Millis(5), [&]() { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen.nanos(), Duration::Millis(5).nanos());
+  EXPECT_EQ(sim.Now().nanos(), Duration::Millis(5).nanos());
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<int64_t> times;
+  sim.Schedule(Duration::Millis(1), [&]() {
+    times.push_back(sim.Now().nanos());
+    sim.Schedule(Duration::Millis(1), [&]() {
+      times.push_back(sim.Now().nanos());
+    });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[1] - times[0], Duration::Millis(1).nanos());
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Duration::Millis(1), [&]() { ++fired; });
+  sim.Schedule(Duration::Millis(10), [&]() { ++fired; });
+  sim.RunUntil(SimTime::Zero() + Duration::Millis(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now().nanos(), Duration::Millis(5).nanos());
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(Duration::Millis(1), [&]() {
+    bool fired = false;
+    sim.Schedule(Duration::Millis(-5), [&]() { fired = true; });
+    (void)fired;
+  });
+  EXPECT_NO_THROW(sim.Run());
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.Schedule(Duration::Millis(1), [&]() { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunStepsFiresExactly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(Duration::Millis(i + 1), [&]() { ++fired; });
+  }
+  EXPECT_EQ(sim.RunSteps(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RequestStopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Duration::Millis(1), [&]() {
+    ++fired;
+    sim.RequestStop();
+  });
+  sim.Schedule(Duration::Millis(2), [&]() { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, MaxEventsGuardThrows) {
+  Simulator sim;
+  sim.set_max_events(100);
+  std::function<void()> loop = [&]() { sim.Schedule(Duration::Nanos(1), loop); };
+  sim.Schedule(Duration::Nanos(1), loop);
+  EXPECT_THROW(sim.Run(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(OnlineStatsTest, MomentsMatchClosedForm) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3.0, 1.5);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(HistogramTest, QuantileBoundedError) {
+  Histogram h;
+  std::vector<double> values;
+  Rng rng(31);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Pareto(100.0, 1.2);
+    values.push_back(v);
+    h.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const double approx = h.Quantile(q);
+    // Log-linear buckets with 32 sub-buckets: <= ~3.2% relative error,
+    // allow slack for the ceil-vs-index convention.
+    EXPECT_NEAR(approx, exact, exact * 0.05) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) {
+    h.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 9.0);
+}
+
+TEST(HistogramTest, FractionAtOrBelow) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(i);
+  }
+  EXPECT_NEAR(h.FractionAtOrBelow(50.0), 0.5, 0.02);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrBelow(1000.0), 1.0);
+  EXPECT_NEAR(h.FractionAtOrBelow(0.0), 0.0, 0.011);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Add(10.0);
+    b.Add(1000.0);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.min(), 10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+  EXPECT_NEAR(a.Quantile(0.25), 10.0, 1.0);
+}
+
+TEST(TimeWeightedAverageTest, WeightsByHoldTime) {
+  TimeWeightedAverage twa;
+  twa.Update(SimTime(0), 0.0);
+  twa.Update(SimTime(10), 10.0);  // value 0 held 10ns
+  twa.Update(SimTime(30), 0.0);   // value 10 held 20ns
+  // Average over [0,30]: (0*10 + 10*20)/30 = 6.67
+  EXPECT_NEAR(twa.Average(SimTime(30)), 200.0 / 30.0, 1e-9);
+}
+
+TEST(RateMeterTest, WindowedRate) {
+  RateMeter meter(Duration::Seconds(1.0));
+  SimTime t = SimTime::Zero();
+  for (int i = 0; i < 10; ++i) {
+    t = t + Duration::Millis(100);
+    meter.Record(t, 1.0);
+  }
+  EXPECT_NEAR(meter.RatePerSecond(t), 10.0, 0.01);
+  // After 2 idle seconds the window is empty.
+  EXPECT_NEAR(meter.RatePerSecond(t + Duration::Seconds(2.0)), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(meter.total(), 10.0);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricRegistry reg;
+  reg.GetCounter("x").Increment();
+  reg.GetCounter("x").Increment(2.5);
+  EXPECT_DOUBLE_EQ(reg.GetCounter("x").value(), 3.5);
+}
+
+TEST(MetricsTest, SameNameSameInstance) {
+  MetricRegistry reg;
+  Counter& a = reg.GetCounter("c");
+  Counter& b = reg.GetCounter("c");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsTest, SnapshotAndDump) {
+  MetricRegistry reg;
+  reg.GetCounter("writes").Increment(7);
+  reg.GetGauge("depth").Set(3);
+  reg.GetHistogram("lat").Add(100.0);
+  const auto snap = reg.Snap();
+  EXPECT_DOUBLE_EQ(snap.counters.at("writes"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth"), 3.0);
+  EXPECT_NE(snap.histogram_summaries.at("lat").find("n=1"), std::string::npos);
+  EXPECT_NE(reg.Dump().find("writes 7"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetAllClears) {
+  MetricRegistry reg;
+  reg.GetCounter("c").Increment(5);
+  reg.GetHistogram("h").Add(1.0);
+  reg.ResetAll();
+  EXPECT_DOUBLE_EQ(reg.GetCounter("c").value(), 0.0);
+  EXPECT_EQ(reg.GetHistogram("h").count(), 0u);
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(TraceTest, DisabledByDefault) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  // Must not crash with no sink.
+  tracer.Log(SimTime::Zero(), TraceLevel::kInfo, "x", "y");
+}
+
+TEST(TraceTest, CaptureSinkRecords) {
+  Tracer tracer;
+  std::vector<TraceRecord> records;
+  tracer.SetSink(Tracer::CaptureSink(&records));
+  tracer.Log(SimTime(5), TraceLevel::kWarn, "disk0", "slow");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].component, "disk0");
+  EXPECT_EQ(records[0].level, TraceLevel::kWarn);
+}
+
+TEST(TraceTest, MinLevelFilters) {
+  Tracer tracer;
+  std::vector<TraceRecord> records;
+  tracer.SetSink(Tracer::CaptureSink(&records));
+  tracer.SetMinLevel(TraceLevel::kError);
+  tracer.Log(SimTime(1), TraceLevel::kInfo, "c", "dropped");
+  tracer.Log(SimTime(2), TraceLevel::kError, "c", "kept");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].message, "kept");
+}
+
+
+// ---------------------------------------------------------------- timeseries
+
+TEST(TimeSeriesTest, SamplesAtInterval) {
+  Simulator sim;
+  TimeSeriesRecorder rec(sim, Duration::Millis(100));
+  double value = 0.0;
+  rec.Start([&]() { return value; });
+  sim.Schedule(Duration::Millis(450), [&]() { value = 10.0; });
+  sim.Schedule(Duration::Millis(950), [&]() { rec.Stop(); });
+  sim.RunUntil(SimTime::Zero() + Duration::Seconds(2.0));
+  ASSERT_GE(rec.samples().size(), 8u);
+  ASSERT_LE(rec.samples().size(), 10u);
+  EXPECT_EQ(rec.samples()[0].first.nanos(), Duration::Millis(100).nanos());
+  EXPECT_DOUBLE_EQ(rec.samples()[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(rec.samples().back().second, 10.0);
+  EXPECT_DOUBLE_EQ(rec.MaxValue(), 10.0);
+  EXPECT_GT(rec.MeanValue(), 0.0);
+}
+
+TEST(TimeSeriesTest, SparklineScalesToMax) {
+  Simulator sim;
+  TimeSeriesRecorder rec(sim, Duration::Millis(10));
+  int tick = 0;
+  rec.Start([&]() { return static_cast<double>(tick++ % 2); });
+  sim.Schedule(Duration::Millis(45), [&]() { rec.Stop(); });
+  sim.RunUntil(SimTime::Zero() + Duration::Seconds(1.0));
+  const std::string spark = rec.Sparkline();
+  ASSERT_EQ(spark.size(), rec.samples().size());
+  EXPECT_NE(spark.find('#'), std::string::npos);
+  EXPECT_NE(spark.find(' '), std::string::npos);
+}
+
+TEST(TimeSeriesTest, RenderTableHasOneLinePerSample) {
+  Simulator sim;
+  TimeSeriesRecorder rec(sim, Duration::Millis(10));
+  rec.Start([]() { return 1.0; }, SimTime::Zero() + Duration::Millis(55));
+  sim.Run();
+  const std::string table = rec.RenderTable();
+  size_t lines = 0;
+  for (char c : table) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, rec.samples().size());
+}
+
+TEST(TimeSeriesTest, UntilBoundsTheRecording) {
+  Simulator sim;
+  TimeSeriesRecorder rec(sim, Duration::Millis(100));
+  rec.Start([]() { return 5.0; }, SimTime::Zero() + Duration::Millis(350));
+  // Keep the queue alive well past the bound.
+  sim.Schedule(Duration::Seconds(5.0), []() {});
+  sim.Run();
+  EXPECT_EQ(rec.samples().size(), 3u);
+}
+
+}  // namespace
+}  // namespace fst

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/policy.h"
+#include "src/core/registry.h"
+#include "src/core/spec_estimator.h"
+#include "src/devices/disk.h"
+#include "src/devices/modulators.h"
+#include "src/raid/raid10.h"
+#include "src/raid/supervisor.h"
+#include "src/simcore/simulator.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+DiskParams StdDisk(double mbps = 10.0) {
+  DiskParams p;
+  p.flat_bandwidth_mbps = mbps;
+  p.block_bytes = 65536;
+  p.capacity_blocks = 1 << 20;
+  return p;
+}
+
+struct Rig {
+  Rig(Simulator& sim, int n_pairs, StriperKind kind,
+      std::unique_ptr<ReactionPolicy> policy, double slow_factor = 1.0) {
+    for (int i = 0; i < 2 * n_pairs; ++i) {
+      disks.push_back(
+          std::make_unique<Disk>(sim, "disk" + std::to_string(i), StdDisk()));
+    }
+    if (slow_factor > 1.0) {
+      disks[0]->AttachModulator(
+          std::make_shared<ConstantFactorModulator>(slow_factor));
+    }
+    std::vector<Disk*> raw;
+    for (auto& d : disks) {
+      raw.push_back(d.get());
+    }
+    VolumeConfig config;
+    config.block_bytes = 65536;
+    config.striper = kind;
+    volume = std::make_unique<Raid10Volume>(sim, config, raw, &registry);
+    supervisor = std::make_unique<VolumeSupervisor>(sim, *volume, registry,
+                                                    std::move(policy));
+  }
+  std::vector<std::unique_ptr<Disk>> disks;
+  PerformanceStateRegistry registry;
+  std::unique_ptr<Raid10Volume> volume;
+  std::unique_ptr<VolumeSupervisor> supervisor;
+};
+
+// ---------------------------------------------------------------- policies
+
+TEST(SupervisorTest, EjectOnStutterDiscardsSlowPair) {
+  Simulator sim(3);
+  Rig rig(sim, 4, StriperKind::kStatic,
+          std::make_unique<EjectOnStutterPolicy>(), /*slow_factor=*/3.0);
+  bool finished = false;
+  std::vector<int64_t> per_pair;
+  rig.volume->WriteBlocks(4000, [&](const BatchResult& r) {
+    finished = true;
+    EXPECT_TRUE(r.ok);
+    per_pair = r.blocks_per_pair;
+  });
+  RunAndExpect(sim, finished);
+  EXPECT_EQ(rig.supervisor->ejections(), 1);
+  EXPECT_TRUE(rig.volume->IsEjected(0));
+  // The slow pair stopped receiving work after detection.
+  EXPECT_LT(per_pair[0], 1000);
+}
+
+TEST(SupervisorTest, ProportionalPolicyReweightsInsteadOfEjecting) {
+  Simulator sim(3);
+  Rig rig(sim, 4, StriperKind::kStatic,
+          std::make_unique<ProportionalSharePolicy>(/*eject_deficit=*/8.0),
+          /*slow_factor=*/3.0);
+  bool finished = false;
+  std::vector<int64_t> per_pair;
+  rig.volume->WriteBlocks(4000, [&](const BatchResult& r) {
+    finished = true;
+    per_pair = r.blocks_per_pair;
+  });
+  RunAndExpect(sim, finished);
+  EXPECT_GE(rig.supervisor->reweights(), 1);
+  EXPECT_EQ(rig.supervisor->ejections(), 0);
+  EXPECT_FALSE(rig.volume->IsEjected(0));
+  // The slow pair kept contributing, just less than a fair share.
+  EXPECT_GT(per_pair[0], 0);
+  EXPECT_LT(per_pair[0], 1000);
+}
+
+TEST(SupervisorTest, ProportionalBeatsEjectOnThroughput) {
+  // The paper: "there is much to be gained by utilizing performance-faulty
+  // components" — the reweighting policy out-delivers ejection because the
+  // slow pair still contributes b MB/s.
+  auto run = [&](std::unique_ptr<ReactionPolicy> policy) {
+    Simulator sim(3);
+    Rig rig(sim, 4, StriperKind::kStatic, std::move(policy), 3.0);
+    double mbps = 0.0;
+    bool finished = false;
+    rig.volume->WriteBlocks(6000, [&](const BatchResult& r) {
+      finished = true;
+      mbps = r.ThroughputMbps();
+    });
+    sim.Run();
+    EXPECT_TRUE(finished);
+    return mbps;
+  };
+  const double ignore = run(std::make_unique<IgnoreStutterPolicy>());
+  const double eject = run(std::make_unique<EjectOnStutterPolicy>());
+  const double proportional = run(std::make_unique<ProportionalSharePolicy>());
+  EXPECT_GT(eject, ignore);          // ejecting beats dragging at N*b
+  EXPECT_GT(proportional, ignore);
+  EXPECT_GE(proportional, eject * 0.98);  // and reweighting keeps b too
+}
+
+TEST(SupervisorTest, ActionsLogged) {
+  Simulator sim(3);
+  Rig rig(sim, 4, StriperKind::kStatic,
+          std::make_unique<EjectOnStutterPolicy>(), 3.0);
+  bool finished = false;
+  rig.volume->WriteBlocks(4000, [&](const BatchResult&) { finished = true; });
+  RunAndExpect(sim, finished);
+  ASSERT_FALSE(rig.supervisor->actions().empty());
+  EXPECT_EQ(rig.supervisor->actions()[0].component, "pair0");
+  EXPECT_EQ(rig.supervisor->actions()[0].action, "eject");
+}
+
+// ---------------------------------------------------------------- rebuild loop
+
+TEST(SupervisorTest, AutoRebuildOnDiskFailure) {
+  Simulator sim(5);
+  Rig rig(sim, 3, StriperKind::kAdaptive,
+          std::make_unique<ProportionalSharePolicy>());
+  Disk spare(sim, "spare", StdDisk());
+  rig.volume->AddHotSpare(&spare);
+
+  bool finished = false;
+  rig.volume->WriteBlocks(900, [&](const BatchResult& r) {
+    finished = true;
+    EXPECT_TRUE(r.ok);
+  });
+  sim.Schedule(Duration::Millis(500), [&]() { rig.disks[0]->FailStop(); });
+  RunAndExpect(sim, finished);
+  sim.Run();  // let the rebuild drain
+
+  EXPECT_EQ(rig.supervisor->rebuilds_started(), 1);
+  EXPECT_EQ(rig.supervisor->rebuilds_completed(), 1);
+  EXPECT_FALSE(rig.volume->pair(0).degraded());
+  EXPECT_EQ(rig.volume->spare_count(), 0u);
+  // The adopted spare holds the pair's whole extent.
+  EXPECT_GE(spare.blocks_serviced(),
+            rig.volume->address_map().AllocatedOnPair(0));
+}
+
+TEST(SupervisorTest, NoSpareLogsUnavailable) {
+  Simulator sim(5);
+  Rig rig(sim, 3, StriperKind::kAdaptive,
+          std::make_unique<ProportionalSharePolicy>());
+  bool finished = false;
+  rig.volume->WriteBlocks(300, [&](const BatchResult&) { finished = true; });
+  sim.Schedule(Duration::Millis(200), [&]() { rig.disks[0]->FailStop(); });
+  RunAndExpect(sim, finished);
+  EXPECT_EQ(rig.supervisor->rebuilds_started(), 0);
+  bool logged = false;
+  for (const auto& a : rig.supervisor->actions()) {
+    logged = logged || a.action == "rebuild-unavailable";
+  }
+  EXPECT_TRUE(logged);
+}
+
+// ---------------------------------------------------------------- growth
+
+TEST(VolumeGrowthTest, AddPairExtendsVolume) {
+  Simulator sim(7);
+  Rig rig(sim, 2, StriperKind::kAdaptive,
+          std::make_unique<ProportionalSharePolicy>());
+  bool first = false;
+  rig.volume->WriteBlocks(400, [&](const BatchResult&) { first = true; });
+  RunAndExpect(sim, first);
+
+  Disk a(sim, "new-a", StdDisk(20.0));
+  Disk b(sim, "new-b", StdDisk(20.0));
+  const int index = rig.volume->AddPair(&a, &b);
+  EXPECT_EQ(index, 2);
+  EXPECT_EQ(rig.volume->pair_count(), 3);
+  EXPECT_DOUBLE_EQ(rig.volume->TotalNominalMbps(), 40.0);
+  EXPECT_TRUE(rig.registry.IsRegistered("pair2"));
+
+  bool second = false;
+  std::vector<int64_t> per_pair;
+  rig.volume->WriteBlocks(1200, [&](const BatchResult& r) {
+    second = true;
+    EXPECT_TRUE(r.ok);
+    per_pair = r.blocks_per_pair;
+  });
+  RunAndExpect(sim, second);
+  // The faster new pair naturally takes the largest share (adaptive pull).
+  EXPECT_GT(per_pair[2], per_pair[0]);
+  EXPECT_GT(per_pair[2], per_pair[1]);
+}
+
+TEST(VolumeGrowthTest, GrownVolumeThroughputScales) {
+  auto run = [&](bool grown) {
+    Simulator sim(9);
+    Rig rig(sim, 2, StriperKind::kAdaptive,
+            std::make_unique<ProportionalSharePolicy>());
+    Disk a(sim, "new-a", StdDisk(10.0));
+    Disk b(sim, "new-b", StdDisk(10.0));
+    if (grown) {
+      rig.volume->AddPair(&a, &b);
+    }
+    double mbps = 0.0;
+    bool finished = false;
+    rig.volume->WriteBlocks(1500, [&](const BatchResult& r) {
+      finished = true;
+      mbps = r.ThroughputMbps();
+    });
+    sim.Run();
+    EXPECT_TRUE(finished);
+    return mbps;
+  };
+  EXPECT_NEAR(run(false), 20.0, 1.0);
+  EXPECT_NEAR(run(true), 30.0, 1.5);
+}
+
+// ---------------------------------------------------------------- reweight
+
+TEST(ReweightTest, TrimsPlannedQueue) {
+  Simulator sim(11);
+  Rig rig(sim, 4, StriperKind::kStatic,
+          std::make_unique<IgnoreStutterPolicy>(), 3.0);
+  bool finished = false;
+  std::vector<int64_t> per_pair;
+  rig.volume->WriteBlocks(4000, [&](const BatchResult& r) {
+    finished = true;
+    per_pair = r.blocks_per_pair;
+  });
+  // Manually reweight pair 0 to a third of its remaining queue early on.
+  sim.Schedule(Duration::Millis(100), [&]() {
+    rig.volume->ReweightPair(0, 1.0 / 3.0);
+  });
+  RunAndExpect(sim, finished);
+  EXPECT_LT(per_pair[0], 600);
+  EXPECT_EQ(per_pair[0] + per_pair[1] + per_pair[2] + per_pair[3], 4000);
+}
+
+TEST(ReweightTest, NoOpForPullBasedAndFullShare) {
+  Simulator sim(11);
+  Rig rig(sim, 2, StriperKind::kAdaptive,
+          std::make_unique<IgnoreStutterPolicy>());
+  bool finished = false;
+  rig.volume->WriteBlocks(200, [&](const BatchResult& r) {
+    finished = true;
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.blocks, 200);
+  });
+  sim.Schedule(Duration::Millis(10), [&]() {
+    rig.volume->ReweightPair(0, 0.5);  // pull-based: ignored
+    rig.volume->ReweightPair(1, 1.0);  // full share: ignored
+  });
+  RunAndExpect(sim, finished);
+}
+
+// ---------------------------------------------------------------- estimator
+
+TEST(SpecEstimatorTest, RecoversAffineModel) {
+  // Ground truth: base 10 ms, rate 10 MB/s.
+  SpecEstimator est;
+  for (int i = 1; i <= 20; ++i) {
+    const double units = i * 100000.0;
+    est.AddSample(units, 0.010 + units / 10e6);
+  }
+  EXPECT_NEAR(est.FittedBaseSeconds(), 0.010, 1e-6);
+  EXPECT_NEAR(est.FittedRate(), 10e6, 1e3);
+  EXPECT_DOUBLE_EQ(est.FittedTolerance(), 0.10);  // clean fit -> floor
+  const PerformanceSpec spec = est.Fit();
+  EXPECT_TRUE(spec.WithinSpec(500000.0, 0.010 + 0.05));
+}
+
+TEST(SpecEstimatorTest, NoisyFitWidensTolerance) {
+  SpecEstimator est(0.05);
+  Rng rng(3);
+  for (int i = 1; i <= 200; ++i) {
+    const double units = rng.UniformDouble(1e5, 2e6);
+    const double noise = rng.UniformDouble(0.8, 1.2);
+    est.AddSample(units, (0.005 + units / 10e6) * noise);
+  }
+  EXPECT_GT(est.FittedTolerance(), 0.05);
+  EXPECT_NEAR(est.FittedRate(), 10e6, 2e6);
+}
+
+TEST(SpecEstimatorTest, DegenerateSamplesFallBackToRate) {
+  SpecEstimator est;
+  for (int i = 0; i < 10; ++i) {
+    est.AddSample(1e6, 0.1);  // identical unit counts
+  }
+  EXPECT_DOUBLE_EQ(est.FittedBaseSeconds(), 0.0);
+  EXPECT_NEAR(est.FittedRate(), 1e7, 1.0);
+}
+
+TEST(SpecEstimatorTest, EmptyEstimatorIsSafe) {
+  SpecEstimator est;
+  EXPECT_EQ(est.sample_count(), 0u);
+  EXPECT_NO_THROW(est.Fit());
+}
+
+TEST(SpecEstimatorTest, FitFromSimulatedDisk) {
+  // End-to-end: calibrate a spec from a real simulated disk, then check a
+  // healthy request is in-spec and a 2x-slowed one is out.
+  Simulator sim(13);
+  Disk disk(sim, "d0", StdDisk(10.0));
+  SpecEstimator est;
+  for (int64_t n : {1, 2, 4, 8, 16, 32}) {
+    // Random-access request of n blocks: seek + rotate + transfer.
+    const DiskRequest req{IoKind::kRead, 500000, n, nullptr};
+    const double secs = disk.EstimateServiceTime(req, 0, sim.Now()).ToSeconds();
+    est.AddSample(static_cast<double>(n * 65536), secs);
+  }
+  const PerformanceSpec spec = est.Fit();
+  EXPECT_NEAR(spec.units_per_sec(), 10e6, 0.5e6);
+  EXPECT_GT(spec.base_seconds(), 0.010);  // seek + rotation recovered
+  const DiskRequest probe{IoKind::kRead, 600000, 8, nullptr};
+  const double healthy = disk.EstimateServiceTime(probe, 0, sim.Now()).ToSeconds();
+  EXPECT_TRUE(spec.WithinSpec(8 * 65536.0, healthy));
+  EXPECT_FALSE(spec.WithinSpec(8 * 65536.0, healthy * 2.0));
+}
+
+}  // namespace
+}  // namespace fst

@@ -1,0 +1,20 @@
+// Shared helpers for the test suite.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+// Runs the simulator to quiescence and asserts the flag got set — the
+// standard pattern for callback-completion workloads.
+inline void RunAndExpect(Simulator& sim, const bool& flag) {
+  sim.Run();
+  ASSERT_TRUE(flag) << "workload did not complete";
+}
+
+}  // namespace fst
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/devices/disk.h"
+#include "src/devices/modulators.h"
+#include "src/devices/network.h"
+#include "src/devices/node.h"
+#include "src/faults/catalog.h"
+#include "src/workload/dds.h"
+#include "src/workload/mixes.h"
+#include "src/workload/parallel_write.h"
+#include "src/workload/sort.h"
+#include "src/workload/transpose.h"
+#include "tests/test_util.h"
+
+namespace fst {
+namespace {
+
+DiskParams NodeDisk(double mbps = 10.0) {
+  DiskParams p;
+  p.flat_bandwidth_mbps = mbps;
+  p.block_bytes = 65536;
+  p.capacity_blocks = 1 << 20;
+  return p;
+}
+
+struct DiskFleet {
+  DiskFleet(Simulator& sim, int n, double mbps = 10.0) {
+    for (int i = 0; i < n; ++i) {
+      disks.push_back(
+          std::make_unique<Disk>(sim, "node" + std::to_string(i), NodeDisk(mbps)));
+    }
+  }
+  std::vector<Disk*> raw() {
+    std::vector<Disk*> out;
+    for (auto& d : disks) {
+      out.push_back(d.get());
+    }
+    return out;
+  }
+  std::vector<std::unique_ptr<Disk>> disks;
+};
+
+// ------------------------------------------------------------ cluster write
+
+TEST(ClusterWriteTest, StaticEqualSplitNoFaults) {
+  Simulator sim;
+  DiskFleet fleet(sim, 8);
+  ClusterJobParams params;
+  params.total_blocks = 800;
+  params.block_bytes = 65536;
+  params.adaptive = false;
+  ClusterWriteJob job(sim, params, fleet.raw());
+  bool done = false;
+  ClusterJobResult result;
+  job.Run([&](const ClusterJobResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_TRUE(result.ok);
+  for (int64_t c : result.blocks_per_node) {
+    EXPECT_EQ(c, 100);
+  }
+  EXPECT_NEAR(result.throughput_mbps, 80.0, 3.0);
+}
+
+TEST(ClusterWriteTest, StaticDraggedBySlowNodes) {
+  // Rivera & Chien: 4/64 nodes at 30% slower I/O gate the whole job.
+  Simulator sim;
+  DiskFleet fleet(sim, 64);
+  for (int i = 0; i < 4; ++i) {
+    fleet.disks[static_cast<size_t>(i)]->AttachModulator(
+        std::make_shared<ConstantFactorModulator>(kRiveraChienSlowdown));
+  }
+  ClusterJobParams params;
+  params.total_blocks = 6400;
+  params.adaptive = false;
+  ClusterWriteJob job(sim, params, fleet.raw());
+  double static_mbps = 0.0;
+  bool done = false;
+  job.Run([&](const ClusterJobResult& r) {
+    done = true;
+    static_mbps = r.throughput_mbps;
+  });
+  RunAndExpect(sim, done);
+  // Makespan = slow node's share at 7 MB/s -> aggregate ~64 * 7 = 448.
+  EXPECT_NEAR(static_mbps, 64.0 * 10.0 * 0.7, 20.0);
+}
+
+TEST(ClusterWriteTest, AdaptiveAbsorbsSlowNodes) {
+  Simulator sim;
+  DiskFleet fleet(sim, 64);
+  for (int i = 0; i < 4; ++i) {
+    fleet.disks[static_cast<size_t>(i)]->AttachModulator(
+        std::make_shared<ConstantFactorModulator>(kRiveraChienSlowdown));
+  }
+  ClusterJobParams params;
+  params.total_blocks = 6400;
+  params.adaptive = true;
+  params.pull_batch = 8;
+  ClusterWriteJob job(sim, params, fleet.raw());
+  double adaptive_mbps = 0.0;
+  bool done = false;
+  job.Run([&](const ClusterJobResult& r) {
+    done = true;
+    adaptive_mbps = r.throughput_mbps;
+  });
+  RunAndExpect(sim, done);
+  // Available bandwidth: 60*10 + 4*7 = 628 MB/s; stealing granularity and
+  // the end-of-job tail cost a little.
+  EXPECT_GT(adaptive_mbps, 580.0);
+}
+
+TEST(ClusterWriteTest, FailStopNodeFailsJob) {
+  Simulator sim;
+  DiskFleet fleet(sim, 4);
+  ClusterJobParams params;
+  params.total_blocks = 4000;
+  ClusterWriteJob job(sim, params, fleet.raw());
+  bool done = false;
+  bool ok = true;
+  job.Run([&](const ClusterJobResult& r) {
+    done = true;
+    ok = r.ok;
+  });
+  sim.Schedule(Duration::Millis(50), [&]() { fleet.disks[2]->FailStop(); });
+  RunAndExpect(sim, done);
+  EXPECT_FALSE(ok);
+}
+
+// ------------------------------------------------------------ sort
+
+struct SortFleet {
+  SortFleet(Simulator& sim, int n) : disks(sim, n) {
+    NodeParams np;
+    np.cpu_rate = 1e6;
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(
+          std::make_unique<Node>(sim, "cpu" + std::to_string(i), np));
+    }
+  }
+  std::vector<Node*> raw_nodes() {
+    std::vector<Node*> out;
+    for (auto& n : nodes) {
+      out.push_back(n.get());
+    }
+    return out;
+  }
+  DiskFleet disks;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+SortParams SmallSort(bool adaptive) {
+  SortParams p;
+  p.total_records = 1 << 17;
+  p.record_bytes = 100;
+  p.records_per_batch = 2048;
+  p.work_per_record = 200.0;  // CPU-bound, as NOW-Sort's pipeline was
+  p.adaptive = adaptive;
+  return p;
+}
+
+TEST(SortTest, CompletesAndCountsRecords) {
+  Simulator sim;
+  SortFleet fleet(sim, 4);
+  SortJob job(sim, SmallSort(false), fleet.disks.raw(), fleet.raw_nodes());
+  bool done = false;
+  SortResult result;
+  job.Run([&](const SortResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_TRUE(result.ok);
+  int64_t total = 0;
+  for (int64_t c : result.records_per_node) {
+    total += c;
+  }
+  EXPECT_EQ(total, SmallSort(false).total_records);
+  EXPECT_GT(result.records_per_sec, 0.0);
+}
+
+TEST(SortTest, CpuHogHalvesStaticSort) {
+  // NOW-Sort: one loaded node cuts global throughput roughly in half
+  // (this workload is CPU-bound by construction).
+  auto run = [](bool hogged, bool adaptive) {
+    Simulator sim;
+    SortFleet fleet(sim, 8);
+    if (hogged) {
+      fleet.nodes[0]->AttachModulator(MakeCpuHog());
+    }
+    SortJob job(sim, SmallSort(adaptive), fleet.disks.raw(), fleet.raw_nodes());
+    double rps = 0.0;
+    bool done = false;
+    job.Run([&](const SortResult& r) {
+      done = true;
+      rps = r.records_per_sec;
+    });
+    sim.Run();
+    EXPECT_TRUE(done);
+    return rps;
+  };
+  const double clean = run(false, false);
+  const double hogged_static = run(true, false);
+  const double hogged_adaptive = run(true, true);
+  // Static: the hogged node's share takes ~2x -> global ~1/2.
+  EXPECT_NEAR(clean / hogged_static, 2.0, 0.3);
+  // Adaptive recovers most of the loss: only 1/8 of capacity halves.
+  EXPECT_GT(hogged_adaptive / hogged_static, 1.4);
+}
+
+TEST(SortTest, AdaptiveGivesHoggedNodeFewerRecords) {
+  Simulator sim;
+  SortFleet fleet(sim, 4);
+  fleet.nodes[0]->AttachModulator(MakeCpuHog());
+  SortJob job(sim, SmallSort(true), fleet.disks.raw(), fleet.raw_nodes());
+  bool done = false;
+  SortResult result;
+  job.Run([&](const SortResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_LT(result.records_per_node[0], result.records_per_node[1]);
+}
+
+// ------------------------------------------------------------ transpose
+
+SwitchParams TransposeSwitch(int ports) {
+  SwitchParams p;
+  p.ports = ports;
+  p.link_mbps = 40.0;
+  p.fabric_buffer_bytes = (1 << 20) + (256 << 10);
+  p.per_message_overhead = Duration::Micros(5);
+  return p;
+}
+
+TransposeParams SmallTranspose(TransposeSchedule schedule) {
+  TransposeParams p;
+  p.bytes_per_pair = 1 << 20;
+  p.chunk_bytes = 32 << 10;
+  p.schedule = schedule;
+  p.paced_window = 4;
+  return p;
+}
+
+TEST(TransposeTest, NoFaultBothSchedulesComparable) {
+  auto run = [](TransposeSchedule schedule) {
+    Simulator sim;
+    Switch net(sim, TransposeSwitch(8));
+    TransposeJob job(sim, SmallTranspose(schedule), net, {});
+    bool done = false;
+    TransposeResult result;
+    job.Run([&](const TransposeResult& r) {
+      done = true;
+      result = r;
+    });
+    sim.Run();
+    EXPECT_TRUE(done);
+    return result.full_completion.ToSeconds();
+  };
+  const double blast = run(TransposeSchedule::kBlast);
+  const double paced = run(TransposeSchedule::kPaced);
+  EXPECT_NEAR(blast / paced, 1.0, 0.35);
+}
+
+TEST(TransposeTest, SlowReceiversCollapseBlast) {
+  // CM-5 shape: slow receivers drag the whole (blast) transpose; pacing
+  // protects traffic to healthy receivers.
+  auto run = [](TransposeSchedule schedule, bool slow) {
+    Simulator sim;
+    Switch net(sim, TransposeSwitch(8));
+    std::vector<int> slow_ports;
+    if (slow) {
+      slow_ports = {0, 1};
+      for (int p : slow_ports) {
+        net.SetReceiverSpeed(p, kSlowReceiverSpeed);
+      }
+    }
+    TransposeJob job(sim, SmallTranspose(schedule), net, slow_ports);
+    TransposeResult result;
+    bool done = false;
+    job.Run([&](const TransposeResult& r) {
+      done = true;
+      result = r;
+    });
+    sim.Run();
+    EXPECT_TRUE(done);
+    return result;
+  };
+  const auto blast_clean = run(TransposeSchedule::kBlast, false);
+  const auto blast_slow = run(TransposeSchedule::kBlast, true);
+  const auto paced_slow = run(TransposeSchedule::kPaced, true);
+
+  // Healthy traffic slows dramatically under blast with slow receivers...
+  const double blast_penalty = blast_slow.healthy_completion.ToSeconds() /
+                               blast_clean.healthy_completion.ToSeconds();
+  EXPECT_GT(blast_penalty, 2.0);
+  // ...while pacing keeps healthy-receiver goodput mostly intact.
+  EXPECT_LT(paced_slow.healthy_completion.ToSeconds(),
+            blast_slow.healthy_completion.ToSeconds() * 0.7);
+}
+
+// ------------------------------------------------------------ dds
+
+NodeParams ReplicaParams() {
+  NodeParams p;
+  p.cpu_rate = 1e6;
+  return p;
+}
+
+TEST(DdsTest, SyncBothCompletesAllOps) {
+  Simulator sim(99);
+  Node primary(sim, "replica0", ReplicaParams());
+  Node mirror(sim, "replica1", ReplicaParams());
+  DdsParams params;
+  params.arrivals_per_sec = 200.0;
+  params.work_per_op = 1000.0;
+  params.run_for = Duration::Seconds(5.0);
+  ReplicatedStore store(sim, params, &primary, &mirror);
+  bool done = false;
+  DdsResult result;
+  store.Run([&](const DdsResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_EQ(result.ops_issued, result.ops_acked);
+  EXPECT_GT(result.ops_issued, 500);
+  EXPECT_EQ(result.max_mirror_backlog, 0);
+}
+
+TEST(DdsTest, GcPauseInflatesSyncTailLatency) {
+  auto run = [](ReplicationMode mode) {
+    Simulator sim(99);
+    Node primary(sim, "replica0", ReplicaParams());
+    Node mirror(sim, "replica1", ReplicaParams());
+    // Gribble-style GC on the mirror: ~150 ms pauses, ~1 s apart.
+    mirror.AttachModulator(MakeGarbageCollector(
+        sim.rng().Fork(), Duration::Seconds(1.0), Duration::Millis(150)));
+    DdsParams params;
+    params.arrivals_per_sec = 300.0;
+    params.work_per_op = 1000.0;
+    params.run_for = Duration::Seconds(10.0);
+    params.mode = mode;
+    ReplicatedStore store(sim, params, &primary, &mirror);
+    DdsResult result;
+    bool done = false;
+    store.Run([&](const DdsResult& r) {
+      done = true;
+      result = r;
+    });
+    sim.Run();
+    EXPECT_TRUE(done);
+    return result;
+  };
+  const auto sync = run(ReplicationMode::kSyncBoth);
+  const auto quorum = run(ReplicationMode::kQuorumOne);
+  // Sync acks wait out every pause: tail far beyond the 1 ms service time.
+  EXPECT_GT(sync.ack_latency.P99(), 50e6);  // > 50 ms in ns
+  // Quorum acks dodge the stutter entirely...
+  EXPECT_LT(quorum.ack_latency.P99(), sync.ack_latency.P99() / 5.0);
+  // ...at the price of mirror lag.
+  EXPECT_GT(quorum.max_mirror_backlog, 10);
+}
+
+// ------------------------------------------------------------ mixes
+
+TEST(MixesTest, SequentialScanMatchesBandwidth) {
+  Simulator sim;
+  Disk disk(sim, "d0", NodeDisk(8.0));
+  double mbps = 0.0;
+  bool done = false;
+  RunSequentialScan(sim, disk, 1000, [&](double m) {
+    done = true;
+    mbps = m;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_NEAR(mbps, 8.0, 0.2);
+}
+
+TEST(MixesTest, OpenLoopReaderIssuesAtRate) {
+  Simulator sim(7);
+  Disk disk(sim, "d0", NodeDisk(10.0));
+  OpenLoopParams params;
+  params.arrivals_per_sec = 40.0;
+  params.run_for = Duration::Seconds(10.0);
+  params.address_span_blocks = 1 << 18;
+  OpenLoopReader reader(sim, disk, params);
+  bool done = false;
+  OpenLoopResult result;
+  reader.Run([&](const OpenLoopResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_NEAR(static_cast<double>(result.issued), 400.0, 60.0);
+  EXPECT_EQ(result.completed_ok, result.issued);
+  EXPECT_EQ(result.failed, 0);
+  // Random reads pay ~14.5 ms positioning on this disk.
+  EXPECT_GT(result.latency.mean(), 1e6);
+}
+
+TEST(MixesTest, OpenLoopObserverSeesEveryCompletion) {
+  Simulator sim(7);
+  Disk disk(sim, "d0", NodeDisk(10.0));
+  OpenLoopParams params;
+  params.arrivals_per_sec = 20.0;
+  params.run_for = Duration::Seconds(5.0);
+  int observed = 0;
+  params.on_complete = [&](SimTime, int64_t, Duration, bool) { ++observed; };
+  OpenLoopReader reader(sim, disk, params);
+  OpenLoopResult result;
+  bool done = false;
+  reader.Run([&](const OpenLoopResult& r) {
+    done = true;
+    result = r;
+  });
+  RunAndExpect(sim, done);
+  EXPECT_EQ(observed, result.issued);
+}
+
+}  // namespace
+}  // namespace fst
