@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/simcore")
+subdirs("src/devices")
+subdirs("src/faults")
+subdirs("src/core")
+subdirs("src/fs")
+subdirs("src/river")
+subdirs("src/raid")
+subdirs("src/workload")
+subdirs("src/analysis")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

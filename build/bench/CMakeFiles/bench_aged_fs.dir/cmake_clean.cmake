@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aged_fs.dir/bench_aged_fs.cc.o"
+  "CMakeFiles/bench_aged_fs.dir/bench_aged_fs.cc.o.d"
+  "bench_aged_fs"
+  "bench_aged_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aged_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_faults.dir/bench_dynamic_faults.cc.o"
+  "CMakeFiles/bench_dynamic_faults.dir/bench_dynamic_faults.cc.o.d"
+  "bench_dynamic_faults"
+  "bench_dynamic_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

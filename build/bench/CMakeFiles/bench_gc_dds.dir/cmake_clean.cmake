@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gc_dds.dir/bench_gc_dds.cc.o"
+  "CMakeFiles/bench_gc_dds.dir/bench_gc_dds.cc.o.d"
+  "bench_gc_dds"
+  "bench_gc_dds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gc_dds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

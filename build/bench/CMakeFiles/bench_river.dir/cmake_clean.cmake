@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_river.dir/bench_river.cc.o"
+  "CMakeFiles/bench_river.dir/bench_river.cc.o.d"
+  "bench_river"
+  "bench_river.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_river.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

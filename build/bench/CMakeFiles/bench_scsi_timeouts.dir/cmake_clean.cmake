@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scsi_timeouts.dir/bench_scsi_timeouts.cc.o"
+  "CMakeFiles/bench_scsi_timeouts.dir/bench_scsi_timeouts.cc.o.d"
+  "bench_scsi_timeouts"
+  "bench_scsi_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scsi_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

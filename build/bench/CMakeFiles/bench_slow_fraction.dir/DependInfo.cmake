@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_slow_fraction.cc" "bench/CMakeFiles/bench_slow_fraction.dir/bench_slow_fraction.cc.o" "gcc" "bench/CMakeFiles/bench_slow_fraction.dir/bench_slow_fraction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/fst_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/fst_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/river/CMakeFiles/fst_river.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/fst_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/fst_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fst_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/fst_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fst_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

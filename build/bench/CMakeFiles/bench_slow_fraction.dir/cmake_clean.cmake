@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slow_fraction.dir/bench_slow_fraction.cc.o"
+  "CMakeFiles/bench_slow_fraction.dir/bench_slow_fraction.cc.o.d"
+  "bench_slow_fraction"
+  "bench_slow_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slow_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_hog.dir/bench_sort_hog.cc.o"
+  "CMakeFiles/bench_sort_hog.dir/bench_sort_hog.cc.o.d"
+  "bench_sort_hog"
+  "bench_sort_hog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_hog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

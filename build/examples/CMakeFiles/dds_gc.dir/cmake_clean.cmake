@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_gc.dir/dds_gc.cpp.o"
+  "CMakeFiles/dds_gc.dir/dds_gc.cpp.o.d"
+  "dds_gc"
+  "dds_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

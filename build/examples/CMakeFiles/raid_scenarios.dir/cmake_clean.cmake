@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_scenarios.dir/raid_scenarios.cpp.o"
+  "CMakeFiles/raid_scenarios.dir/raid_scenarios.cpp.o.d"
+  "raid_scenarios"
+  "raid_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

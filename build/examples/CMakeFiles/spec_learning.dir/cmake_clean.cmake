@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_learning.dir/spec_learning.cpp.o"
+  "CMakeFiles/spec_learning.dir/spec_learning.cpp.o.d"
+  "spec_learning"
+  "spec_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

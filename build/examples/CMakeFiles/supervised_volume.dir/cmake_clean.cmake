@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supervised_volume.dir/supervised_volume.cpp.o"
+  "CMakeFiles/supervised_volume.dir/supervised_volume.cpp.o.d"
+  "supervised_volume"
+  "supervised_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supervised_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

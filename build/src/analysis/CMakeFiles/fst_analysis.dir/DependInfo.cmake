@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/availability.cc" "src/analysis/CMakeFiles/fst_analysis.dir/availability.cc.o" "gcc" "src/analysis/CMakeFiles/fst_analysis.dir/availability.cc.o.d"
+  "/root/repo/src/analysis/experiment.cc" "src/analysis/CMakeFiles/fst_analysis.dir/experiment.cc.o" "gcc" "src/analysis/CMakeFiles/fst_analysis.dir/experiment.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/analysis/CMakeFiles/fst_analysis.dir/table.cc.o" "gcc" "src/analysis/CMakeFiles/fst_analysis.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/fst_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_analysis.dir/availability.cc.o"
+  "CMakeFiles/fst_analysis.dir/availability.cc.o.d"
+  "CMakeFiles/fst_analysis.dir/experiment.cc.o"
+  "CMakeFiles/fst_analysis.dir/experiment.cc.o.d"
+  "CMakeFiles/fst_analysis.dir/table.cc.o"
+  "CMakeFiles/fst_analysis.dir/table.cc.o.d"
+  "libfst_analysis.a"
+  "libfst_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

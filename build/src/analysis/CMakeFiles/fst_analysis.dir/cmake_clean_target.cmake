@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfst_analysis.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/fst_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/fst_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/fst_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/fst_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/formal.cc" "src/core/CMakeFiles/fst_core.dir/formal.cc.o" "gcc" "src/core/CMakeFiles/fst_core.dir/formal.cc.o.d"
+  "/root/repo/src/core/perf_spec.cc" "src/core/CMakeFiles/fst_core.dir/perf_spec.cc.o" "gcc" "src/core/CMakeFiles/fst_core.dir/perf_spec.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/fst_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/fst_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/fst_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/fst_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/spec_estimator.cc" "src/core/CMakeFiles/fst_core.dir/spec_estimator.cc.o" "gcc" "src/core/CMakeFiles/fst_core.dir/spec_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/fst_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

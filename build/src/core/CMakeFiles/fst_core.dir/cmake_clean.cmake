@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_core.dir/classifier.cc.o"
+  "CMakeFiles/fst_core.dir/classifier.cc.o.d"
+  "CMakeFiles/fst_core.dir/detector.cc.o"
+  "CMakeFiles/fst_core.dir/detector.cc.o.d"
+  "CMakeFiles/fst_core.dir/formal.cc.o"
+  "CMakeFiles/fst_core.dir/formal.cc.o.d"
+  "CMakeFiles/fst_core.dir/perf_spec.cc.o"
+  "CMakeFiles/fst_core.dir/perf_spec.cc.o.d"
+  "CMakeFiles/fst_core.dir/policy.cc.o"
+  "CMakeFiles/fst_core.dir/policy.cc.o.d"
+  "CMakeFiles/fst_core.dir/registry.cc.o"
+  "CMakeFiles/fst_core.dir/registry.cc.o.d"
+  "CMakeFiles/fst_core.dir/spec_estimator.cc.o"
+  "CMakeFiles/fst_core.dir/spec_estimator.cc.o.d"
+  "libfst_core.a"
+  "libfst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

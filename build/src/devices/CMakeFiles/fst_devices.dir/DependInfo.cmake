@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/disk.cc" "src/devices/CMakeFiles/fst_devices.dir/disk.cc.o" "gcc" "src/devices/CMakeFiles/fst_devices.dir/disk.cc.o.d"
+  "/root/repo/src/devices/disk_params.cc" "src/devices/CMakeFiles/fst_devices.dir/disk_params.cc.o" "gcc" "src/devices/CMakeFiles/fst_devices.dir/disk_params.cc.o.d"
+  "/root/repo/src/devices/hedge.cc" "src/devices/CMakeFiles/fst_devices.dir/hedge.cc.o" "gcc" "src/devices/CMakeFiles/fst_devices.dir/hedge.cc.o.d"
+  "/root/repo/src/devices/network.cc" "src/devices/CMakeFiles/fst_devices.dir/network.cc.o" "gcc" "src/devices/CMakeFiles/fst_devices.dir/network.cc.o.d"
+  "/root/repo/src/devices/node.cc" "src/devices/CMakeFiles/fst_devices.dir/node.cc.o" "gcc" "src/devices/CMakeFiles/fst_devices.dir/node.cc.o.d"
+  "/root/repo/src/devices/scsi_bus.cc" "src/devices/CMakeFiles/fst_devices.dir/scsi_bus.cc.o" "gcc" "src/devices/CMakeFiles/fst_devices.dir/scsi_bus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/fst_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_devices.dir/disk.cc.o"
+  "CMakeFiles/fst_devices.dir/disk.cc.o.d"
+  "CMakeFiles/fst_devices.dir/disk_params.cc.o"
+  "CMakeFiles/fst_devices.dir/disk_params.cc.o.d"
+  "CMakeFiles/fst_devices.dir/hedge.cc.o"
+  "CMakeFiles/fst_devices.dir/hedge.cc.o.d"
+  "CMakeFiles/fst_devices.dir/network.cc.o"
+  "CMakeFiles/fst_devices.dir/network.cc.o.d"
+  "CMakeFiles/fst_devices.dir/node.cc.o"
+  "CMakeFiles/fst_devices.dir/node.cc.o.d"
+  "CMakeFiles/fst_devices.dir/scsi_bus.cc.o"
+  "CMakeFiles/fst_devices.dir/scsi_bus.cc.o.d"
+  "libfst_devices.a"
+  "libfst_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/catalog.cc" "src/faults/CMakeFiles/fst_faults.dir/catalog.cc.o" "gcc" "src/faults/CMakeFiles/fst_faults.dir/catalog.cc.o.d"
+  "/root/repo/src/faults/fault.cc" "src/faults/CMakeFiles/fst_faults.dir/fault.cc.o" "gcc" "src/faults/CMakeFiles/fst_faults.dir/fault.cc.o.d"
+  "/root/repo/src/faults/injector.cc" "src/faults/CMakeFiles/fst_faults.dir/injector.cc.o" "gcc" "src/faults/CMakeFiles/fst_faults.dir/injector.cc.o.d"
+  "/root/repo/src/faults/perf_fault.cc" "src/faults/CMakeFiles/fst_faults.dir/perf_fault.cc.o" "gcc" "src/faults/CMakeFiles/fst_faults.dir/perf_fault.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/fst_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fst_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_faults.dir/catalog.cc.o"
+  "CMakeFiles/fst_faults.dir/catalog.cc.o.d"
+  "CMakeFiles/fst_faults.dir/fault.cc.o"
+  "CMakeFiles/fst_faults.dir/fault.cc.o.d"
+  "CMakeFiles/fst_faults.dir/injector.cc.o"
+  "CMakeFiles/fst_faults.dir/injector.cc.o.d"
+  "CMakeFiles/fst_faults.dir/perf_fault.cc.o"
+  "CMakeFiles/fst_faults.dir/perf_fault.cc.o.d"
+  "libfst_faults.a"
+  "libfst_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_fs.dir/extent_fs.cc.o"
+  "CMakeFiles/fst_fs.dir/extent_fs.cc.o.d"
+  "libfst_fs.a"
+  "libfst_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

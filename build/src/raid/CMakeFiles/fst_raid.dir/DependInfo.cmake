@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raid/address_map.cc" "src/raid/CMakeFiles/fst_raid.dir/address_map.cc.o" "gcc" "src/raid/CMakeFiles/fst_raid.dir/address_map.cc.o.d"
+  "/root/repo/src/raid/mirror_pair.cc" "src/raid/CMakeFiles/fst_raid.dir/mirror_pair.cc.o" "gcc" "src/raid/CMakeFiles/fst_raid.dir/mirror_pair.cc.o.d"
+  "/root/repo/src/raid/raid10.cc" "src/raid/CMakeFiles/fst_raid.dir/raid10.cc.o" "gcc" "src/raid/CMakeFiles/fst_raid.dir/raid10.cc.o.d"
+  "/root/repo/src/raid/recon.cc" "src/raid/CMakeFiles/fst_raid.dir/recon.cc.o" "gcc" "src/raid/CMakeFiles/fst_raid.dir/recon.cc.o.d"
+  "/root/repo/src/raid/striper.cc" "src/raid/CMakeFiles/fst_raid.dir/striper.cc.o" "gcc" "src/raid/CMakeFiles/fst_raid.dir/striper.cc.o.d"
+  "/root/repo/src/raid/supervisor.cc" "src/raid/CMakeFiles/fst_raid.dir/supervisor.cc.o" "gcc" "src/raid/CMakeFiles/fst_raid.dir/supervisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/fst_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fst_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

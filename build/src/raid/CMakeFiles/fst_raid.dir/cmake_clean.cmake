@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_raid.dir/address_map.cc.o"
+  "CMakeFiles/fst_raid.dir/address_map.cc.o.d"
+  "CMakeFiles/fst_raid.dir/mirror_pair.cc.o"
+  "CMakeFiles/fst_raid.dir/mirror_pair.cc.o.d"
+  "CMakeFiles/fst_raid.dir/raid10.cc.o"
+  "CMakeFiles/fst_raid.dir/raid10.cc.o.d"
+  "CMakeFiles/fst_raid.dir/recon.cc.o"
+  "CMakeFiles/fst_raid.dir/recon.cc.o.d"
+  "CMakeFiles/fst_raid.dir/striper.cc.o"
+  "CMakeFiles/fst_raid.dir/striper.cc.o.d"
+  "CMakeFiles/fst_raid.dir/supervisor.cc.o"
+  "CMakeFiles/fst_raid.dir/supervisor.cc.o.d"
+  "libfst_raid.a"
+  "libfst_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

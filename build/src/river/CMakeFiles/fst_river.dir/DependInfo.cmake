@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/river/distributed_queue.cc" "src/river/CMakeFiles/fst_river.dir/distributed_queue.cc.o" "gcc" "src/river/CMakeFiles/fst_river.dir/distributed_queue.cc.o.d"
+  "/root/repo/src/river/graduated_decluster.cc" "src/river/CMakeFiles/fst_river.dir/graduated_decluster.cc.o" "gcc" "src/river/CMakeFiles/fst_river.dir/graduated_decluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/fst_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fst_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

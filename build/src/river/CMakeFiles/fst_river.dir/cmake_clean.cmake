@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_river.dir/distributed_queue.cc.o"
+  "CMakeFiles/fst_river.dir/distributed_queue.cc.o.d"
+  "CMakeFiles/fst_river.dir/graduated_decluster.cc.o"
+  "CMakeFiles/fst_river.dir/graduated_decluster.cc.o.d"
+  "libfst_river.a"
+  "libfst_river.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_river.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/event_queue.cc" "src/simcore/CMakeFiles/fst_simcore.dir/event_queue.cc.o" "gcc" "src/simcore/CMakeFiles/fst_simcore.dir/event_queue.cc.o.d"
+  "/root/repo/src/simcore/metrics.cc" "src/simcore/CMakeFiles/fst_simcore.dir/metrics.cc.o" "gcc" "src/simcore/CMakeFiles/fst_simcore.dir/metrics.cc.o.d"
+  "/root/repo/src/simcore/rng.cc" "src/simcore/CMakeFiles/fst_simcore.dir/rng.cc.o" "gcc" "src/simcore/CMakeFiles/fst_simcore.dir/rng.cc.o.d"
+  "/root/repo/src/simcore/simulator.cc" "src/simcore/CMakeFiles/fst_simcore.dir/simulator.cc.o" "gcc" "src/simcore/CMakeFiles/fst_simcore.dir/simulator.cc.o.d"
+  "/root/repo/src/simcore/stats.cc" "src/simcore/CMakeFiles/fst_simcore.dir/stats.cc.o" "gcc" "src/simcore/CMakeFiles/fst_simcore.dir/stats.cc.o.d"
+  "/root/repo/src/simcore/time.cc" "src/simcore/CMakeFiles/fst_simcore.dir/time.cc.o" "gcc" "src/simcore/CMakeFiles/fst_simcore.dir/time.cc.o.d"
+  "/root/repo/src/simcore/timeseries.cc" "src/simcore/CMakeFiles/fst_simcore.dir/timeseries.cc.o" "gcc" "src/simcore/CMakeFiles/fst_simcore.dir/timeseries.cc.o.d"
+  "/root/repo/src/simcore/trace.cc" "src/simcore/CMakeFiles/fst_simcore.dir/trace.cc.o" "gcc" "src/simcore/CMakeFiles/fst_simcore.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

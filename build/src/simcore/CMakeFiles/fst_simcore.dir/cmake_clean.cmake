@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_simcore.dir/event_queue.cc.o"
+  "CMakeFiles/fst_simcore.dir/event_queue.cc.o.d"
+  "CMakeFiles/fst_simcore.dir/metrics.cc.o"
+  "CMakeFiles/fst_simcore.dir/metrics.cc.o.d"
+  "CMakeFiles/fst_simcore.dir/rng.cc.o"
+  "CMakeFiles/fst_simcore.dir/rng.cc.o.d"
+  "CMakeFiles/fst_simcore.dir/simulator.cc.o"
+  "CMakeFiles/fst_simcore.dir/simulator.cc.o.d"
+  "CMakeFiles/fst_simcore.dir/stats.cc.o"
+  "CMakeFiles/fst_simcore.dir/stats.cc.o.d"
+  "CMakeFiles/fst_simcore.dir/time.cc.o"
+  "CMakeFiles/fst_simcore.dir/time.cc.o.d"
+  "CMakeFiles/fst_simcore.dir/timeseries.cc.o"
+  "CMakeFiles/fst_simcore.dir/timeseries.cc.o.d"
+  "CMakeFiles/fst_simcore.dir/trace.cc.o"
+  "CMakeFiles/fst_simcore.dir/trace.cc.o.d"
+  "libfst_simcore.a"
+  "libfst_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

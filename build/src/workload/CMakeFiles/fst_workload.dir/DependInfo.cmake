@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dds.cc" "src/workload/CMakeFiles/fst_workload.dir/dds.cc.o" "gcc" "src/workload/CMakeFiles/fst_workload.dir/dds.cc.o.d"
+  "/root/repo/src/workload/io_trace.cc" "src/workload/CMakeFiles/fst_workload.dir/io_trace.cc.o" "gcc" "src/workload/CMakeFiles/fst_workload.dir/io_trace.cc.o.d"
+  "/root/repo/src/workload/mixes.cc" "src/workload/CMakeFiles/fst_workload.dir/mixes.cc.o" "gcc" "src/workload/CMakeFiles/fst_workload.dir/mixes.cc.o.d"
+  "/root/repo/src/workload/parallel_write.cc" "src/workload/CMakeFiles/fst_workload.dir/parallel_write.cc.o" "gcc" "src/workload/CMakeFiles/fst_workload.dir/parallel_write.cc.o.d"
+  "/root/repo/src/workload/scan_query.cc" "src/workload/CMakeFiles/fst_workload.dir/scan_query.cc.o" "gcc" "src/workload/CMakeFiles/fst_workload.dir/scan_query.cc.o.d"
+  "/root/repo/src/workload/sort.cc" "src/workload/CMakeFiles/fst_workload.dir/sort.cc.o" "gcc" "src/workload/CMakeFiles/fst_workload.dir/sort.cc.o.d"
+  "/root/repo/src/workload/transpose.cc" "src/workload/CMakeFiles/fst_workload.dir/transpose.cc.o" "gcc" "src/workload/CMakeFiles/fst_workload.dir/transpose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raid/CMakeFiles/fst_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/fst_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fst_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fst_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

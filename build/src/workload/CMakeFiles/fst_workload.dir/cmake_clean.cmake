@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fst_workload.dir/dds.cc.o"
+  "CMakeFiles/fst_workload.dir/dds.cc.o.d"
+  "CMakeFiles/fst_workload.dir/io_trace.cc.o"
+  "CMakeFiles/fst_workload.dir/io_trace.cc.o.d"
+  "CMakeFiles/fst_workload.dir/mixes.cc.o"
+  "CMakeFiles/fst_workload.dir/mixes.cc.o.d"
+  "CMakeFiles/fst_workload.dir/parallel_write.cc.o"
+  "CMakeFiles/fst_workload.dir/parallel_write.cc.o.d"
+  "CMakeFiles/fst_workload.dir/scan_query.cc.o"
+  "CMakeFiles/fst_workload.dir/scan_query.cc.o.d"
+  "CMakeFiles/fst_workload.dir/sort.cc.o"
+  "CMakeFiles/fst_workload.dir/sort.cc.o.d"
+  "CMakeFiles/fst_workload.dir/transpose.cc.o"
+  "CMakeFiles/fst_workload.dir/transpose.cc.o.d"
+  "libfst_workload.a"
+  "libfst_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fst_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_disk_test.dir/devices_disk_test.cc.o"
+  "CMakeFiles/devices_disk_test.dir/devices_disk_test.cc.o.d"
+  "devices_disk_test"
+  "devices_disk_test.pdb"
+  "devices_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

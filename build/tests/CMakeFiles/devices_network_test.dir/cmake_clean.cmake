@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_network_test.dir/devices_network_test.cc.o"
+  "CMakeFiles/devices_network_test.dir/devices_network_test.cc.o.d"
+  "devices_network_test"
+  "devices_network_test.pdb"
+  "devices_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

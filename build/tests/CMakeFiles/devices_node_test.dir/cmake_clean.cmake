@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_node_test.dir/devices_node_test.cc.o"
+  "CMakeFiles/devices_node_test.dir/devices_node_test.cc.o.d"
+  "devices_node_test"
+  "devices_node_test.pdb"
+  "devices_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formal_test.dir/formal_test.cc.o"
+  "CMakeFiles/formal_test.dir/formal_test.cc.o.d"
+  "formal_test"
+  "formal_test.pdb"
+  "formal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_trace_test.dir/io_trace_test.cc.o"
+  "CMakeFiles/io_trace_test.dir/io_trace_test.cc.o.d"
+  "io_trace_test"
+  "io_trace_test.pdb"
+  "io_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/river_test.dir/river_test.cc.o"
+  "CMakeFiles/river_test.dir/river_test.cc.o.d"
+  "river_test"
+  "river_test.pdb"
+  "river_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/river_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_query_test.dir/scan_query_test.cc.o"
+  "CMakeFiles/scan_query_test.dir/scan_query_test.cc.o.d"
+  "scan_query_test"
+  "scan_query_test.pdb"
+  "scan_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simcore_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_disk_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_network_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_node_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/raid_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/supervisor_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_query_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/river_test[1]_include.cmake")
+include("/root/repo/build/tests/formal_test[1]_include.cmake")
+include("/root/repo/build/tests/io_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/hedge_test[1]_include.cmake")
