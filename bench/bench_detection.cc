@@ -15,11 +15,13 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/core/registry.h"
 #include "src/faults/injector.h"
 #include "src/faults/perf_fault.h"
+#include "src/obs/profiler.h"
 
 namespace fst {
 namespace {
@@ -36,6 +38,10 @@ struct DetectionResult {
 DetectionResult RunDetection(int enter_windows, double enter_deficit,
                              double jitter_sigma) {
   Simulator sim(47);
+  BenchTelemetry telemetry("detection_w" + std::to_string(enter_windows) +
+                           "_d" + std::to_string(static_cast<int>(enter_deficit * 100)) +
+                           "_j" + std::to_string(static_cast<int>(jitter_sigma * 100)));
+  EventRecorder* recorder = telemetry.recorder_or_null();
   DetectorParams dp;
   dp.window = Duration::Millis(500);
   dp.enter_windows = enter_windows;
@@ -43,13 +49,23 @@ DetectionResult RunDetection(int enter_windows, double enter_deficit,
   dp.enter_deficit = enter_deficit;
   dp.exit_deficit = enter_deficit * 0.8;
   PerformanceStateRegistry registry(dp);
+  registry.set_recorder(recorder);
   FaultInjector injector(sim);
+  injector.set_recorder(recorder);
+  SimProfiler profiler(sim, telemetry.recorder, Duration::Millis(500));
+  if (telemetry.enabled()) {
+    profiler.Start();
+    // The pump stops at t=40s; without this the self-rescheduling profiler
+    // would keep the event queue alive forever.
+    sim.Schedule(Duration::Seconds(41.0), [&profiler]() { profiler.Stop(); });
+  }
 
   const int kDisks = 8;
   std::vector<std::unique_ptr<Disk>> disks;
   for (int i = 0; i < kDisks; ++i) {
-    disks.push_back(
-        std::make_unique<Disk>(sim, "disk" + std::to_string(i), BenchDisk()));
+    disks.push_back(std::make_unique<Disk>(
+        sim, "disk" + std::to_string(i), BenchDisk(),
+        telemetry.enabled() ? &telemetry.metrics : nullptr, recorder));
     registry.Register(disks.back()->name(),
                       PerformanceSpec::RateBand(10e6, 0.25));
     injector.InjectJitter(*disks.back(), jitter_sigma);
@@ -94,6 +110,11 @@ DetectionResult RunDetection(int enter_windows, double enter_deficit,
                         ? static_cast<double>(registry.observations())
                         : static_cast<double>(registry.observations()) /
                               static_cast<double>(registry.history().size());
+  if (telemetry.enabled()) {
+    const CorrelationReport report = CorrelateFaultTimeline(
+        telemetry.recorder.Events(), telemetry.recorder.components());
+    telemetry.Export(&report);
+  }
   return out;
 }
 

@@ -15,8 +15,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "src/faults/injector.h"
 #include "src/raid/supervisor.h"
 
 namespace fst {
@@ -52,9 +54,23 @@ struct PolicyRun {
 
 PolicyRun RunPolicy(int64_t policy_arg, double slow_factor) {
   Simulator sim(3);
+  BenchTelemetry telemetry(
+      "policy_" + std::string(PolicyName(policy_arg)) + "_s" +
+      std::to_string(static_cast<int>(slow_factor * 10)));
+  EventRecorder* recorder = telemetry.recorder_or_null();
   PerformanceStateRegistry registry;
-  BenchVolume v(sim, 4, StriperKind::kStatic, slow_factor, &registry);
-  VolumeSupervisor supervisor(sim, *v.volume, registry, MakePolicy(policy_arg));
+  registry.set_recorder(recorder);
+  // The slowdown goes through the injector (same modulator BenchVolume
+  // would attach) so the telemetry stream carries its ground truth.
+  BenchVolume v(sim, 4, StriperKind::kStatic, 1.0, &registry,
+                ReadSelection::kRoundRobin, recorder);
+  FaultInjector injector(sim);
+  injector.set_recorder(recorder);
+  if (slow_factor > 1.0) {
+    injector.InjectStaticSlowdown(*v.disks[0], slow_factor);
+  }
+  VolumeSupervisor supervisor(sim, *v.volume, registry, MakePolicy(policy_arg),
+                              {}, recorder);
   PolicyRun out;
   bool finished = false;
   v.volume->WriteBlocks(6000, [&](const BatchResult& r) {
@@ -67,6 +83,15 @@ PolicyRun RunPolicy(int64_t policy_arg, double slow_factor) {
   }
   out.ejections = supervisor.ejections();
   out.reweights = supervisor.reweights();
+  if (telemetry.enabled()) {
+    // The detector watches mirror pairs, not raw disks.
+    CorrelatorOptions options;
+    options.alias["disk0"] = "pair0";
+    const CorrelationReport report =
+        CorrelateFaultTimeline(telemetry.recorder.Events(),
+                               telemetry.recorder.components(), options);
+    telemetry.Export(&report);
+  }
   return out;
 }
 

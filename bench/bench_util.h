@@ -4,6 +4,8 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,10 +13,65 @@
 #include "src/core/registry.h"
 #include "src/devices/disk.h"
 #include "src/devices/modulators.h"
+#include "src/obs/correlator.h"
+#include "src/obs/export.h"
+#include "src/obs/recorder.h"
 #include "src/raid/raid10.h"
+#include "src/simcore/metrics.h"
 #include "src/simcore/simulator.h"
 
 namespace fst {
+
+// Run telemetry for a bench, opt-in via the FST_TELEMETRY_DIR environment
+// variable. Unset (the default), recorder_or_null() returns nullptr and
+// the instrumented hot paths see only a null-pointer test — the zero-cost
+// path bench_overheads measures. Set, Export() writes the machine-readable
+// artifacts for the run into the directory:
+//   <name>.trace.json       Perfetto / chrome://tracing trace
+//   <name>.events.jsonl     raw structured events
+//   <name>.metrics.json     MetricRegistry snapshot
+//   <name>.correlation.json fault-timeline report (when one is passed)
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(std::string run_name)
+      : run_name_(std::move(run_name)) {
+    const char* dir = std::getenv("FST_TELEMETRY_DIR");
+    if (dir != nullptr && *dir != '\0') {
+      dir_ = dir;
+    } else {
+      recorder.set_enabled(false);
+    }
+  }
+
+  bool enabled() const { return !dir_.empty(); }
+  EventRecorder* recorder_or_null() { return enabled() ? &recorder : nullptr; }
+
+  void Export(const CorrelationReport* report = nullptr) {
+    if (!enabled()) {
+      return;
+    }
+    const std::string base = dir_ + "/" + run_name_;
+    bool ok = WritePerfettoTrace(recorder, base + ".trace.json");
+    ok = WriteEventsJsonl(recorder, base + ".events.jsonl") && ok;
+    ok = WriteMetricsJson(metrics, base + ".metrics.json") && ok;
+    if (report != nullptr) {
+      ok = WriteTextFile(base + ".correlation.json", report->ToJson()) && ok;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "FST_TELEMETRY_DIR: failed to write %s.* (does the "
+                   "directory exist?)\n",
+                   base.c_str());
+    }
+  }
+
+  EventRecorder recorder;
+  MetricRegistry metrics;
+
+ private:
+  std::string run_name_;
+  std::string dir_;
+};
 
 inline DiskParams BenchDisk(double mbps = 10.0) {
   DiskParams p;
@@ -29,10 +86,11 @@ struct BenchVolume {
   BenchVolume(Simulator& sim, int n_pairs, StriperKind kind,
               double slow_factor = 1.0,
               PerformanceStateRegistry* registry = nullptr,
-              ReadSelection read_selection = ReadSelection::kRoundRobin) {
+              ReadSelection read_selection = ReadSelection::kRoundRobin,
+              EventRecorder* recorder = nullptr) {
     for (int i = 0; i < 2 * n_pairs; ++i) {
       disks.push_back(std::make_unique<Disk>(sim, "disk" + std::to_string(i),
-                                             BenchDisk()));
+                                             BenchDisk(), nullptr, recorder));
     }
     if (slow_factor > 1.0) {
       disks[0]->AttachModulator(

@@ -4,12 +4,19 @@
 // by the slow pair's lost fraction.
 //
 //   $ ./examples/fault_timeline
+//
+// Set FST_TELEMETRY_DIR to also dump a Perfetto-loadable trace of each run
+// (open the .trace.json in https://ui.perfetto.dev or chrome://tracing).
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/devices/disk.h"
 #include "src/faults/perf_fault.h"
+#include "src/obs/export.h"
+#include "src/obs/recorder.h"
 #include "src/raid/raid10.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/timeseries.h"
@@ -22,7 +29,7 @@ struct Timeline {
   double mean = 0.0;
 };
 
-Timeline RunTimeline(fst::StriperKind kind) {
+Timeline RunTimeline(fst::StriperKind kind, fst::EventRecorder* events) {
   fst::Simulator sim(77);
   fst::DiskParams params;
   params.flat_bandwidth_mbps = 10.0;
@@ -30,7 +37,7 @@ Timeline RunTimeline(fst::StriperKind kind) {
   std::vector<std::unique_ptr<fst::Disk>> disks;
   for (int i = 0; i < 8; ++i) {
     disks.push_back(std::make_unique<fst::Disk>(
-        sim, "disk" + std::to_string(i), params));
+        sim, "disk" + std::to_string(i), params, nullptr, events));
   }
   // Episodic fault: 4x slow for ~3 s, healthy for ~3 s, repeating.
   disks[0]->AttachModulator(std::make_shared<fst::IntermittentSlowdownModulator>(
@@ -72,8 +79,22 @@ int main() {
   std::printf("Throughput timeline under an episodic 4x fault on one mirror\n"
               "(4 pairs x 10 MB/s; fault ~3s on / ~3s off; 500 ms samples;\n"
               " scale: '#' = series max, ' ' = 0)\n\n");
-  const Timeline stat = RunTimeline(fst::StriperKind::kStatic);
-  const Timeline adpt = RunTimeline(fst::StriperKind::kAdaptive);
+  const char* telemetry_dir = std::getenv("FST_TELEMETRY_DIR");
+  fst::EventRecorder static_rec;
+  fst::EventRecorder adaptive_rec;
+  const bool record = telemetry_dir != nullptr && *telemetry_dir != '\0';
+  const Timeline stat =
+      RunTimeline(fst::StriperKind::kStatic, record ? &static_rec : nullptr);
+  const Timeline adpt =
+      RunTimeline(fst::StriperKind::kAdaptive, record ? &adaptive_rec : nullptr);
+  if (record) {
+    const std::string base = std::string(telemetry_dir) + "/fault_timeline";
+    fst::WritePerfettoTrace(static_rec, base + "_static.trace.json");
+    fst::WritePerfettoTrace(adaptive_rec, base + "_adaptive.trace.json");
+    fst::WriteEventsJsonl(adaptive_rec, base + "_adaptive.events.jsonl");
+    std::printf("telemetry written to %s/fault_timeline_*.{trace.json,events.jsonl}\n\n",
+                telemetry_dir);
+  }
 
   std::printf("static    |%s|  mean %.1f MB/s\n", stat.sparkline.c_str(),
               stat.mean);

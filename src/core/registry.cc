@@ -53,6 +53,14 @@ void PerformanceStateRegistry::PublishIfChanged(const std::string& component,
   change.to = det.state();
   change.smoothed_deficit = det.SmoothedDeficit();
   history_.push_back(change);
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    const std::string label =
+        std::string(PerfStateName(before)) + "->" + PerfStateName(det.state());
+    recorder_->StateTransition(now, recorder_->Intern(component),
+                               recorder_->Intern(label),
+                               static_cast<int>(det.state()),
+                               det.SmoothedDeficit());
+  }
   for (const auto& listener : listeners_) {
     listener(change);
     ++notifications_sent_;

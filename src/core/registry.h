@@ -20,6 +20,7 @@
 #include "src/core/classifier.h"
 #include "src/core/detector.h"
 #include "src/core/perf_spec.h"
+#include "src/obs/recorder.h"
 #include "src/simcore/time.h"
 
 namespace fst {
@@ -53,6 +54,10 @@ class PerformanceStateRegistry {
 
   void Subscribe(Listener listener);
 
+  // Mirrors every published state change into the event stream (detector
+  // transitions are the observation half of the fault-timeline correlator).
+  void set_recorder(EventRecorder* recorder) { recorder_ = recorder; }
+
   PerfState StateOf(const std::string& component) const;
   double EstimatedRate(const std::string& component) const;
   double SmoothedDeficit(const std::string& component) const;
@@ -70,6 +75,7 @@ class PerformanceStateRegistry {
                         SimTime now);
 
   DetectorParams detector_params_;
+  EventRecorder* recorder_ = nullptr;
   std::map<std::string, std::unique_ptr<StutterDetector>> detectors_;
   std::vector<Listener> listeners_;
   std::vector<StateChange> history_;

@@ -12,9 +12,12 @@ constexpr double kMega = 1e6;
 }  // namespace
 
 Disk::Disk(Simulator& sim, std::string name, DiskParams params,
-           MetricRegistry* metrics)
+           MetricRegistry* metrics, EventRecorder* recorder)
     : FaultableDevice(std::move(name)), sim_(sim), params_(std::move(params)),
-      metrics_(metrics) {
+      metrics_(metrics), recorder_(recorder) {
+  if (recorder_ != nullptr) {
+    trace_comp_ = recorder_->Intern(this->name());
+  }
   if (params_.zones.empty()) {
     params_.zones.push_back(DiskZone{0, params_.capacity_blocks,
                                      params_.flat_bandwidth_mbps});
@@ -115,6 +118,11 @@ void Disk::Submit(DiskRequest req) {
     }
     return;
   }
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    req.trace_id = recorder_->NextRequestId();
+    recorder_->RequestEnqueue(now, trace_comp_, req.trace_id, -1,
+                              static_cast<double>(queue_depth() + 1));
+  }
   queue_.emplace_back(std::move(req), now);
   MaybeStart();
 }
@@ -157,12 +165,16 @@ void Disk::StartService(DiskRequest req, SimTime issued) {
     first_activity_ = now;
   }
   busy_time_ += service;
-  sim_.Schedule(service, [this, req = std::move(req), issued]() {
-    CompleteService(req, issued);
+  if (recorder_ != nullptr && req.trace_id != 0) {
+    recorder_->RequestStart(now, trace_comp_, req.trace_id, -1, now - issued);
+  }
+  sim_.Schedule(service, [this, req = std::move(req), issued, started = now]() {
+    CompleteService(req, issued, started);
   });
 }
 
-void Disk::CompleteService(const DiskRequest& req, SimTime issued) {
+void Disk::CompleteService(const DiskRequest& req, SimTime issued,
+                           SimTime started) {
   const SimTime now = sim_.Now();
   head_pos_ = req.offset_blocks + req.nblocks;
   blocks_serviced_ += req.nblocks;
@@ -173,6 +185,10 @@ void Disk::CompleteService(const DiskRequest& req, SimTime issued) {
     metrics_->GetCounter("disk." + name() + ".blocks").Increment(
         static_cast<double>(req.nblocks));
     metrics_->GetHistogram("disk." + name() + ".latency_ns").AddDuration(latency);
+  }
+  if (recorder_ != nullptr && req.trace_id != 0) {
+    recorder_->RequestComplete(now, trace_comp_, req.trace_id, -1,
+                               started - issued, now - started);
   }
   IoResult r;
   r.ok = true;

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "src/devices/device.h"
+#include "src/obs/recorder.h"
 #include "src/simcore/metrics.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/stats.h"
@@ -37,6 +38,9 @@ struct DiskRequest {
   int64_t offset_blocks = 0;
   int64_t nblocks = 1;
   IoCallback done;
+  // Assigned by the disk when an EventRecorder is attached; joins this
+  // request's enqueue/start/complete trace events.
+  uint64_t trace_id = 0;
 };
 
 // A bandwidth zone covering [start_block, end_block).
@@ -67,7 +71,7 @@ struct DiskParams {
 class Disk : public FaultableDevice {
  public:
   Disk(Simulator& sim, std::string name, DiskParams params,
-       MetricRegistry* metrics = nullptr);
+       MetricRegistry* metrics = nullptr, EventRecorder* recorder = nullptr);
 
   const DiskParams& params() const { return params_; }
 
@@ -104,11 +108,13 @@ class Disk : public FaultableDevice {
  private:
   void MaybeStart();
   void StartService(DiskRequest req, SimTime issued);
-  void CompleteService(const DiskRequest& req, SimTime issued);
+  void CompleteService(const DiskRequest& req, SimTime issued, SimTime started);
 
   Simulator& sim_;
   DiskParams params_;
   MetricRegistry* metrics_;
+  EventRecorder* recorder_;
+  uint16_t trace_comp_ = 0;
 
   std::deque<std::pair<DiskRequest, SimTime>> queue_;  // request, issue time
   bool busy_ = false;

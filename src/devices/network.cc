@@ -8,12 +8,17 @@ namespace {
 constexpr double kMega = 1e6;
 }  // namespace
 
-Switch::Switch(Simulator& sim, SwitchParams params, MetricRegistry* metrics)
-    : sim_(sim), params_(params), metrics_(metrics),
+Switch::Switch(Simulator& sim, SwitchParams params, MetricRegistry* metrics,
+               EventRecorder* recorder)
+    : sim_(sim), params_(params), metrics_(metrics), recorder_(recorder),
       send_queues_(params.ports), send_busy_(params.ports, false),
       awaiting_admission_(params.ports), recv_queues_(params.ports),
       recv_busy_(params.ports, false), recv_speed_(params.ports, 1.0),
-      src_weight_(params.ports, 1.0), delivered_bytes_(params.ports, 0) {}
+      src_weight_(params.ports, 1.0), delivered_bytes_(params.ports, 0) {
+  if (recorder_ != nullptr) {
+    trace_comp_ = recorder_->Intern("switch");
+  }
+}
 
 void Switch::SetReceiverSpeed(int port, double factor) {
   recv_speed_[port] = std::max(factor, 1e-6);
@@ -48,7 +53,13 @@ int64_t Switch::total_delivered_bytes() const {
 
 void Switch::Send(NetMessage msg) {
   const int src = msg.src;
-  send_queues_[src].push_back(Pending{std::move(msg), sim_.Now()});
+  Pending p{std::move(msg), sim_.Now(), SimTime(), 0};
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    p.trace_id = recorder_->NextRequestId();
+    recorder_->RequestEnqueue(p.enqueued, trace_comp_, p.trace_id, src,
+                              static_cast<double>(send_queues_[src].size() + 1));
+  }
+  send_queues_[src].push_back(std::move(p));
   MaybeStartSend(src);
 }
 
@@ -70,6 +81,11 @@ void Switch::FinishSend(int port) {
   send_queues_[port].pop_front();
   if (fabric_occupancy_ + p.msg.bytes <= params_.fabric_buffer_bytes) {
     fabric_occupancy_ += p.msg.bytes;
+    p.admitted = sim_.Now();
+    if (recorder_ != nullptr && p.trace_id != 0) {
+      recorder_->RequestStart(p.admitted, trace_comp_, p.trace_id, port,
+                              p.admitted - p.enqueued);
+    }
     const int dst = p.msg.dst;
     recv_queues_[dst].push_back(std::move(p));
     send_busy_[port] = false;
@@ -89,6 +105,11 @@ void Switch::AdmitToFabric(int port) {
       return;
     }
     fabric_occupancy_ += head.msg.bytes;
+    head.admitted = sim_.Now();
+    if (recorder_ != nullptr && head.trace_id != 0) {
+      recorder_->RequestStart(head.admitted, trace_comp_, head.trace_id, port,
+                              head.admitted - head.enqueued);
+    }
     const int dst = head.msg.dst;
     recv_queues_[dst].push_back(std::move(head));
     awaiting_admission_[port].pop_front();
@@ -119,6 +140,10 @@ void Switch::FinishReceive(int port) {
   delivered_bytes_[port] += p.msg.bytes;
   const SimTime now = sim_.Now();
   latency_.AddDuration(now - p.enqueued);
+  if (recorder_ != nullptr && p.trace_id != 0) {
+    recorder_->RequestComplete(now, trace_comp_, p.trace_id, port,
+                               p.admitted - p.enqueued, now - p.admitted);
+  }
   if (metrics_ != nullptr) {
     metrics_->GetCounter("switch.delivered_bytes")
         .Increment(static_cast<double>(p.msg.bytes));

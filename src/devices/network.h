@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/obs/recorder.h"
 #include "src/simcore/metrics.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/stats.h"
@@ -44,7 +45,8 @@ struct SwitchParams {
 
 class Switch {
  public:
-  Switch(Simulator& sim, SwitchParams params, MetricRegistry* metrics = nullptr);
+  Switch(Simulator& sim, SwitchParams params, MetricRegistry* metrics = nullptr,
+         EventRecorder* recorder = nullptr);
 
   // Sends a message; `msg.done` fires at delivery (after receive drain).
   void Send(NetMessage msg);
@@ -72,6 +74,8 @@ class Switch {
   struct Pending {
     NetMessage msg;
     SimTime enqueued;
+    SimTime admitted;       // when the message entered the fabric
+    uint64_t trace_id = 0;  // joins this message's trace events
   };
 
   // Returns how long until a stall window ends (zero if not stalled).
@@ -86,6 +90,8 @@ class Switch {
   Simulator& sim_;
   SwitchParams params_;
   MetricRegistry* metrics_;
+  EventRecorder* recorder_;
+  uint16_t trace_comp_ = 0;
 
   std::vector<std::deque<Pending>> send_queues_;
   std::vector<bool> send_busy_;

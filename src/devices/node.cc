@@ -2,8 +2,14 @@
 
 namespace fst {
 
-Node::Node(Simulator& sim, std::string name, NodeParams params)
-    : FaultableDevice(std::move(name)), sim_(sim), params_(params) {}
+Node::Node(Simulator& sim, std::string name, NodeParams params,
+           EventRecorder* recorder)
+    : FaultableDevice(std::move(name)), sim_(sim), params_(params),
+      recorder_(recorder) {
+  if (recorder_ != nullptr) {
+    trace_comp_ = recorder_->Intern(this->name());
+  }
+}
 
 Duration Node::EstimateComputeTime(double work_units, SimTime now) const {
   double secs = work_units / params_.cpu_rate;
@@ -25,7 +31,13 @@ void Node::Compute(double work_units, IoCallback done) {
     }
     return;
   }
-  queue_.push_back(Task{work_units, std::move(done), now});
+  Task task{work_units, std::move(done), now, 0};
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    task.trace_id = recorder_->NextRequestId();
+    recorder_->RequestEnqueue(now, trace_comp_, task.trace_id, -1,
+                              static_cast<double>(queue_depth() + 1));
+  }
+  queue_.push_back(std::move(task));
   MaybeStart();
 }
 
@@ -60,10 +72,18 @@ void Node::StartService(Task task) {
     return;
   }
   const Duration service = EstimateComputeTime(task.work_units, now);
-  sim_.Schedule(service, [this, task = std::move(task)]() {
+  if (recorder_ != nullptr && task.trace_id != 0) {
+    recorder_->RequestStart(now, trace_comp_, task.trace_id, -1,
+                            now - task.issued);
+  }
+  sim_.Schedule(service, [this, task = std::move(task), started = now]() {
     const SimTime done_at = sim_.Now();
     tasks_completed_ += 1.0;
     latency_.AddDuration(done_at - task.issued);
+    if (recorder_ != nullptr && task.trace_id != 0) {
+      recorder_->RequestComplete(done_at, trace_comp_, task.trace_id, -1,
+                                 started - task.issued, done_at - started);
+    }
     if (task.done) {
       IoResult r;
       r.ok = true;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/devices/device.h"
+#include "src/obs/recorder.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/stats.h"
 #include "src/simcore/time.h"
@@ -33,7 +34,8 @@ struct NodeParams {
 
 class Node : public FaultableDevice {
  public:
-  Node(Simulator& sim, std::string name, NodeParams params);
+  Node(Simulator& sim, std::string name, NodeParams params,
+       EventRecorder* recorder = nullptr);
 
   // Enqueues `work_units` of computation; `done` fires on completion.
   void Compute(double work_units, IoCallback done);
@@ -60,6 +62,7 @@ class Node : public FaultableDevice {
     double work_units;
     IoCallback done;
     SimTime issued;
+    uint64_t trace_id = 0;  // joins this task's trace events
   };
 
   void MaybeStart();
@@ -67,6 +70,8 @@ class Node : public FaultableDevice {
 
   Simulator& sim_;
   NodeParams params_;
+  EventRecorder* recorder_ = nullptr;
+  uint16_t trace_comp_ = 0;
   std::deque<Task> queue_;
   bool busy_ = false;
   double reserved_mb_ = 0.0;

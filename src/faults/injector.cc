@@ -8,6 +8,11 @@ void FaultInjector::Record(SimTime when, FaultClass cls,
                            const std::string& component,
                            const std::string& kind, double magnitude) {
   injected_.push_back(InjectedFault{when, cls, component, kind, magnitude});
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    recorder_->FaultActivate(when, recorder_->Intern(component),
+                             recorder_->Intern(kind), magnitude,
+                             cls == FaultClass::kCorrectness);
+  }
 }
 
 void FaultInjector::InjectStaticSlowdown(FaultableDevice& dev, double factor) {
@@ -59,6 +64,15 @@ void FaultInjector::InjectStepChange(FaultableDevice& dev,
     }
     if (s.at < first) {
       first = s.at;
+    }
+  }
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    // Steps back to (or below) nominal end the fault episode.
+    for (const auto& s : steps) {
+      if (s.factor <= 1.0) {
+        recorder_->FaultDeactivate(s.at, recorder_->Intern(dev.name()),
+                                   recorder_->Intern("step-change"));
+      }
     }
   }
   dev.AttachModulator(std::make_shared<StepModulator>(std::move(steps)));

@@ -12,6 +12,7 @@
 #include "src/devices/scsi_bus.h"
 #include "src/faults/fault.h"
 #include "src/faults/perf_fault.h"
+#include "src/obs/recorder.h"
 #include "src/simcore/simulator.h"
 
 namespace fst {
@@ -19,6 +20,12 @@ namespace fst {
 class FaultInjector {
  public:
   explicit FaultInjector(Simulator& sim) : sim_(sim) {}
+
+  // Mirrors every recorded injection (and, for step changes, each factor
+  // step back to nominal) into the event stream as fault activation /
+  // deactivation events, the ground-truth half of the fault-timeline
+  // correlator's join.
+  void set_recorder(EventRecorder* recorder) { recorder_ = recorder; }
 
   // -- Performance faults (attach a modulator, record ground truth) --
 
@@ -65,6 +72,7 @@ class FaultInjector {
               const std::string& kind, double magnitude);
 
   Simulator& sim_;
+  EventRecorder* recorder_ = nullptr;
   std::vector<InjectedFault> injected_;
 };
 

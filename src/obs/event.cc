@@ -1,0 +1,61 @@
+#include "src/obs/event.h"
+
+namespace fst {
+
+uint16_t ComponentTable::Intern(const std::string& name) {
+  if (name.empty()) {
+    return 0;
+  }
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const uint16_t id = static_cast<uint16_t>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+const std::string& ComponentTable::Name(uint16_t id) const {
+  static const std::string kUnknown = "?";
+  if (id >= names_.size()) {
+    return kUnknown;
+  }
+  return names_[id];
+}
+
+int ComponentTable::Find(const std::string& name) const {
+  if (name.empty()) {
+    return 0;
+  }
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : static_cast<int>(it->second);
+}
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kRequestEnqueue:
+      return "RequestEnqueue";
+    case EventKind::kRequestStart:
+      return "RequestStart";
+    case EventKind::kRequestComplete:
+      return "RequestComplete";
+    case EventKind::kFaultActivate:
+      return "FaultActivate";
+    case EventKind::kFaultDeactivate:
+      return "FaultDeactivate";
+    case EventKind::kStateTransition:
+      return "StateTransition";
+    case EventKind::kPolicyAction:
+      return "PolicyAction";
+    case EventKind::kCounterSample:
+      return "CounterSample";
+    case EventKind::kQueueDepth:
+      return "QueueDepth";
+    case EventKind::kMark:
+      return "Mark";
+  }
+  return "?";
+}
+
+}  // namespace fst

@@ -1,0 +1,237 @@
+#include "src/obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fst {
+
+namespace {
+
+// Chrome trace timestamps are microseconds.
+std::string TsMicros(SimTime when) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(when.nanos()) / 1000.0);
+  return buf;
+}
+
+std::string DurMicros(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string PerfettoTraceJson(const std::vector<TraceEvent>& events,
+                              const ComponentTable& table) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << body;
+  };
+
+  // Name one track ("thread") per component id seen in the stream.
+  std::vector<bool> named(table.size(), false);
+  for (const TraceEvent& e : events) {
+    if (e.component < named.size() && !named[e.component]) {
+      named[e.component] = true;
+      emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(e.component) + ",\"args\":{\"name\":\"" +
+           JsonEscape(table.Name(e.component)) + "\"}}");
+    }
+  }
+
+  auto instant = [&](const TraceEvent& e, const std::string& name,
+                     const std::string& args) {
+    emit("{\"name\":\"" + JsonEscape(name) +
+         "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + TsMicros(e.when) +
+         ",\"pid\":1,\"tid\":" + std::to_string(e.component) + ",\"args\":{" +
+         args + "}}");
+  };
+  auto counter = [&](const TraceEvent& e, const std::string& name,
+                     const std::string& key, double value) {
+    emit("{\"name\":\"" + JsonEscape(name) +
+         "\",\"ph\":\"C\",\"ts\":" + TsMicros(e.when) +
+         ",\"pid\":1,\"args\":{\"" + key + "\":" + JsonNumber(value) + "}}");
+  };
+
+  for (const TraceEvent& e : events) {
+    const std::string& comp = table.Name(e.component);
+    switch (e.kind) {
+      case EventKind::kRequestComplete: {
+        const std::string req = std::to_string(e.request_id);
+        // Two slices per request: queue wait, then service.
+        if (e.a > 0.0) {
+          emit("{\"name\":\"queue\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":" +
+               TsMicros(e.when - Duration(static_cast<int64_t>(e.a + e.b))) +
+               ",\"dur\":" + DurMicros(e.a) + ",\"pid\":1,\"tid\":" +
+               std::to_string(e.component) + ",\"args\":{\"req\":" + req +
+               "}}");
+        }
+        emit("{\"name\":\"service\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":" +
+             TsMicros(e.when - Duration(static_cast<int64_t>(e.b))) +
+             ",\"dur\":" + DurMicros(e.b) + ",\"pid\":1,\"tid\":" +
+             std::to_string(e.component) + ",\"args\":{\"req\":" + req + "}}");
+        break;
+      }
+      case EventKind::kRequestEnqueue:
+      case EventKind::kQueueDepth:
+        counter(e, comp + " queue depth", "depth", e.a);
+        break;
+      case EventKind::kCounterSample:
+        counter(e, comp + "." + table.Name(e.label), "value", e.a);
+        break;
+      case EventKind::kStateTransition:
+        instant(e, table.Name(e.label),
+                "\"deficit\":" + JsonNumber(e.b));
+        break;
+      case EventKind::kFaultActivate:
+        instant(e, "fault+" + table.Name(e.label),
+                "\"magnitude\":" + JsonNumber(e.a));
+        break;
+      case EventKind::kFaultDeactivate:
+        instant(e, "fault-" + table.Name(e.label), "");
+        break;
+      case EventKind::kPolicyAction:
+        instant(e, "policy:" + table.Name(e.label),
+                "\"detail\":" + JsonNumber(e.a));
+        break;
+      case EventKind::kMark:
+        instant(e, table.Name(e.label), "\"value\":" + JsonNumber(e.a));
+        break;
+      case EventKind::kRequestStart:
+        break;  // subsumed by the kRequestComplete slices
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+std::string EventsJsonl(const std::vector<TraceEvent>& events,
+                        const ComponentTable& table) {
+  std::ostringstream out;
+  for (const TraceEvent& e : events) {
+    out << "{\"t_ns\":" << e.when.nanos() << ",\"kind\":\""
+        << EventKindName(e.kind) << "\",\"component\":\""
+        << JsonEscape(table.Name(e.component)) << "\"";
+    if (e.label != 0) {
+      out << ",\"label\":\"" << JsonEscape(table.Name(e.label)) << "\"";
+    }
+    if (e.device >= 0) {
+      out << ",\"device\":" << e.device;
+    }
+    if (e.request_id != 0) {
+      out << ",\"req\":" << e.request_id;
+    }
+    out << ",\"a\":" << JsonNumber(e.a) << ",\"b\":" << JsonNumber(e.b)
+        << "}\n";
+  }
+  return out.str();
+}
+
+std::string MetricsJson(const MetricRegistry& metrics) {
+  const MetricRegistry::Snapshot snap = metrics.Snap();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name)
+        << "\":" << JsonNumber(v);
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name)
+        << "\":" << JsonNumber(v);
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":{"
+        << "\"count\":" << h.count << ",\"mean\":" << JsonNumber(h.mean)
+        << ",\"min\":" << JsonNumber(h.min) << ",\"p50\":" << JsonNumber(h.p50)
+        << ",\"p95\":" << JsonNumber(h.p95) << ",\"p99\":" << JsonNumber(h.p99)
+        << ",\"max\":" << JsonNumber(h.max) << "}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f.is_open()) {
+    return false;
+  }
+  f << content;
+  return f.good();
+}
+
+bool WritePerfettoTrace(const EventRecorder& recorder,
+                        const std::string& path) {
+  return WriteTextFile(
+      path, PerfettoTraceJson(recorder.Events(), recorder.components()));
+}
+
+bool WriteEventsJsonl(const EventRecorder& recorder, const std::string& path) {
+  return WriteTextFile(path,
+                       EventsJsonl(recorder.Events(), recorder.components()));
+}
+
+bool WriteMetricsJson(const MetricRegistry& metrics, const std::string& path) {
+  return WriteTextFile(path, MetricsJson(metrics));
+}
+
+}  // namespace fst

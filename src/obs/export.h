@@ -1,0 +1,49 @@
+// Exporters: turn a recorded run into machine-readable artifacts.
+//
+//   * Perfetto/Chrome `trace_event` JSON — load in https://ui.perfetto.dev
+//     or chrome://tracing: request spans as slices per component track,
+//     queue depths as counter tracks, faults/transitions/actions as
+//     instants;
+//   * JSONL — one event per line, for ad-hoc analysis (jq, pandas);
+//   * metrics snapshot JSON — the MetricRegistry with numeric histogram
+//     percentiles, the artifact every bench emits next to its results.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/event.h"
+#include "src/obs/recorder.h"
+#include "src/simcore/metrics.h"
+
+namespace fst {
+
+// Escapes `s` for inclusion inside a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+// Formats a double as a JSON value ("null" for non-finite).
+std::string JsonNumber(double v);
+
+// Chrome trace_event JSON ({"traceEvents":[...]}); events in any order.
+std::string PerfettoTraceJson(const std::vector<TraceEvent>& events,
+                              const ComponentTable& table);
+
+// One JSON object per line per event, timestamp-ordered.
+std::string EventsJsonl(const std::vector<TraceEvent>& events,
+                        const ComponentTable& table);
+
+// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}.
+std::string MetricsJson(const MetricRegistry& metrics);
+
+// Writes `content` to `path`; false on any I/O error.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+// Convenience file writers over the recorder's current snapshot.
+bool WritePerfettoTrace(const EventRecorder& recorder, const std::string& path);
+bool WriteEventsJsonl(const EventRecorder& recorder, const std::string& path);
+bool WriteMetricsJson(const MetricRegistry& metrics, const std::string& path);
+
+}  // namespace fst
+
+#endif  // SRC_OBS_EXPORT_H_

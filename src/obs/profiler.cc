@@ -1,0 +1,36 @@
+#include "src/obs/profiler.h"
+
+namespace fst {
+
+SimProfiler::SimProfiler(Simulator& sim, EventRecorder& recorder,
+                         Duration period)
+    : sim_(sim), recorder_(recorder), period_(period),
+      component_(recorder.Intern("simulator")),
+      events_label_(recorder.Intern("events_per_interval")),
+      pending_label_(recorder.Intern("pending_events")) {}
+
+void SimProfiler::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  last_events_fired_ = sim_.events_fired();
+  sim_.Schedule(period_, [this]() { Tick(); });
+}
+
+void SimProfiler::Tick() {
+  if (!running_) {
+    return;
+  }
+  const SimTime now = sim_.Now();
+  const uint64_t fired = sim_.events_fired();
+  recorder_.CounterSample(now, component_, events_label_,
+                          static_cast<double>(fired - last_events_fired_));
+  recorder_.CounterSample(now, component_, pending_label_,
+                          static_cast<double>(sim_.pending_events()));
+  last_events_fired_ = fired;
+  ++samples_;
+  sim_.Schedule(period_, [this]() { Tick(); });
+}
+
+}  // namespace fst

@@ -1,0 +1,43 @@
+// Event-loop profiling: periodic samples of the simulator's own health —
+// events fired per interval and pending-queue depth — recorded as counter
+// events so a Perfetto view of a run shows the event loop's load right
+// next to the device timelines it drives.
+#ifndef SRC_OBS_PROFILER_H_
+#define SRC_OBS_PROFILER_H_
+
+#include <cstdint>
+
+#include "src/obs/recorder.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+class SimProfiler {
+ public:
+  // Does not start sampling until Start(); the caller must Stop() before
+  // the run ends or the self-rescheduling tick keeps the queue non-empty.
+  SimProfiler(Simulator& sim, EventRecorder& recorder, Duration period);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  uint64_t samples() const { return samples_; }
+
+ private:
+  void Tick();
+
+  Simulator& sim_;
+  EventRecorder& recorder_;
+  Duration period_;
+  bool running_ = false;
+  uint64_t samples_ = 0;
+  uint64_t last_events_fired_ = 0;
+  uint16_t component_;
+  uint16_t events_label_;
+  uint16_t pending_label_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_OBS_PROFILER_H_

@@ -20,8 +20,9 @@ int PairIndexOf(const std::string& component) {
 VolumeSupervisor::VolumeSupervisor(Simulator& sim, Raid10Volume& volume,
                                    PerformanceStateRegistry& registry,
                                    std::unique_ptr<ReactionPolicy> policy,
-                                   RebuildParams rebuild_params)
-    : sim_(sim), volume_(volume), registry_(registry),
+                                   RebuildParams rebuild_params,
+                                   EventRecorder* recorder)
+    : sim_(sim), volume_(volume), registry_(registry), recorder_(recorder),
       policy_(std::move(policy)), rebuilder_(sim, rebuild_params) {
   registry_.Subscribe([this](const StateChange& change) {
     OnStateChange(change);
@@ -32,6 +33,10 @@ VolumeSupervisor::VolumeSupervisor(Simulator& sim, Raid10Volume& volume,
 void VolumeSupervisor::Record(const std::string& component,
                               const std::string& action, double detail) {
   actions_.push_back(SupervisorAction{sim_.Now(), component, action, detail});
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    recorder_->PolicyAction(sim_.Now(), recorder_->Intern(component),
+                            recorder_->Intern(action), detail);
+  }
 }
 
 void VolumeSupervisor::OnStateChange(const StateChange& change) {

@@ -24,6 +24,7 @@
 
 #include "src/core/policy.h"
 #include "src/core/registry.h"
+#include "src/obs/recorder.h"
 #include "src/raid/raid10.h"
 #include "src/raid/recon.h"
 #include "src/simcore/simulator.h"
@@ -45,7 +46,8 @@ class VolumeSupervisor {
   VolumeSupervisor(Simulator& sim, Raid10Volume& volume,
                    PerformanceStateRegistry& registry,
                    std::unique_ptr<ReactionPolicy> policy,
-                   RebuildParams rebuild_params = {});
+                   RebuildParams rebuild_params = {},
+                   EventRecorder* recorder = nullptr);
 
   const std::vector<SupervisorAction>& actions() const { return actions_; }
   int ejections() const { return ejections_; }
@@ -64,6 +66,7 @@ class VolumeSupervisor {
   Simulator& sim_;
   Raid10Volume& volume_;
   PerformanceStateRegistry& registry_;
+  EventRecorder* recorder_;
   std::unique_ptr<ReactionPolicy> policy_;
   Rebuilder rebuilder_;
   std::set<const Disk*> watched_;

@@ -38,6 +38,9 @@ MetricRegistry::Snapshot MetricRegistry::Snap() const {
   }
   for (const auto& [name, h] : histograms_) {
     s.histogram_summaries[name] = h->Summary();
+    s.histograms[name] = HistogramStats{h->count(), h->mean(), h->min(),
+                                        h->P50(),   h->P95(),  h->P99(),
+                                        h->max()};
   }
   return s;
 }
@@ -62,7 +65,7 @@ void MetricRegistry::ResetAll() {
     c->Reset();
   }
   for (auto& [name, g] : gauges_) {
-    g->Set(0.0);
+    g->Reset();
   }
   for (auto& [name, h] : histograms_) {
     h->Reset();

@@ -28,6 +28,7 @@ class Gauge {
  public:
   void Set(double v) { value_ = v; }
   double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
 
  private:
   double value_ = 0.0;
@@ -44,15 +45,31 @@ class MetricRegistry {
   bool HasCounter(const std::string& name) const {
     return counters_.contains(name);
   }
+  bool HasGauge(const std::string& name) const {
+    return gauges_.contains(name);
+  }
   bool HasHistogram(const std::string& name) const {
     return histograms_.contains(name);
   }
 
-  // Flat snapshot: counters and gauges by value, histogram summaries.
+  // Numeric histogram digest for machine-readable exports.
+  struct HistogramStats {
+    uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+  };
+
+  // Flat snapshot: counters and gauges by value, histograms both as
+  // human-readable summaries and as numeric digests.
   struct Snapshot {
     std::map<std::string, double> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, std::string> histogram_summaries;
+    std::map<std::string, HistogramStats> histograms;
   };
   Snapshot Snap() const;
 

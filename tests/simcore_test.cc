@@ -453,9 +453,35 @@ TEST(MetricsTest, ResetAllClears) {
   MetricRegistry reg;
   reg.GetCounter("c").Increment(5);
   reg.GetHistogram("h").Add(1.0);
+  reg.GetGauge("g").Set(9.0);
   reg.ResetAll();
   EXPECT_DOUBLE_EQ(reg.GetCounter("c").value(), 0.0);
   EXPECT_EQ(reg.GetHistogram("h").count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("g").value(), 0.0);
+}
+
+TEST(MetricsTest, HasGaugeMatchesHasCounterSemantics) {
+  MetricRegistry reg;
+  EXPECT_FALSE(reg.HasGauge("depth"));
+  reg.GetGauge("depth").Set(1.0);
+  EXPECT_TRUE(reg.HasGauge("depth"));
+  EXPECT_FALSE(reg.HasGauge("other"));
+}
+
+TEST(MetricsTest, SnapshotCarriesHistogramStats) {
+  MetricRegistry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.GetHistogram("lat").Add(static_cast<double>(i));
+  }
+  const auto snap = reg.Snap();
+  ASSERT_EQ(snap.histograms.count("lat"), 1u);
+  const auto& h = snap.histograms.at("lat");
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 100.0);
+  EXPECT_NEAR(h.mean, 50.5, 1e-9);
+  EXPECT_GE(h.p95, h.p50);
+  EXPECT_GE(h.p99, h.p95);
 }
 
 // ---------------------------------------------------------------- trace
@@ -486,6 +512,38 @@ TEST(TraceTest, MinLevelFilters) {
   tracer.Log(SimTime(2), TraceLevel::kError, "c", "kept");
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].message, "kept");
+}
+
+TEST(TraceTest, MinLevelBoundaryIsInclusive) {
+  Tracer tracer;
+  std::vector<TraceRecord> records;
+  tracer.SetSink(Tracer::CaptureSink(&records));
+  tracer.SetMinLevel(TraceLevel::kWarn);
+  tracer.Log(SimTime(1), TraceLevel::kDebug, "c", "below");
+  tracer.Log(SimTime(2), TraceLevel::kInfo, "c", "below");
+  tracer.Log(SimTime(3), TraceLevel::kWarn, "c", "at");
+  tracer.Log(SimTime(4), TraceLevel::kError, "c", "above");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].message, "at");
+  EXPECT_EQ(records[1].message, "above");
+}
+
+TEST(TraceTest, SinkDisabledFastPathDropsEverything) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  // Even max-severity records are dropped with no sink attached, at any
+  // min-level setting — the hot-path check is the sink, not the level.
+  tracer.SetMinLevel(TraceLevel::kDebug);
+  for (int i = 0; i < 1000; ++i) {
+    tracer.Log(SimTime(i), TraceLevel::kError, "c", "dropped");
+  }
+  // Attaching a sink afterwards starts capture from that point only.
+  std::vector<TraceRecord> records;
+  tracer.SetSink(Tracer::CaptureSink(&records));
+  EXPECT_TRUE(tracer.enabled());
+  tracer.Log(SimTime(1001), TraceLevel::kInfo, "c", "first-captured");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].message, "first-captured");
 }
 
 
