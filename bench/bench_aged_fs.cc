@@ -10,6 +10,8 @@
 // it. The 0-cycle row is the "recreated afresh" baseline.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "src/devices/disk.h"
 #include "src/fs/extent_fs.h"
 #include "src/simcore/simulator.h"
@@ -80,4 +82,4 @@ BENCHMARK(BM_AgedFsSequentialRead)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(aged_fs);

@@ -186,4 +186,4 @@ BENCHMARK(BM_HedgedReads)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(availability);

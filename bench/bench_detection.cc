@@ -182,4 +182,4 @@ BENCHMARK(BM_EarlyFailureIndicator)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(detection);

@@ -86,4 +86,4 @@ BENCHMARK(BM_IntermittentSlowdown)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(dynamic_faults);

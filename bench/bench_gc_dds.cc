@@ -63,4 +63,4 @@ BENCHMARK(BM_GcReplication)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(gc_dds);

@@ -124,4 +124,4 @@ BENCHMARK(BM_HeterogeneousGrowth)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(overheads);

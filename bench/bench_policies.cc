@@ -153,4 +153,4 @@ BENCHMARK(BM_ConfirmationWindowAblation)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(policies);

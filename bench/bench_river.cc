@@ -7,6 +7,8 @@
 // of consumer rates while round-robin tracks N x the slowest.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <memory>
 
 #include "src/devices/modulators.h"
@@ -117,4 +119,4 @@ BENCHMARK(BM_GraduatedDecluster)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(river);

@@ -109,4 +109,4 @@ BENCHMARK(BM_HawkScan)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(scenarios);

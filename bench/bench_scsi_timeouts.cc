@@ -106,4 +106,4 @@ BENCHMARK(BM_ScsiTimeoutAvailability)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(scsi_timeouts);

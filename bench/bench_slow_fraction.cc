@@ -83,4 +83,4 @@ BENCHMARK(BM_SlowFraction)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(slow_fraction);

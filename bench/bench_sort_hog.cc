@@ -100,4 +100,4 @@ BENCHMARK(BM_SortMemoryHog)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(sort_hog);

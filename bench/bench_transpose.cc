@@ -92,4 +92,4 @@ BENCHMARK(BM_DeadlockStall)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(transpose);

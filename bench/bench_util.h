@@ -4,8 +4,11 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,6 +75,45 @@ class BenchTelemetry {
   std::string run_name_;
   std::string dir_;
 };
+
+// Benchmark driver shared by every bench binary. Besides the usual
+// Google-Benchmark flags, it exports the whole run as machine-readable
+// Google-Benchmark JSON into FST_TELEMETRY_DIR/BENCH_<name>.json when that
+// directory is set (and no explicit --benchmark_out overrides it), so perf
+// trajectories accumulate alongside the trace/metrics artifacts
+// BenchTelemetry already writes. Committed baselines (bench/baselines/)
+// are produced this way.
+inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag;
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    has_out = has_out ||
+              std::strncmp(argv[i], "--benchmark_out=", 16) == 0;
+  }
+  const char* dir = std::getenv("FST_TELEMETRY_DIR");
+  if (dir != nullptr && *dir != '\0' && !has_out) {
+    out_flag = std::string("--benchmark_out=") + dir + "/BENCH_" +
+               bench_name + ".json";
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#define FST_BENCH_MAIN(name)                            \
+  int main(int argc, char** argv) {                     \
+    return ::fst::RunBenchMain(#name, argc, argv);      \
+  }
 
 inline DiskParams BenchDisk(double mbps = 10.0) {
   DiskParams p;

@@ -11,6 +11,8 @@
 // per-disk service spread vs Zipf skew.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <algorithm>
 #include <memory>
 
@@ -100,4 +102,4 @@ BENCHMARK(BM_WorkloadShift)
 }  // namespace
 }  // namespace fst
 
-BENCHMARK_MAIN();
+FST_BENCH_MAIN(workload_shift);

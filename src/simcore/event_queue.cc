@@ -1,69 +1,280 @@
 #include "src/simcore/event_queue.h"
 
-#include <algorithm>
+#include <bit>
+#include <utility>
 
 namespace fst {
 
+namespace {
+
+constexpr uint64_t kSlotMask = 0xffffffffull;
+
+}  // namespace
+
+EventQueue::EventQueue() = default;
+
+uint32_t EventQueue::AllocSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    const uint32_t index = free_head_;
+    free_head_ = slots_[index].pos;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::FreeSlot(uint32_t index) {
+  Slot& s = slots_[index];
+  s.cb = Callback();
+  s.where = Where::kFree;
+  // Generation 0 is reserved so a forged EventId{small} can never validate.
+  if (++s.gen == 0) {
+    s.gen = 1;
+  }
+  s.pos = free_head_;
+  free_head_ = index;
+}
+
 EventId EventQueue::Push(SimTime when, Callback cb) {
-  const uint64_t id = next_id_++;
-  heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const uint32_t index = AllocSlot();
+  slots_[index].cb = std::move(cb);
+  const uint64_t seq = next_seq_++;
+  PlaceRef(Ref{when, seq, index});
   ++live_;
-  return EventId{id};
+  return EventId{(uint64_t{slots_[index].gen} << 32) | (index + 1)};
 }
 
-bool EventQueue::Cancel(EventId id) {
-  if (!id.IsValid() || id.value >= next_id_) {
-    return false;
-  }
-  // Only mark ids that are still in the heap; a fired event's id is gone.
-  for (const Entry& e : heap_) {
-    if (e.id == id.value) {
-      if (cancelled_.insert(id.value).second) {
-        --live_;
-        return true;
+void EventQueue::PlaceRef(const Ref& ref) {
+  const int64_t w = ref.when.nanos();
+  // Entries at or before the wheel's current window go straight to the
+  // heap: their bucket may already have drained. Anything beyond the top
+  // level's horizon overflows to the heap as well. Either placement pops
+  // in identical order — the wheel only exists to keep the heap small.
+  if (w >= wheel_base_ + kGranularity) {
+    for (int level = 0; level < kWheelLevels; ++level) {
+      const int shift = LevelShift(level);
+      if ((w >> shift) - (wheel_base_ >> shift) < kSlots) {
+        const int bucket = static_cast<int>((w >> shift) & (kSlots - 1));
+        auto& vec = wheel_[level][bucket];
+        Slot& s = slots_[ref.slot];
+        s.where = Where::kWheel;
+        s.level = static_cast<uint8_t>(level);
+        s.bucket = static_cast<uint8_t>(bucket);
+        s.pos = static_cast<uint32_t>(vec.size());
+        vec.push_back(ref);
+        occupied_[level] |= uint64_t{1} << bucket;
+        return;
       }
-      return false;
     }
   }
-  return false;
+  HeapPush(ref);
 }
 
-void EventQueue::DropCancelledHead() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) {
-      return;
+void EventQueue::HeapPush(const Ref& ref) {
+  Slot& s = slots_[ref.slot];
+  s.where = Where::kHeap;
+  s.pos = static_cast<uint32_t>(heap_.size());
+  heap_.push_back(ref);
+  HeapSiftUp(heap_.size() - 1);
+}
+
+void EventQueue::HeapSiftUp(size_t i) {
+  Ref moving = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) >> 2;
+    if (!Before(moving, heap_[parent])) {
+      break;
     }
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_[i] = heap_[parent];
+    slots_[heap_[i].slot].pos = static_cast<uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = moving;
+  slots_[moving.slot].pos = static_cast<uint32_t>(i);
+}
+
+void EventQueue::HeapSiftDown(size_t i) {
+  const size_t n = heap_.size();
+  Ref moving = heap_[i];
+  while (true) {
+    const size_t first_child = (i << 2) + 1;
+    if (first_child >= n) {
+      break;
+    }
+    const size_t last_child = std::min(first_child + 4, n);
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Before(heap_[best], moving)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    slots_[heap_[i].slot].pos = static_cast<uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = moving;
+  slots_[moving.slot].pos = static_cast<uint32_t>(i);
+}
+
+void EventQueue::HeapRemoveAt(size_t i) {
+  const size_t last = heap_.size() - 1;
+  if (i != last) {
+    heap_[i] = heap_[last];
+    heap_.pop_back();
+    slots_[heap_[i].slot].pos = static_cast<uint32_t>(i);
+    if (i > 0 && Before(heap_[i], heap_[(i - 1) >> 2])) {
+      HeapSiftUp(i);
+    } else {
+      HeapSiftDown(i);
+    }
+  } else {
     heap_.pop_back();
   }
 }
 
-std::optional<EventQueue::Fired> EventQueue::Pop() {
-  DropCancelledHead();
-  if (heap_.empty()) {
-    return std::nullopt;
+bool EventQueue::Cancel(EventId id) {
+  if (!id.IsValid()) {
+    return false;
   }
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
+  const uint64_t raw_index = (id.value & kSlotMask);
+  if (raw_index == 0 || raw_index > slots_.size()) {
+    return false;
+  }
+  const uint32_t index = static_cast<uint32_t>(raw_index - 1);
+  Slot& s = slots_[index];
+  if (s.where == Where::kFree || s.gen != static_cast<uint32_t>(id.value >> 32)) {
+    return false;
+  }
+  if (s.where == Where::kHeap) {
+    HeapRemoveAt(s.pos);
+  } else {
+    auto& vec = wheel_[s.level][s.bucket];
+    const uint32_t pos = s.pos;
+    if (pos + 1 != vec.size()) {
+      vec[pos] = vec.back();
+      slots_[vec[pos].slot].pos = pos;
+    }
+    vec.pop_back();
+    if (vec.empty()) {
+      occupied_[s.level] &= ~(uint64_t{1} << s.bucket);
+    }
+  }
+  FreeSlot(index);
   --live_;
-  return Fired{e.when, std::move(e.cb)};
+  return true;
 }
 
-std::optional<SimTime> EventQueue::PeekTime() {
-  DropCancelledHead();
-  if (heap_.empty()) {
+bool EventQueue::FindWheelCandidate(Candidate* out) const {
+  bool found = false;
+  for (int level = 0; level < kWheelLevels; ++level) {
+    const uint64_t occ = occupied_[level];
+    if (occ == 0) {
+      continue;
+    }
+    const int shift = LevelShift(level);
+    const int cursor = static_cast<int>((wheel_base_ >> shift) & (kSlots - 1));
+    const int dist = std::countr_zero(std::rotr(occ, cursor));
+    const int bucket = (cursor + dist) & (kSlots - 1);
+    const int64_t range_start = ((wheel_base_ >> shift) + dist) << shift;
+    const int64_t start = range_start > wheel_base_ ? range_start : wheel_base_;
+    // `<=` so a tie picks the higher (wider) level: its bucket window
+    // contains the lower level's and may hold earlier entries, so it must
+    // redistribute first for (time, seq) order to hold.
+    if (!found || start <= out->start) {
+      found = true;
+      out->level = level;
+      out->bucket = bucket;
+      out->start = start;
+    }
+  }
+  return found;
+}
+
+void EventQueue::DrainBucket(const Candidate& c) {
+  auto& vec = wheel_[c.level][c.bucket];
+  occupied_[c.level] &= ~(uint64_t{1} << c.bucket);
+  if (c.level == 0) {
+    // The window is due: no live wheel entry precedes its end (earlier
+    // level-0 buckets are empty and wider levels start no earlier than
+    // the window end, per the candidate tie-break), so the base can hop
+    // past it before the entries merge into the heap.
+    wheel_base_ = c.start + kGranularity;
+    for (const Ref& ref : vec) {
+      HeapPush(ref);
+    }
+  } else {
+    // Redistribute a wide bucket into finer levels. Advancing the base to
+    // the bucket's effective start is safe — no live wheel entry precedes
+    // it — and guarantees every entry lands in a strictly lower level.
+    wheel_base_ = c.start;
+    for (size_t i = 0; i < vec.size(); ++i) {
+      PlaceRef(vec[i]);
+    }
+  }
+  vec.clear();
+}
+
+void EventQueue::FlushDue() {
+  Candidate c;
+  while (FindWheelCandidate(&c)) {
+    if (!heap_.empty() && heap_[0].when.nanos() < c.start) {
+      return;  // heap root precedes every wheel entry
+    }
+    DrainBucket(c);
+  }
+}
+
+std::optional<EventQueue::Fired> EventQueue::Pop() {
+  return PopDue(SimTime::Max());
+}
+
+std::optional<EventQueue::Fired> EventQueue::PopDue(SimTime deadline) {
+  if (live_ == 0) {
     return std::nullopt;
   }
-  return heap_.front().when;
+  FlushDue();
+  const Ref root = heap_.front();
+  if (root.when > deadline) {
+    return std::nullopt;
+  }
+  Fired fired{root.when, root.seq, std::move(slots_[root.slot].cb)};
+  HeapRemoveAt(0);
+  FreeSlot(root.slot);
+  --live_;
+  return fired;
 }
 
-bool EventQueue::Empty() {
-  DropCancelledHead();
-  return heap_.empty();
+std::optional<SimTime> EventQueue::PeekTime() const {
+  if (live_ == 0) {
+    return std::nullopt;
+  }
+  std::optional<SimTime> best;
+  if (!heap_.empty()) {
+    best = heap_.front().when;
+  }
+  // Within one level the first occupied bucket holds that level's minimum
+  // (bucket windows partition time in scan order), so one bucket scan per
+  // level suffices — and bucket scans leave the structures untouched,
+  // keeping Peek genuinely const.
+  for (int level = 0; level < kWheelLevels; ++level) {
+    const uint64_t occ = occupied_[level];
+    if (occ == 0) {
+      continue;
+    }
+    const int shift = LevelShift(level);
+    const int cursor = static_cast<int>((wheel_base_ >> shift) & (kSlots - 1));
+    const int dist = std::countr_zero(std::rotr(occ, cursor));
+    const int bucket = (cursor + dist) & (kSlots - 1);
+    for (const Ref& ref : wheel_[level][bucket]) {
+      if (!best.has_value() || ref.when < *best) {
+        best = ref.when;
+      }
+    }
+  }
+  return best;
 }
 
 }  // namespace fst

@@ -1,23 +1,42 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary heap keyed on (time, sequence). The sequence number makes
-// same-timestamp ordering deterministic (FIFO in scheduling order), which is
-// essential for reproducible runs. Cancellation is lazy: cancelled entries
-// stay in the heap and are skipped on pop.
+// The queue serves every Simulator::Schedule/Cancel/Pop in the tree, so it
+// is the global hot path of every experiment. Three structures cooperate:
+//
+//   * a slot slab: each live event owns a slot holding its callback and its
+//     current location. EventId packs (slot index, generation); the
+//     generation is bumped on every free, so a handle from a fired or
+//     cancelled event can never alias a later event reusing the slot.
+//     Cancellation resolves the slot in O(1) and removes the entry directly
+//     — O(1) from a wheel bucket, O(log n) from the heap — instead of the
+//     old O(n) scan + lazy skip-on-pop;
+//
+//   * a 4-ary min-heap on (time, seq), index-tracked through the slab. The
+//     sequence number makes same-timestamp ordering deterministic (FIFO in
+//     scheduling order), which is essential for reproducible runs;
+//
+//   * a hierarchical timer wheel (4 levels x 64 slots, ~1 us granularity,
+//     ~17 s horizon) absorbing the dense short-delay traffic that disk
+//     service, hedging, and SCSI timeouts generate. Buckets drain into the
+//     heap when their time window comes due, so the heap stays small and
+//     final ordering is always decided by the (time, seq) comparator —
+//     events beyond the horizon overflow to the heap directly, and any
+//     heap/wheel placement yields the identical pop order.
 #ifndef SRC_SIMCORE_EVENT_QUEUE_H_
 #define SRC_SIMCORE_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
+#include "src/simcore/inline_callback.h"
 #include "src/simcore/time.h"
 
 namespace fst {
 
-// Opaque handle for cancelling a scheduled event. Id 0 is never issued.
+// Opaque handle for cancelling a scheduled event. Packs (generation << 32 |
+// slot + 1); value 0 is never issued. Stale handles — fired, cancelled, or
+// from a reused slot — fail validation on the generation stamp.
 struct EventId {
   uint64_t value = 0;
   bool IsValid() const { return value != 0; }
@@ -26,51 +45,109 @@ struct EventId {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
+
+  EventQueue();
 
   // Inserts an event; returns a handle usable with Cancel().
   EventId Push(SimTime when, Callback cb);
 
-  // Cancels a pending event. Returns false if the event already fired,
-  // was already cancelled, or the id is invalid.
+  // Cancels a pending event, removing it directly from its structure.
+  // Returns false if the event already fired, was already cancelled, or
+  // the id is invalid.
   bool Cancel(EventId id);
 
-  // Removes and returns the earliest non-cancelled event, or nullopt if the
-  // queue holds no live events.
+  // Removes and returns the earliest live event, or nullopt if none.
   struct Fired {
     SimTime when;
+    uint64_t seq = 0;
     Callback cb;
   };
   std::optional<Fired> Pop();
 
-  // Timestamp of the earliest live event without removing it.
-  std::optional<SimTime> PeekTime();
+  // Like Pop(), but only if the earliest event's time is <= deadline.
+  // This is the one-call form of PeekTime()+Pop() the simulator loop uses.
+  std::optional<Fired> PopDue(SimTime deadline);
 
-  bool Empty();
+  // Timestamp of the earliest live event without removing it.
+  std::optional<SimTime> PeekTime() const;
+
+  bool Empty() const { return live_ == 0; }
+
+  // Exact number of live (scheduled, not yet fired or cancelled) events.
   size_t live_size() const { return live_; }
 
  private:
-  struct Entry {
+  static constexpr int kWheelLevels = 4;
+  static constexpr int kSlotBits = 6;  // 64 buckets per level
+  static constexpr int kSlots = 1 << kSlotBits;
+  static constexpr int kGranularityShift = 10;  // level-0 bucket ~1.02 us
+  static constexpr int64_t kGranularity = int64_t{1} << kGranularityShift;
+  static constexpr uint32_t kNoFreeSlot = 0xffffffffu;
+
+  static constexpr int LevelShift(int level) {
+    return kGranularityShift + kSlotBits * level;
+  }
+
+  // A queue entry as stored in the heap or a wheel bucket. The callback
+  // stays put in the slab, so moving refs during sifts is a 24-byte copy.
+  struct Ref {
     SimTime when;
-    uint64_t seq;
-    uint64_t id;
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+  };
+
+  enum class Where : uint8_t { kFree = 0, kHeap, kWheel };
+
+  struct Slot {
     Callback cb;
+    uint32_t gen = 1;
+    Where where = Where::kFree;
+    uint8_t level = 0;
+    uint8_t bucket = 0;
+    uint32_t pos = 0;  // index into heap_/bucket; free-list link when free
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+
+  struct Candidate {
+    int level = 0;
+    int bucket = 0;
+    int64_t start = 0;  // effective start time of the bucket's window
+  };
+
+  static bool Before(const Ref& a, const Ref& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
     }
-  };
+    return a.seq < b.seq;
+  }
 
-  void DropCancelledHead();
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t index);
 
-  std::vector<Entry> heap_;
-  std::unordered_set<uint64_t> cancelled_;
+  void PlaceRef(const Ref& ref);
+  void HeapPush(const Ref& ref);
+  void HeapSiftUp(size_t i);
+  void HeapSiftDown(size_t i);
+  void HeapRemoveAt(size_t i);
+
+  // Earliest not-yet-due wheel bucket across levels (ties prefer the
+  // higher level, whose wide bucket may contain earlier entries).
+  bool FindWheelCandidate(Candidate* out) const;
+  // Moves a due bucket's entries into the heap (level 0) or redistributes
+  // them into finer levels (higher levels), advancing wheel_base_.
+  void DrainBucket(const Candidate& c);
+  // Drains wheel buckets until the heap root is the global minimum.
+  void FlushDue();
+
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoFreeSlot;
+  std::vector<Ref> heap_;
+  std::vector<Ref> wheel_[kWheelLevels][kSlots];
+  uint64_t occupied_[kWheelLevels] = {};
+  // Lower bound (multiple of kGranularity) on the time of any wheel entry;
+  // all earlier windows have drained into the heap.
+  int64_t wheel_base_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   size_t live_ = 0;
 };
 

@@ -1,0 +1,154 @@
+// A small-buffer-optimized, move-only callable for the event hot path.
+//
+// Every scheduled event used to carry a std::function<void()>, which heap
+// allocates for any capture larger than the library's tiny inline buffer
+// (typically 16 bytes on libstdc++). The event core schedules millions of
+// callbacks per simulated second, so those allocations dominated the
+// schedule/fire path. InlineCallback stores captures up to kInlineBytes
+// (88 bytes — enough for every scheduling lambda in the tree, e.g. the
+// disk-service completion capturing a full DiskRequest) directly inside
+// the object and falls back to the heap only for oversized captures.
+//
+// Differences from std::function, all deliberate:
+//   * move-only: callbacks fire once and never need copying; this also
+//     admits move-only captures (std::unique_ptr, etc.);
+//   * no empty-call exception: invoking a null callback is a programming
+//     error (assert in debug builds);
+//   * trivially-copyable captures relocate with memcpy, so moving queue
+//     entries around never runs user code.
+#ifndef SRC_SIMCORE_INLINE_CALLBACK_H_
+#define SRC_SIMCORE_INLINE_CALLBACK_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fst {
+
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 88;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  // Whether a callable of type F is stored inline (no allocation).
+  template <typename F>
+  static constexpr bool StoresInline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineBytes && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (StoresInline<F>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking a null InlineCallback");
+    ops_->invoke(buf_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True if the stored callable lives on the heap (oversized capture).
+  bool heap_allocated() const { return ops_ != nullptr && ops_->on_heap; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct *src into dst then destroy *src. Null means the
+    // payload is trivially relocatable: memcpy the buffer instead.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);  // null => trivially destructible
+    bool on_heap;
+  };
+
+  template <typename F>
+  static F* Payload(void* buf) {
+    return std::launder(reinterpret_cast<F*>(buf));
+  }
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](void* buf) { (*Payload<F>(buf))(); },
+      std::is_trivially_copyable_v<F>
+          ? nullptr
+          : +[](void* src, void* dst) {
+              F* s = Payload<F>(src);
+              ::new (dst) F(std::move(*s));
+              s->~F();
+            },
+      std::is_trivially_destructible_v<F>
+          ? nullptr
+          : +[](void* buf) { Payload<F>(buf)->~F(); },
+      false,
+  };
+
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      [](void* buf) { (**Payload<F*>(buf))(); },
+      nullptr,  // the owning pointer relocates by memcpy
+      [](void* buf) { delete *Payload<F*>(buf); },
+      true,
+  };
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate == nullptr) {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      } else {
+        ops_->relocate(other.buf_, buf_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) {
+        ops_->destroy(buf_);
+      }
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(InlineCallback::kInlineBytes >= 48,
+              "event callbacks must fit at least 48 bytes of capture inline");
+
+}  // namespace fst
+
+#endif  // SRC_SIMCORE_INLINE_CALLBACK_H_

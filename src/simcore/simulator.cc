@@ -6,14 +6,14 @@ namespace fst {
 
 Simulator::Simulator(uint64_t seed) : rng_(seed) {}
 
-EventId Simulator::Schedule(Duration delay, std::function<void()> cb) {
+EventId Simulator::Schedule(Duration delay, Callback cb) {
   if (delay.IsNegative()) {
     delay = Duration::Zero();
   }
   return queue_.Push(now_ + delay, std::move(cb));
 }
 
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> cb) {
+EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
   if (when < now_) {
     when = now_;
   }
@@ -23,13 +23,15 @@ EventId Simulator::ScheduleAt(SimTime when, std::function<void()> cb) {
 bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
 
 bool Simulator::FireNext(SimTime deadline) {
-  auto next_time = queue_.PeekTime();
-  if (!next_time.has_value() || *next_time > deadline) {
+  auto fired = queue_.PopDue(deadline);
+  if (!fired.has_value()) {
     return false;
   }
-  auto fired = queue_.Pop();
   now_ = fired->when;
   ++events_fired_;
+  fire_digest_ = (fire_digest_ ^ static_cast<uint64_t>(fired->when.nanos())) *
+                 1099511628211ull;
+  fire_digest_ = (fire_digest_ ^ fired->seq) * 1099511628211ull;
   if (events_fired_ > max_events_) {
     throw std::runtime_error("Simulator: max_events exceeded (runaway event loop?)");
   }

@@ -7,7 +7,6 @@
 #define SRC_SIMCORE_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "src/simcore/event_queue.h"
 #include "src/simcore/rng.h"
@@ -24,10 +23,14 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
+  // Callbacks are allocation-free for captures up to
+  // InlineCallback::kInlineBytes; any callable convertible to void() works.
+  using Callback = EventQueue::Callback;
+
   // Schedules `cb` to run `delay` from now. Negative delays are clamped to
   // zero (fires this instant, after already-scheduled same-time events).
-  EventId Schedule(Duration delay, std::function<void()> cb);
-  EventId ScheduleAt(SimTime when, std::function<void()> cb);
+  EventId Schedule(Duration delay, Callback cb);
+  EventId ScheduleAt(SimTime when, Callback cb);
   bool Cancel(EventId id);
 
   // Runs until the event queue drains. Returns the number of events fired.
@@ -45,7 +48,13 @@ class Simulator {
   void RequestStop() { stop_requested_ = true; }
 
   uint64_t events_fired() const { return events_fired_; }
-  size_t pending_events() { return queue_.live_size(); }
+  size_t pending_events() const { return queue_.live_size(); }
+
+  // FNV-1a-style digest folded over the (time, sequence) of every fired
+  // event. Two runs of the same seeded scenario must produce the same
+  // digest bit-for-bit; the determinism parity tests pin digests of
+  // end-to-end runs so event-core changes cannot silently reorder events.
+  uint64_t fire_digest() const { return fire_digest_; }
 
   // Root generator; components should Fork() their own streams.
   Rng& rng() { return rng_; }
@@ -61,6 +70,7 @@ class Simulator {
   SimTime now_ = SimTime::Zero();
   Rng rng_;
   uint64_t events_fired_ = 0;
+  uint64_t fire_digest_ = 14695981039346656037ull;  // FNV-1a offset basis
   uint64_t max_events_ = 500'000'000;
   bool stop_requested_ = false;
 };

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/simcore/event_queue.h"
+#include "src/simcore/inline_callback.h"
 #include "src/simcore/metrics.h"
 #include "src/simcore/rng.h"
 #include "src/simcore/simulator.h"
@@ -220,6 +224,288 @@ TEST(EventQueueTest, LiveSizeTracksCancellation) {
   EXPECT_EQ(q.live_size(), 1u);
 }
 
+TEST(EventQueueTest, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.Push(SimTime(10), []() {});
+  auto fired = q.Pop();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelFromInsideFiringCallback) {
+  // Event A cancels same-time sibling B (scheduled later, so A fires
+  // first); B must not fire and the cancel must report success.
+  EventQueue q;
+  std::vector<char> order;
+  EventId b_id;
+  bool b_cancel_ok = false;
+  q.Push(SimTime(5), [&]() {
+    order.push_back('a');
+    b_cancel_ok = q.Cancel(b_id);
+  });
+  b_id = q.Push(SimTime(5), [&]() { order.push_back('b'); });
+  q.Push(SimTime(6), [&]() { order.push_back('c'); });
+  while (auto e = q.Pop()) {
+    e->cb();
+  }
+  EXPECT_TRUE(b_cancel_ok);
+  EXPECT_EQ(order, (std::vector<char>{'a', 'c'}));
+}
+
+TEST(EventQueueTest, HandleReuseAcrossGenerations) {
+  EventQueue q;
+  bool fired_c = false;
+  const EventId a = q.Push(SimTime(10), []() {});
+  EXPECT_TRUE(q.Cancel(a));
+  // C reuses A's freed slot; the generation stamp keeps the ids distinct.
+  const EventId c = q.Push(SimTime(20), [&]() { fired_c = true; });
+  EXPECT_NE(a, c);
+  EXPECT_FALSE(q.Cancel(a));  // stale handle cannot touch the new event
+  ASSERT_TRUE(q.PeekTime().has_value());
+  EXPECT_EQ(q.PeekTime()->nanos(), 20);
+  EXPECT_TRUE(q.Cancel(c));
+  EXPECT_FALSE(fired_c);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, StaleHandleAfterFireCannotCancelReusedSlot) {
+  EventQueue q;
+  const EventId d = q.Push(SimTime(1), []() {});
+  ASSERT_TRUE(q.Pop().has_value());  // fires D, frees its slot
+  bool fired_e = false;
+  const EventId e = q.Push(SimTime(2), [&]() { fired_e = true; });
+  EXPECT_FALSE(q.Cancel(d));
+  auto fired = q.Pop();
+  ASSERT_TRUE(fired.has_value());
+  fired->cb();
+  EXPECT_TRUE(fired_e);
+  (void)e;
+}
+
+TEST(EventQueueTest, FarFutureOverflowOrdering) {
+  // Events beyond the timer wheel's ~17 s horizon overflow to the heap;
+  // they must still interleave with near events in strict time order.
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(SimTime(int64_t{25} * 1'000'000'000), [&]() { order.push_back(3); });
+  q.Push(SimTime(1'000'000), [&]() { order.push_back(1); });
+  q.Push(SimTime(int64_t{20} * 1'000'000'000), [&]() { order.push_back(2); });
+  q.Push(SimTime(int64_t{30} * 1'000'000'000), [&]() { order.push_back(4); });
+  while (auto e = q.Pop()) {
+    e->cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, SameTimeAcrossStructuresKeepsFifo) {
+  // A lands at T while T is beyond the horizon (heap); after time
+  // advances, B lands at the same T inside the wheel. FIFO on the
+  // sequence number must hold across the two structures.
+  EventQueue q;
+  const SimTime t(int64_t{20} * 1'000'000'000);
+  std::vector<char> order;
+  q.Push(t, [&]() { order.push_back('a'); });      // overflow -> heap
+  q.Push(SimTime(int64_t{5} * 1'000'000'000), [&]() { order.push_back('f'); });
+  auto filler = q.Pop();  // drains the wheel up to ~5 s
+  filler->cb();
+  q.Push(t, [&]() { order.push_back('b'); });      // now within horizon
+  while (auto e = q.Pop()) {
+    e->cb();
+  }
+  EXPECT_EQ(order, (std::vector<char>{'f', 'a', 'b'}));
+}
+
+TEST(EventQueueTest, PeekTimeAndEmptyAreConst) {
+  EventQueue q;
+  q.Push(SimTime(7), []() {});
+  const EventQueue& cq = q;  // compiles only if genuinely const
+  ASSERT_TRUE(cq.PeekTime().has_value());
+  EXPECT_EQ(cq.PeekTime()->nanos(), 7);
+  EXPECT_FALSE(cq.Empty());
+  EXPECT_EQ(cq.live_size(), 1u);
+}
+
+TEST(EventQueueTest, LiveSizeExactUnderChurn) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.Push(SimTime(i + 1), []() {}));
+  }
+  EXPECT_EQ(q.live_size(), 100u);
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(q.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(q.live_size(), 50u);  // exact immediately, no lazy drop
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(q.Pop().has_value());
+  }
+  EXPECT_EQ(q.live_size(), 25u);
+  EXPECT_FALSE(q.Empty());
+}
+
+// Differential test: random push/cancel/pop against a reference model
+// (ordered map keyed on (time, seq)). Exercises wheel/heap placement,
+// bucket drains, redistribution, cross-structure ties, and direct
+// removal from every structure.
+TEST(EventQueueTest, DifferentialAgainstReferenceModel) {
+  EventQueue q;
+  std::map<std::pair<int64_t, uint64_t>, int> reference;  // -> tag
+  std::vector<std::pair<EventId, std::pair<int64_t, uint64_t>>> live;
+  Rng rng(2024);
+  uint64_t seq = 0;
+  int tag = 0;
+  int64_t now = 0;
+  int fired_tag = -1;
+  for (int step = 0; step < 20000; ++step) {
+    const double u = rng.UniformDouble();
+    if (u < 0.60 || reference.empty()) {
+      int64_t delay = 0;
+      const double kind = rng.UniformDouble();
+      if (kind < 0.15) {
+        delay = 0;  // immediate (ties!)
+      } else if (kind < 0.55) {
+        delay = rng.UniformInt(1, 2'000'000);  // short: wheel L0/L1
+      } else if (kind < 0.90) {
+        delay = rng.UniformInt(2'000'000, 2'000'000'000);  // medium
+      } else {
+        delay = rng.UniformInt(17'000'000'000, 60'000'000'000);  // overflow
+      }
+      const int64_t when = now + delay;
+      const int t = tag++;
+      const EventId id = q.Push(SimTime(when), [&fired_tag, t]() {
+        fired_tag = t;
+      });
+      reference.emplace(std::make_pair(when, seq), t);
+      live.push_back({id, {when, seq}});
+      ++seq;
+    } else if (u < 0.80 && !live.empty()) {
+      const size_t pick =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      const auto [id, key] = live[pick];
+      const bool present = reference.erase(key) > 0;
+      EXPECT_EQ(q.Cancel(id), present) << "step " << step;
+      live.erase(live.begin() + static_cast<int64_t>(pick));
+    } else {
+      auto fired = q.Pop();
+      if (reference.empty()) {
+        EXPECT_FALSE(fired.has_value());
+      } else {
+        ASSERT_TRUE(fired.has_value()) << "step " << step;
+        fired_tag = -1;
+        fired->cb();
+        const auto expect = reference.begin();
+        EXPECT_EQ(fired->when.nanos(), expect->first.first) << "step " << step;
+        EXPECT_EQ(fired_tag, expect->second) << "step " << step;
+        now = std::max(now, fired->when.nanos());
+        reference.erase(expect);
+      }
+    }
+    ASSERT_EQ(q.live_size(), reference.size()) << "step " << step;
+  }
+  // Drain both; order must match exactly.
+  while (auto fired = q.Pop()) {
+    ASSERT_FALSE(reference.empty());
+    fired_tag = -1;
+    fired->cb();
+    const auto expect = reference.begin();
+    EXPECT_EQ(fired->when.nanos(), expect->first.first);
+    EXPECT_EQ(fired_tag, expect->second);
+    reference.erase(expect);
+  }
+  EXPECT_TRUE(reference.empty());
+  EXPECT_TRUE(q.Empty());
+}
+
+// ---------------------------------------------------------------- inline callback
+
+TEST(InlineCallbackTest, SmallCaptureStaysInline) {
+  int hits = 0;
+  int* p = &hits;
+  InlineCallback cb([p]() { ++*p; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.heap_allocated());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, FatSchedulingCaptureStaysInline) {
+  // The disk-service completion lambda captures ~72 bytes (this pointer,
+  // a DiskRequest incl. a std::function, a SimTime); captures of that
+  // shape must not allocate.
+  struct Fat {
+    uint64_t words[10];  // 80 bytes
+    int* sink;
+  };
+  static_assert(InlineCallback::StoresInline<Fat>() || sizeof(Fat) > 88);
+  int out = 0;
+  Fat fat{};
+  fat.words[3] = 7;
+  fat.sink = &out;
+  InlineCallback cb([fat]() { *fat.sink = static_cast<int>(fat.words[3]); });
+  EXPECT_FALSE(cb.heap_allocated());
+  cb();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(InlineCallbackTest, OversizedCaptureFallsBackToHeap) {
+  struct Huge {
+    char bytes[200];
+    int* sink;
+  };
+  int out = 0;
+  Huge huge{};
+  huge.bytes[0] = 42;
+  huge.sink = &out;
+  InlineCallback cb([huge]() { *huge.sink = huge.bytes[0]; });
+  EXPECT_TRUE(cb.heap_allocated());
+  cb();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnershipAndDestroysCapture) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineCallback a([token]() {});
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // capture keeps it alive
+    InlineCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // destroying the callback drops the capture
+}
+
+TEST(InlineCallbackTest, MoveOnlyCaptureWorks) {
+  auto box = std::make_unique<int>(9);
+  int out = 0;
+  InlineCallback cb([box = std::move(box), &out]() { out = *box; });
+  InlineCallback moved(std::move(cb));
+  moved();
+  EXPECT_EQ(out, 9);
+}
+
+TEST(InlineCallbackTest, MoveAssignmentReleasesPreviousCapture) {
+  auto first = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = first;
+  InlineCallback cb([first]() {});
+  first.reset();
+  EXPECT_FALSE(watch.expired());
+  cb = InlineCallback([]() {});
+  EXPECT_TRUE(watch.expired());
+  cb();  // replacement callable runs fine
+}
+
+TEST(InlineCallbackTest, NullStates) {
+  InlineCallback empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  InlineCallback null2(nullptr);
+  EXPECT_FALSE(static_cast<bool>(null2));
+  EXPECT_FALSE(empty.heap_allocated());
+}
+
 // ---------------------------------------------------------------- simulator
 
 TEST(SimulatorTest, ClockAdvancesToEventTime) {
@@ -260,12 +546,63 @@ TEST(SimulatorTest, RunUntilLeavesLaterEventsPending) {
 
 TEST(SimulatorTest, NegativeDelayClampsToNow) {
   Simulator sim;
+  bool fired = false;
+  SimTime fired_at;
   sim.Schedule(Duration::Millis(1), [&]() {
-    bool fired = false;
-    sim.Schedule(Duration::Millis(-5), [&]() { fired = true; });
-    (void)fired;
+    sim.Schedule(Duration::Millis(-5), [&]() {
+      fired = true;
+      fired_at = sim.Now();
+    });
   });
-  EXPECT_NO_THROW(sim.Run());
+  sim.Run();
+  EXPECT_TRUE(fired);
+  // Clamped to the scheduling instant, never into the past.
+  EXPECT_EQ(fired_at.nanos(), Duration::Millis(1).nanos());
+}
+
+TEST(SimulatorTest, NegativeScheduleAtClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(Duration::Millis(2), [&]() {
+    sim.ScheduleAt(SimTime(0), [&]() { fired = true; });
+  });
+  sim.RunUntil(SimTime(Duration::Millis(2).nanos()));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now().nanos(), Duration::Millis(2).nanos());
+}
+
+TEST(SimulatorTest, CancelFromFiringCallbackSuppressesSibling) {
+  Simulator sim;
+  EventId victim;
+  bool victim_fired = false;
+  bool cancel_ok = false;
+  sim.Schedule(Duration::Millis(1), [&]() { cancel_ok = sim.Cancel(victim); });
+  victim = sim.Schedule(Duration::Millis(1), [&]() { victim_fired = true; });
+  sim.Run();
+  EXPECT_TRUE(cancel_ok);
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(SimulatorTest, FireDigestIsOrderSensitiveAndReproducible) {
+  auto run = [](bool swap) {
+    Simulator sim(17);
+    int n = 0;
+    auto cb = [&]() { ++n; };
+    if (swap) {
+      sim.Schedule(Duration::Millis(2), cb);
+      sim.Schedule(Duration::Millis(1), cb);
+    } else {
+      sim.Schedule(Duration::Millis(1), cb);
+      sim.Schedule(Duration::Millis(2), cb);
+    }
+    sim.Schedule(Duration::Millis(3), cb);
+    sim.Run();
+    return sim.fire_digest();
+  };
+  EXPECT_EQ(run(false), run(false));  // reproducible
+  // Same fire times but different sequence numbers -> different digest:
+  // the digest witnesses schedule order, not just fire times.
+  EXPECT_NE(run(false), run(true));
 }
 
 TEST(SimulatorTest, CancelScheduledEvent) {
