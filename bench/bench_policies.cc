@@ -46,14 +46,31 @@ const char* PolicyName(int64_t arg) {
   }
 }
 
+// The policy × slowdown grid as a declarative sweep; BM_PolicyAblation
+// runs single cells, BM_PolicySweepAll fans the grid across the runner.
+SweepSpec PolicySpec() {
+  SweepSpec spec;
+  spec.name = "policy_ablation";
+  spec.axes = {
+      {"policy", {0, 1, 2},
+       {"ignore-stutter", "eject-on-stutter", "proportional-share"}},
+      {"slowdown_x10", {20, 30, 50}, {}},
+  };
+  spec.seeds = {3};
+  return spec;
+}
+
 struct PolicyRun {
   double mbps = 0.0;
   int ejections = 0;
   int reweights = 0;
+  uint64_t fire_digest = 0;
+  uint64_t events_fired = 0;
 };
 
-PolicyRun RunPolicy(int64_t policy_arg, double slow_factor) {
-  Simulator sim(3);
+PolicyRun RunPolicy(int64_t policy_arg, double slow_factor,
+                    uint64_t seed = 3) {
+  Simulator sim(seed);
   BenchTelemetry telemetry(
       "policy_" + std::string(PolicyName(policy_arg)) + "_s" +
       std::to_string(static_cast<int>(slow_factor * 10)));
@@ -83,6 +100,8 @@ PolicyRun RunPolicy(int64_t policy_arg, double slow_factor) {
   }
   out.ejections = supervisor.ejections();
   out.reweights = supervisor.reweights();
+  out.fire_digest = sim.fire_digest();
+  out.events_fired = sim.events_fired();
   if (telemetry.enabled()) {
     // The detector watches mirror pairs, not raw disks.
     CorrelatorOptions options;
@@ -93,6 +112,19 @@ PolicyRun RunPolicy(int64_t policy_arg, double slow_factor) {
     telemetry.Export(&report);
   }
   return out;
+}
+
+CellResult PolicyCell(const CellPoint& point) {
+  const PolicyRun run =
+      RunPolicy(static_cast<int64_t>(point.Value("policy")),
+                point.Value("slowdown_x10") / 10.0, point.seed);
+  CellResult r;
+  r.value = run.mbps;
+  r.fire_digest = run.fire_digest;
+  r.events_fired = run.events_fired;
+  r.metrics.emplace_back("ejections", run.ejections);
+  r.metrics.emplace_back("reweights", run.reweights);
+  return r;
 }
 
 // Args: {policy, slowdown x10}.
@@ -114,6 +146,37 @@ void BM_PolicyAblation(benchmark::State& state) {
 BENCHMARK(BM_PolicyAblation)
     ->ArgsProduct({{0, 1, 2}, {20, 30, 50}})
     ->Unit(benchmark::kMillisecond);
+
+// The whole policy × slowdown grid through the parallel SweepRunner.
+// "waste" aggregates what ejection forgoes vs proportional-share across
+// the slowdown axis — the Section 3.1 resource-waste argument as one
+// deterministic number.
+void BM_PolicySweepAll(benchmark::State& state) {
+  const SweepSpec spec = PolicySpec();
+  std::vector<CellResult> results;
+  for (auto _ : state) {
+    results = RunSweep(spec, PolicyCell);
+  }
+  double waste = 0.0;
+  for (const auto& r : results) {
+    if (r.point.Value("policy") == 2) {
+      for (const auto& e : results) {
+        if (e.point.Value("policy") == 1 &&
+            e.point.Value("slowdown_x10") == r.point.Value("slowdown_x10")) {
+          waste += r.value - e.value;
+        }
+      }
+    }
+  }
+  state.counters["cells"] = static_cast<double>(results.size());
+  state.counters["eject_waste_MBps"] = waste;
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(results.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(results.size()));
+}
+BENCHMARK(BM_PolicySweepAll)->Unit(benchmark::kMillisecond);
 
 // Detector-parameter ablation driving the same loop: how the confirmation
 // window (enter_windows) trades reaction speed against batch throughput.

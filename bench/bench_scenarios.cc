@@ -8,6 +8,11 @@
 // for b/B in {0.1 .. 1.0}, N = 4 pairs, B = 10 MB/s. The counters on each
 // row carry the measured and predicted MB/s; the shape holds when
 // measured/predicted ~= 1 for every row.
+//
+// The grid is declared once as a SweepSpec; BM_ScenarioThroughput runs a
+// single cell per benchmark row (the classic per-cell view), while
+// BM_ScenarioSweepAll fans the whole grid across the parallel SweepRunner
+// and reports aggregate cells/sec plus a paper-shape pass count.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
@@ -22,29 +27,81 @@ constexpr int kPairs = 4;
 constexpr double kBandwidth = 10.0;  // B, MB/s per pair
 constexpr int64_t kBlocks = 2000;    // D
 
-// Args: {striper (0/1/2), b/B percent}.
-void BM_ScenarioThroughput(benchmark::State& state) {
-  const StriperKind kind = StriperFromArg(state.range(0));
-  const double ratio = static_cast<double>(state.range(1)) / 100.0;
-  const double slow_factor = 1.0 / ratio;
-  double mbps = 0.0;
-  for (auto _ : state) {
-    Simulator sim(42);
-    BenchVolume v(sim, kPairs, kind, slow_factor);
-    mbps = v.WriteBatch(sim, kBlocks);
-  }
+SweepSpec ScenarioSpec() {
+  SweepSpec spec;
+  spec.name = "scenario_throughput";
+  spec.axes = {
+      {"striper", {0, 1, 2}, {"static", "proportional", "adaptive"}},
+      {"ratio_pct", {10, 25, 50, 75, 100}, {}},
+  };
+  spec.seeds = {42};
+  return spec;
+}
+
+// One §3.2 cell: a fresh Simulator + RAID-10 volume, one batch write.
+CellResult ScenarioCell(const CellPoint& point) {
+  const StriperKind kind =
+      StriperFromArg(static_cast<int64_t>(point.Value("striper")));
+  const double ratio = point.Value("ratio_pct") / 100.0;
+  Simulator sim(point.seed);
+  BenchVolume v(sim, kPairs, kind, 1.0 / ratio);
+  CellResult r;
+  r.value = v.WriteBatch(sim, kBlocks);
+  r.fire_digest = sim.fire_digest();
+  r.events_fired = sim.events_fired();
   const double b = kBandwidth * ratio;
-  const double predicted = kind == StriperKind::kStatic
-                               ? kPairs * b
-                               : (kPairs - 1) * kBandwidth + b;
-  state.counters["measured_MBps"] = mbps;
-  state.counters["paper_MBps"] = predicted;
-  state.counters["ratio_vs_paper"] = mbps / predicted;
+  r.metrics.emplace_back("paper_MBps", kind == StriperKind::kStatic
+                                           ? kPairs * b
+                                           : (kPairs - 1) * kBandwidth + b);
+  return r;
+}
+
+// Args: {striper (0/1/2), b/B percent} — one grid cell per row.
+void BM_ScenarioThroughput(benchmark::State& state) {
+  const SweepSpec spec = ScenarioSpec();
+  CellPoint point;
+  for (const CellPoint& p : SweepRunner::Enumerate(spec)) {
+    if (p.values[0] == static_cast<double>(state.range(0)) &&
+        p.values[1] == static_cast<double>(state.range(1))) {
+      point = p;
+      point.spec = &spec;  // Enumerate's points reference the local spec
+    }
+  }
+  CellResult result;
+  for (auto _ : state) {
+    result = ScenarioCell(point);
+  }
+  state.counters["measured_MBps"] = result.value;
+  state.counters["paper_MBps"] = result.metrics[0].second;
+  state.counters["ratio_vs_paper"] = result.value / result.metrics[0].second;
   state.SetLabel(StriperArgName(state.range(0)));
 }
 BENCHMARK(BM_ScenarioThroughput)
     ->ArgsProduct({{0, 1, 2}, {10, 25, 50, 75, 100}})
     ->Unit(benchmark::kMillisecond);
+
+// The whole 15-cell grid as one parallel sweep (FST_SWEEP_THREADS wide).
+void BM_ScenarioSweepAll(benchmark::State& state) {
+  const SweepSpec spec = ScenarioSpec();
+  std::vector<CellResult> results;
+  for (auto _ : state) {
+    results = RunSweep(spec, ScenarioCell);
+  }
+  ShapeReport report;
+  for (const auto& r : results) {
+    report.Check("cell" + std::to_string(r.point.index), r.value,
+                 r.metrics[0].second, 0.15);
+  }
+  state.counters["cells"] = static_cast<double>(results.size());
+  state.counters["shape_pass"] =
+      static_cast<double>(report.size() - report.failures().size());
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(results.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(results.size()));
+}
+BENCHMARK(BM_ScenarioSweepAll)->Unit(benchmark::kMillisecond);
 
 // E13 — Van Meter zones: sequential scan bandwidth outer vs inner zone
 // ("performance across zones differing by up to a factor of two").

@@ -8,6 +8,10 @@
 //   exclude   — the authors' workaround: drop the slow nodes entirely
 //               (waste their remaining 70%);
 //   adaptive  — fail-stutter design: keep them, feed them less.
+//
+// The grid lives in a SweepSpec: BM_SlowFraction serves the per-cell view,
+// BM_SlowFractionSweepAll runs the full 18-cell grid through the parallel
+// SweepRunner.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -24,8 +28,22 @@ constexpr int64_t kBlocks = 6400;
 
 enum class Design { kStatic, kExclude, kAdaptive };
 
-double RunCluster(Design design, int slow_nodes) {
-  Simulator sim(9);
+SweepSpec SlowFractionSpec() {
+  SweepSpec spec;
+  spec.name = "slow_fraction";
+  spec.axes = {
+      {"design", {0, 1, 2}, {"static", "exclude-slow", "adaptive"}},
+      {"slow_nodes", {0, 1, 2, 4, 8, 16}, {}},
+  };
+  spec.seeds = {9};
+  return spec;
+}
+
+CellResult SlowFractionCell(const CellPoint& point) {
+  const Design design = static_cast<Design>(
+      static_cast<int>(point.Value("design")));
+  const int slow_nodes = static_cast<int>(point.Value("slow_nodes"));
+  Simulator sim(point.seed);
   std::vector<std::unique_ptr<Disk>> disks;
   for (int i = 0; i < kNodes; ++i) {
     disks.push_back(
@@ -48,37 +66,65 @@ double RunCluster(Design design, int slow_nodes) {
   params.adaptive = design == Design::kAdaptive;
   params.pull_batch = 8;
   ClusterWriteJob job(sim, params, raw);
-  double mbps = 0.0;
-  job.Run([&](const ClusterJobResult& r) { mbps = r.throughput_mbps; });
+  CellResult r;
+  job.Run([&r](const ClusterJobResult& res) { r.value = res.throughput_mbps; });
   sim.Run();
-  return mbps;
+  r.fire_digest = sim.fire_digest();
+  r.events_fired = sim.events_fired();
+  // Ideal fail-stutter bound: healthy nodes at 10 + slow nodes at 7.
+  r.metrics.emplace_back("available_MBps",
+                         (kNodes - slow_nodes) * 10.0 + slow_nodes * 7.0);
+  return r;
 }
 
 void BM_SlowFraction(benchmark::State& state) {
-  const Design design = static_cast<Design>(state.range(0));
-  const int slow = static_cast<int>(state.range(1));
-  double mbps = 0.0;
+  const SweepSpec spec = SlowFractionSpec();
+  CellPoint point;
+  for (const CellPoint& p : SweepRunner::Enumerate(spec)) {
+    if (p.values[0] == static_cast<double>(state.range(0)) &&
+        p.values[1] == static_cast<double>(state.range(1))) {
+      point = p;
+      point.spec = &spec;
+    }
+  }
+  CellResult result;
   for (auto _ : state) {
-    mbps = RunCluster(design, slow);
+    result = SlowFractionCell(point);
   }
-  state.counters["agg_MBps"] = mbps;
-  // Ideal fail-stutter bound: healthy nodes at 10 + slow nodes at 7.
-  state.counters["available_MBps"] = (kNodes - slow) * 10.0 + slow * 7.0;
-  switch (design) {
-    case Design::kStatic:
-      state.SetLabel("static");
-      break;
-    case Design::kExclude:
-      state.SetLabel("exclude-slow");
-      break;
-    case Design::kAdaptive:
-      state.SetLabel("adaptive");
-      break;
-  }
+  state.counters["agg_MBps"] = result.value;
+  state.counters["available_MBps"] = result.metrics[0].second;
+  state.SetLabel(spec.axes[0].Label(static_cast<size_t>(state.range(0))));
 }
 BENCHMARK(BM_SlowFraction)
     ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 4, 8, 16}})
     ->Unit(benchmark::kMillisecond);
+
+// Full grid through the parallel runner; "shape_pass" counts the cells
+// where the adaptive design is within 10% of its availability bound.
+void BM_SlowFractionSweepAll(benchmark::State& state) {
+  const SweepSpec spec = SlowFractionSpec();
+  std::vector<CellResult> results;
+  for (auto _ : state) {
+    results = RunSweep(spec, SlowFractionCell);
+  }
+  ShapeReport report;
+  for (const auto& r : results) {
+    if (r.point.Value("design") == 2) {
+      report.Check("adaptive_slow" + std::to_string(static_cast<int>(
+                       r.point.Value("slow_nodes"))),
+                   r.value, r.metrics[0].second, 0.10);
+    }
+  }
+  state.counters["cells"] = static_cast<double>(results.size());
+  state.counters["shape_pass"] =
+      static_cast<double>(report.size() - report.failures().size());
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(results.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(results.size()));
+}
+BENCHMARK(BM_SlowFractionSweepAll)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace fst

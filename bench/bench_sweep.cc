@@ -1,0 +1,101 @@
+// Thread-scaling of the parallel sweep harness.
+//
+// BM_SweepScaling runs a fixed 96-cell §3.2-style grid (3 stripers × 4
+// b/B ratios × 8 seeds, per-request jitter so every seed is a distinct
+// simulation) through the SweepRunner at 1/2/4/8 threads and reports
+// cells/sec. Real time is measured, so the rate at N threads over the
+// rate at 1 thread is the harness speedup — the committed baseline
+// (bench/baselines/BENCH_sweep.json) pins >= 3x at 4 threads.
+//
+// BM_SweepDeterminism re-runs the same grid at 1 and 4 threads inside the
+// loop and folds both digest vectors into one checksum; the "digests_match"
+// counter is 1 only when the two runs agree cell-for-cell.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/faults/perf_fault.h"
+
+namespace fst {
+namespace {
+
+constexpr int kPairs = 4;
+constexpr int64_t kBlocks = 2000;
+constexpr double kJitterSigma = 0.10;
+
+SweepSpec ScalingSpec() {
+  SweepSpec spec;
+  spec.name = "sweep_scaling";
+  spec.axes = {
+      {"striper", {0, 1, 2}, {"static", "proportional", "adaptive"}},
+      {"ratio_pct", {25, 50, 75, 100}, {}},
+  };
+  spec.seeds = {11, 12, 13, 14, 15, 16, 17, 18};
+  return spec;
+}
+
+// A §3.2 cell with log-normal per-request jitter on every disk, so each
+// seed is a genuinely different (but fully deterministic) simulation.
+CellResult ScalingCell(const CellPoint& point) {
+  const StriperKind kind =
+      StriperFromArg(static_cast<int64_t>(point.Value("striper")));
+  const double ratio = point.Value("ratio_pct") / 100.0;
+  Simulator sim(point.seed);
+  BenchVolume v(sim, kPairs, kind, 1.0 / ratio);
+  for (auto& disk : v.disks) {
+    disk->AttachModulator(std::make_shared<RandomJitterModulator>(
+        sim.rng().Fork(), kJitterSigma));
+  }
+  CellResult r;
+  r.value = v.WriteBatch(sim, kBlocks);
+  r.fire_digest = sim.fire_digest();
+  r.events_fired = sim.events_fired();
+  return r;
+}
+
+void BM_SweepScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const SweepSpec spec = ScalingSpec();
+  std::vector<CellResult> results;
+  for (auto _ : state) {
+    results = RunSweep(spec, ScalingCell, threads);
+  }
+  state.counters["cells"] = static_cast<double>(results.size());
+  state.counters["threads"] = threads;
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(results.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(results.size()));
+}
+BENCHMARK(BM_SweepScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SweepDeterminism(benchmark::State& state) {
+  const SweepSpec spec = ScalingSpec();
+  bool match = true;
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    const auto serial = RunSweep(spec, ScalingCell, 1);
+    const auto parallel = RunSweep(spec, ScalingCell, 4);
+    for (size_t i = 0; i < serial.size(); ++i) {
+      match = match && serial[i].fire_digest == parallel[i].fire_digest;
+      checksum ^= serial[i].fire_digest + 0x9e3779b97f4a7c15ull * i;
+    }
+  }
+  state.counters["digests_match"] = match ? 1.0 : 0.0;
+  state.counters["digest_checksum"] = static_cast<double>(checksum >> 40);
+}
+BENCHMARK(BM_SweepDeterminism)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+FST_BENCH_MAIN(sweep);

@@ -16,6 +16,7 @@
 #include "src/core/registry.h"
 #include "src/devices/disk.h"
 #include "src/devices/modulators.h"
+#include "src/harness/sweep.h"
 #include "src/obs/correlator.h"
 #include "src/obs/export.h"
 #include "src/obs/recorder.h"
@@ -84,21 +85,24 @@ class BenchTelemetry {
 // BenchTelemetry already writes. Committed baselines (bench/baselines/)
 // are produced this way.
 inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag;
-  std::string format_flag;
+  // Injected flags live here so the char*s handed to benchmark::Initialize
+  // stay valid for the whole run, not just the enclosing block.
+  static constexpr char kOutPrefix[] = "--benchmark_out=";
+  std::vector<std::string> extra_flags;
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
     has_out = has_out ||
-              std::strncmp(argv[i], "--benchmark_out=", 16) == 0;
+              std::strncmp(argv[i], kOutPrefix, sizeof(kOutPrefix) - 1) == 0;
   }
   const char* dir = std::getenv("FST_TELEMETRY_DIR");
   if (dir != nullptr && *dir != '\0' && !has_out) {
-    out_flag = std::string("--benchmark_out=") + dir + "/BENCH_" +
-               bench_name + ".json";
-    format_flag = "--benchmark_out_format=json";
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
+    extra_flags.push_back(std::string(kOutPrefix) + dir + "/BENCH_" +
+                          bench_name + ".json");
+    extra_flags.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args(argv, argv + argc);
+  for (std::string& flag : extra_flags) {
+    args.push_back(flag.data());
   }
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
@@ -114,6 +118,16 @@ inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
   int main(int argc, char** argv) {                     \
     return ::fst::RunBenchMain(#name, argc, argv);      \
   }
+
+// Runs a full sweep grid through the parallel SweepRunner with the given
+// thread count (0 = FST_SWEEP_THREADS / hardware default) and returns the
+// grid-ordered results. Benches use this to run whole experiment grids as
+// one unit of work — cells/sec and thread-scaling live in bench_sweep.
+inline std::vector<CellResult> RunSweep(const SweepSpec& spec,
+                                        const SweepRunner::CellFn& fn,
+                                        int threads = 0) {
+  return SweepRunner(threads).Run(spec, fn);
+}
 
 inline DiskParams BenchDisk(double mbps = 10.0) {
   DiskParams p;

@@ -1,5 +1,6 @@
 #include "src/analysis/experiment.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -17,6 +18,16 @@ RepStats Summarize(const std::vector<double>& samples) {
   r.min = stats.min();
   r.max = stats.max();
   r.n = static_cast<int>(stats.count());
+  if (r.n == 0) {
+    return r;  // all zeros by construction
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  r.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  const size_t rank = static_cast<size_t>(std::ceil(0.95 * static_cast<double>(n)));
+  r.p95 = sorted[std::max<size_t>(rank, 1) - 1];
   return r;
 }
 

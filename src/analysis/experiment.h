@@ -18,9 +18,16 @@ struct RepStats {
   double ci95 = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;  // nearest-rank 95th percentile
   int n = 0;
 };
 
+// Degenerate inputs are well-defined rather than NaN-laden: n == 0 yields
+// all-zero stats, n == 1 yields mean == median == p95 == min == max ==
+// the sample with ci95 == 0. The median of an even-sized sample is the
+// midpoint of the two central order statistics; p95 is nearest-rank
+// (ceil(0.95 n)), so it is always an observed sample.
 RepStats Summarize(const std::vector<double>& samples);
 
 class ShapeCheck {

@@ -1,0 +1,128 @@
+// The parallel experiment-sweep runner.
+//
+// A SweepSpec is a declarative grid: named axes (each a list of values,
+// optionally labeled), a list of seeds, and a repetition count. The
+// SweepRunner enumerates the full cartesian product in a fixed row-major
+// order — axes outermost-first, then seed, then rep — and fans the cells
+// across a ThreadPool. Each cell constructs its own Simulator + cluster in
+// complete isolation (see src/harness/README.md for the invariant) and
+// returns a CellResult.
+//
+// Aggregation is deterministic by construction: results land in a
+// preallocated vector addressed by grid index, never by completion order,
+// so every derived artifact — per-cell digests, RepStats summaries,
+// rendered ShapeReports, exported JSON/CSV — is bit-identical for any
+// thread count. tests/harness_test.cc pins this at 1 vs 4 threads.
+#ifndef SRC_HARNESS_SWEEP_H_
+#define SRC_HARNESS_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/experiment.h"
+
+namespace fst {
+
+struct SweepAxis {
+  std::string name;
+  std::vector<double> values;
+  // Optional human-readable names for values (e.g. striper kinds); when
+  // set it must parallel `values`.
+  std::vector<std::string> labels;
+
+  std::string Label(size_t i) const;
+};
+
+struct SweepSpec {
+  std::string name;
+  std::vector<SweepAxis> axes;
+  std::vector<uint64_t> seeds = {1};
+  int reps = 1;
+
+  // Cells in one full configuration grid (product of axis sizes).
+  size_t ConfigCount() const;
+  // Total cells: ConfigCount() * seeds.size() * reps.
+  size_t CellCount() const;
+};
+
+// One point of the grid, in enumeration order. `values[i]` / `axis_index[i]`
+// correspond to `spec->axes[i]`.
+struct CellPoint {
+  const SweepSpec* spec = nullptr;
+  size_t index = 0;         // flat grid index == aggregation position
+  size_t config_index = 0;  // flat index into the axis product only
+  std::vector<size_t> axis_index;
+  std::vector<double> values;
+  uint64_t seed = 0;
+  int rep = 0;
+
+  // Value of the named axis; aborts if the axis does not exist.
+  double Value(const std::string& axis) const;
+  std::string Label(size_t axis) const;
+};
+
+struct CellResult {
+  CellPoint point;
+  double value = 0.0;  // the cell's primary metric (e.g. MB/s)
+  uint64_t fire_digest = 0;
+  uint64_t events_fired = 0;
+  // Named secondary metrics, in insertion order (kept ordered so exported
+  // reports are byte-stable).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+// All cells of one axis configuration (across seeds × reps), summarized.
+struct SweepGroup {
+  size_t config_index = 0;
+  std::vector<size_t> axis_index;
+  std::vector<double> axis_values;
+  RepStats stats;  // over the cells' primary values
+};
+
+class SweepRunner {
+ public:
+  // `threads <= 0` selects ThreadsFromEnv().
+  explicit SweepRunner(int threads = 0);
+
+  // FST_SWEEP_THREADS when set (>= 1), else hardware_concurrency().
+  static int ThreadsFromEnv();
+
+  int threads() const { return threads_; }
+
+  using CellFn = std::function<CellResult(const CellPoint&)>;
+
+  // Enumerates spec's grid and evaluates `fn` on every cell, in parallel,
+  // returning results ordered by grid index. `fn` must be safe to call
+  // concurrently from multiple threads on distinct cells (it is, if each
+  // call builds its own Simulator and shares nothing). Exceptions from a
+  // cell propagate out of Run().
+  std::vector<CellResult> Run(const SweepSpec& spec, const CellFn& fn) const;
+
+  // Grid enumeration without execution (used by tests and reports).
+  static std::vector<CellPoint> Enumerate(const SweepSpec& spec);
+  static CellPoint PointAt(const SweepSpec& spec, size_t index);
+
+ private:
+  int threads_;
+};
+
+// Collapses results into one group per axis configuration, ordered by
+// config index, with RepStats over seeds × reps.
+std::vector<SweepGroup> SummarizeByConfig(const SweepSpec& spec,
+                                          const std::vector<CellResult>& results);
+
+// Machine-readable aggregated reports. Deterministic: iteration order is
+// grid order and all numbers are formatted with a fixed printf format, so
+// two runs of the same spec produce byte-identical output regardless of
+// thread count (the thread count itself is deliberately not recorded).
+std::string SweepReportJson(const SweepSpec& spec,
+                            const std::vector<CellResult>& results);
+std::string SweepReportCsv(const SweepSpec& spec,
+                           const std::vector<CellResult>& results);
+
+}  // namespace fst
+
+#endif  // SRC_HARNESS_SWEEP_H_

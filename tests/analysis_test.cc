@@ -79,6 +79,47 @@ TEST(SummarizeTest, BasicStats) {
   EXPECT_DOUBLE_EQ(s.max, 5.0);
   EXPECT_EQ(s.n, 5);
   EXPECT_GT(s.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p95, 5.0);  // nearest-rank: ceil(0.95*5) = 5th sample
+}
+
+TEST(SummarizeTest, EmptyInputIsAllZeros) {
+  const RepStats s = Summarize({});
+  EXPECT_EQ(s.n, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+}
+
+TEST(SummarizeTest, SingleSampleIsDegenerateButDefined) {
+  const RepStats s = Summarize({7.5});
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+}
+
+TEST(SummarizeTest, EvenCountMedianIsMidpointAndOrderIrrelevant) {
+  const RepStats s = Summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.p95, 4.0);  // ceil(0.95*4) = 4th order statistic
+}
+
+TEST(SummarizeTest, P95OnSkewedSamples) {
+  std::vector<double> samples(100, 1.0);
+  samples[99] = 1000.0;  // one outlier
+  samples[98] = 500.0;
+  const RepStats skew = Summarize(samples);
+  EXPECT_DOUBLE_EQ(skew.median, 1.0);
+  EXPECT_DOUBLE_EQ(skew.p95, 1.0);  // 95th of 100 sorted ones is still 1
+  EXPECT_GT(skew.mean, 1.0);        // but the mean is dragged up
+  EXPECT_DOUBLE_EQ(skew.max, 1000.0);
 }
 
 TEST(ShapeCheckTest, PassAndFail) {
