@@ -1,0 +1,29 @@
+#include "src/cluster/admission.h"
+
+#include <cassert>
+
+namespace fst {
+
+AdmissionController::AdmissionController(int nodes, AdmissionParams params)
+    : params_(params), outstanding_(static_cast<size_t>(nodes), 0) {}
+
+bool AdmissionController::TryAdmit(int node) {
+  int& n = outstanding_[static_cast<size_t>(node)];
+  if (n >= params_.max_outstanding_per_node) {
+    ++rejected_;
+    return false;
+  }
+  ++n;
+  ++admitted_;
+  return true;
+}
+
+void AdmissionController::Release(int node) {
+  int& n = outstanding_[static_cast<size_t>(node)];
+  assert(n > 0 && "Release without matching TryAdmit");
+  if (n > 0) {
+    --n;
+  }
+}
+
+}  // namespace fst

@@ -1,0 +1,52 @@
+// Bounded per-node admission with load shedding.
+//
+// The Gribble DDS anecdote (Section 2.2.1) is precisely what happens
+// without this component: a GC-pausing replica keeps accepting work, its
+// queue grows without bound, and the whole service's latency is dragged
+// down by one stutterer. The admission controller caps the outstanding
+// requests the serving layer will hold against any node; when every
+// admissible replica is at its cap the request is shed immediately (a
+// fast, cheap failure) instead of joining a queue it cannot clear in time.
+// Backpressure therefore degrades goodput gracefully — shed rate rises,
+// but admitted requests keep a bounded sojourn — rather than collapsing
+// the cluster behind one slow component.
+#ifndef SRC_CLUSTER_ADMISSION_H_
+#define SRC_CLUSTER_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fst {
+
+struct AdmissionParams {
+  // Outstanding (admitted, not yet completed) requests allowed per node.
+  int max_outstanding_per_node = 24;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(int nodes, AdmissionParams params);
+
+  // Claims a slot against `node`; false means the caller must fail over or
+  // shed. Every true return must be paired with one Release().
+  bool TryAdmit(int node);
+  void Release(int node);
+
+  int outstanding(int node) const {
+    return outstanding_[static_cast<size_t>(node)];
+  }
+  int64_t admitted() const { return admitted_; }
+  int64_t rejected() const { return rejected_; }
+  const AdmissionParams& params() const { return params_; }
+
+ private:
+  AdmissionParams params_;
+  std::vector<int> outstanding_;
+  int64_t admitted_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CLUSTER_ADMISSION_H_

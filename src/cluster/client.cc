@@ -1,0 +1,67 @@
+#include "src/cluster/client.h"
+
+#include <utility>
+
+namespace fst {
+
+ClientFleet::ClientFleet(Simulator& sim, FleetParams params)
+    : sim_(sim), params_(params), arrival_rng_(sim.rng().Fork()),
+      key_rng_(sim.rng().Fork()),
+      zipf_(params_.key_space, params_.zipf_s > 0.0 ? params_.zipf_s : 0.0) {}
+
+void ClientFleet::Run(KvService& service,
+                      std::function<void(const FleetResult&)> done) {
+  service_ = &service;
+  done_ = std::move(done);
+  horizon_ = sim_.Now() + params_.run_for;
+  ScheduleNextArrival();
+}
+
+void ClientFleet::ScheduleNextArrival() {
+  const Duration gap = Duration::Seconds(
+      arrival_rng_.Exponential(1.0 / params_.arrivals_per_sec));
+  const SimTime at = sim_.Now() + gap;
+  if (at > horizon_) {
+    arrivals_done_ = true;
+    MaybeFinish();
+    return;
+  }
+  sim_.ScheduleAt(at, [this]() {
+    IssueOp();
+    ScheduleNextArrival();
+  });
+}
+
+void ClientFleet::IssueOp() {
+  ++result_.ops_issued;
+  ++pending_;
+  const uint64_t key = static_cast<uint64_t>(zipf_.Sample(key_rng_));
+  const bool is_read = key_rng_.UniformDouble() < params_.read_fraction;
+  auto complete = [this](const IoResult& r) {
+    if (r.ok) {
+      ++result_.ops_ok;
+    } else {
+      ++result_.ops_failed;
+    }
+    --pending_;
+    MaybeFinish();
+  };
+  if (is_read) {
+    ++result_.reads_issued;
+    service_->Get(key, complete);
+  } else {
+    ++result_.writes_issued;
+    service_->Put(key, complete);
+  }
+}
+
+void ClientFleet::MaybeFinish() {
+  if (!arrivals_done_ || pending_ > 0 || !done_) {
+    return;
+  }
+  auto cb = std::move(done_);
+  done_ = nullptr;
+  cb(result_);
+}
+
+}  // namespace fst

@@ -1,0 +1,280 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fst {
+
+KvService::KvService(Simulator& sim, ClusterParams params,
+                     std::unique_ptr<ReactionPolicy> policy,
+                     EventRecorder* recorder)
+    : sim_(sim), params_(std::move(params)), recorder_(recorder),
+      shard_map_(params_.nodes, params_.shard),
+      selector_(params_.route, params_.nodes, sim.rng().Fork()),
+      admission_(params_.nodes, params_.admission),
+      registry_(params_.detector), policy_(std::move(policy)),
+      hedge_(sim, params_.hedge), slo_(params_.slo_deadline),
+      client_port_(params_.nodes) {
+  params_.net.ports = std::max(params_.net.ports, params_.nodes + 1);
+  switch_ = std::make_unique<Switch>(sim_, params_.net, nullptr, recorder_);
+  registry_.set_recorder(recorder_);
+  if (recorder_ != nullptr) {
+    trace_comp_ = recorder_->Intern("cluster");
+  }
+  for (int i = 0; i < params_.nodes; ++i) {
+    const std::string name = "node" + std::to_string(i);
+    nodes_.push_back(
+        std::make_unique<Node>(sim_, name, params_.node, recorder_));
+    registry_.Register(
+        name, PerformanceSpec::RateBand(params_.node.cpu_rate,
+                                        params_.spec_tolerance));
+    name_to_index_[name] = i;
+  }
+  registry_.Subscribe(
+      [this](const StateChange& change) { OnStateChange(change); });
+}
+
+void KvService::OnStateChange(const StateChange& change) {
+  const auto it = name_to_index_.find(change.component);
+  if (it == name_to_index_.end()) {
+    return;
+  }
+  const int idx = it->second;
+  const Reaction reaction = policy_->React(change, registry_);
+  switch (reaction.kind) {
+    case ReactionKind::kNone:
+      if (change.to == PerfState::kHealthy) {
+        selector_.SetWeight(idx, 1.0);
+        if (shard_map_.IsEjected(idx)) {
+          shard_map_.Restore(idx);
+        }
+      }
+      break;
+    case ReactionKind::kReweight:
+      ++reweights_;
+      selector_.SetWeight(idx, reaction.share);
+      if (reaction.share > 0.0 && shard_map_.IsEjected(idx)) {
+        shard_map_.Restore(idx);
+      }
+      break;
+    case ReactionKind::kEject:
+      ++ejections_;
+      selector_.SetWeight(idx, 0.0);
+      shard_map_.Eject(idx);
+      break;
+  }
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    recorder_->PolicyAction(change.when, trace_comp_,
+                            static_cast<uint16_t>(reaction.kind),
+                            reaction.share);
+  }
+}
+
+uint64_t KvService::BeginTrace(SimTime now) {
+  if (recorder_ == nullptr || !recorder_->enabled()) {
+    return 0;
+  }
+  const uint64_t id = recorder_->NextRequestId();
+  recorder_->RequestEnqueue(now, trace_comp_, id, -1,
+                            static_cast<double>(in_flight_));
+  return id;
+}
+
+void KvService::FinishOp(SimTime t0, uint64_t trace_id, bool admitted_any,
+                         bool ok, const IoCallback& done) {
+  const SimTime now = sim_.Now();
+  --in_flight_;
+  if (ok) {
+    slo_.RecordAck(now - t0);
+  } else if (!admitted_any) {
+    ++sheds_;
+    slo_.RecordShed();
+  } else {
+    slo_.RecordError();
+  }
+  if (recorder_ != nullptr && trace_id != 0) {
+    recorder_->RequestComplete(now, trace_comp_, trace_id, -1,
+                               Duration::Zero(), now - t0);
+  }
+  if (done) {
+    IoResult r;
+    r.ok = ok;
+    r.issued = t0;
+    r.completed = now;
+    done(r);
+  }
+}
+
+void KvService::Dispatch(int node, double work, SimTime t0, IoCallback cb) {
+  // Outstanding already includes this op's admission slot; the registry is
+  // charged the expected time for the whole admitted backlog, so queueing
+  // at a healthy node does not read as a stutter.
+  const double backlog_units =
+      work * static_cast<double>(std::max(admission_.outstanding(node), 1));
+  NetMessage request;
+  request.src = client_port_;
+  request.dst = node;
+  request.bytes = params_.request_bytes;
+  request.done = [this, node, work, backlog_units, t0,
+                  cb = std::move(cb)](SimTime) mutable {
+    nodes_[static_cast<size_t>(node)]->Compute(
+        work, [this, node, backlog_units, t0,
+               cb = std::move(cb)](const IoResult& computed) mutable {
+          NetMessage response;
+          response.src = node;
+          response.dst = client_port_;
+          response.bytes = params_.response_bytes;
+          const bool ok = computed.ok;
+          response.done = [this, node, backlog_units, t0, ok,
+                           cb = std::move(cb)](SimTime) mutable {
+            admission_.Release(node);
+            const SimTime now = sim_.Now();
+            const std::string& name =
+                nodes_[static_cast<size_t>(node)]->name();
+            if (ok) {
+              registry_.Observe(name, now, backlog_units, now - t0);
+            } else {
+              registry_.ObserveFailure(name, now);
+            }
+            if (cb) {
+              IoResult r;
+              r.ok = ok;
+              r.issued = t0;
+              r.completed = now;
+              cb(r);
+            }
+          };
+          switch_->Send(std::move(response));
+        });
+  };
+  switch_->Send(std::move(request));
+}
+
+void KvService::Get(uint64_t key, IoCallback done) {
+  const SimTime t0 = sim_.Now();
+  ++reads_;
+  ++in_flight_;
+  slo_.RecordArrival();
+  const uint64_t trace_id = BeginTrace(t0);
+
+  const std::vector<int> replicas = shard_map_.ReplicasFor(key);
+  std::vector<int> ranked = selector_.Rank(
+      replicas, [this](int n) { return admission_.outstanding(n); });
+  if (ranked.empty()) {
+    FinishOp(t0, trace_id, false, false, done);
+    return;
+  }
+  if (params_.hedge_reads && ranked.size() > 1) {
+    IssueHedged(ranked, t0, trace_id, std::move(done));
+    return;
+  }
+  for (int node : ranked) {
+    if (!admission_.TryAdmit(node)) {
+      continue;
+    }
+    Dispatch(node, params_.read_work, t0,
+             [this, t0, trace_id, done = std::move(done)](const IoResult& r) {
+               FinishOp(t0, trace_id, true, r.ok, done);
+             });
+    return;
+  }
+  FinishOp(t0, trace_id, false, false, done);
+}
+
+void KvService::IssueHedged(const std::vector<int>& ranked, SimTime t0,
+                            uint64_t trace_id, IoCallback done) {
+  const int attempts_allowed = std::min(
+      static_cast<int>(ranked.size()), 1 + std::max(params_.hedge.max_hedges, 0));
+  auto admitted_any = std::make_shared<bool>(false);
+  std::vector<HedgedOp::Attempt> attempts;
+  attempts.reserve(static_cast<size_t>(attempts_allowed));
+  for (int i = 0; i < attempts_allowed; ++i) {
+    const int node = ranked[static_cast<size_t>(i)];
+    attempts.push_back([this, node, t0, admitted_any](IoCallback cb) {
+      if (!admission_.TryAdmit(node)) {
+        IoResult r;
+        r.ok = false;
+        r.issued = t0;
+        r.completed = sim_.Now();
+        cb(r);
+        return;
+      }
+      *admitted_any = true;
+      Dispatch(node, params_.read_work, t0, std::move(cb));
+    });
+  }
+  hedge_.Issue(std::move(attempts),
+               [this, t0, trace_id, admitted_any,
+                done = std::move(done)](const IoResult& r) {
+                 FinishOp(t0, trace_id, *admitted_any, r.ok, done);
+               });
+}
+
+void KvService::Put(uint64_t key, IoCallback done) {
+  const SimTime t0 = sim_.Now();
+  ++writes_;
+  ++in_flight_;
+  slo_.RecordArrival();
+  const uint64_t trace_id = BeginTrace(t0);
+
+  const std::vector<int> replicas = shard_map_.ReplicasFor(key);
+  if (replicas.empty()) {
+    FinishOp(t0, trace_id, false, false, done);
+    return;
+  }
+  const int quorum =
+      std::clamp(params_.write_quorum, 1, static_cast<int>(replicas.size()));
+
+  struct WriteState {
+    int dispatched = 0;
+    int completed = 0;
+    int ok = 0;
+    int quorum = 0;
+    bool reported = false;
+    SimTime t0;
+    uint64_t trace_id = 0;
+    IoCallback done;
+  };
+  auto st = std::make_shared<WriteState>();
+  st->quorum = quorum;
+  st->t0 = t0;
+  st->trace_id = trace_id;
+  st->done = std::move(done);
+
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    const int node = replicas[i];
+    if (!admission_.TryAdmit(node)) {
+      continue;
+    }
+    ++st->dispatched;
+    const bool mirror = i > 0;
+    if (mirror) {
+      ++mirror_backlog_;
+      peak_mirror_backlog_ = std::max(peak_mirror_backlog_, mirror_backlog_);
+    }
+    Dispatch(node, params_.write_work, t0,
+             [this, st, mirror](const IoResult& r) {
+               if (mirror) {
+                 --mirror_backlog_;
+               }
+               ++st->completed;
+               if (r.ok) {
+                 ++st->ok;
+               }
+               if (!st->reported && st->ok >= st->quorum) {
+                 st->reported = true;
+                 FinishOp(st->t0, st->trace_id, true, true, st->done);
+               } else if (!st->reported && st->completed == st->dispatched) {
+                 // Every admitted replica has answered and quorum is
+                 // unreachable.
+                 st->reported = true;
+                 FinishOp(st->t0, st->trace_id, true, false, st->done);
+               }
+             });
+  }
+  if (st->dispatched == 0) {
+    FinishOp(t0, trace_id, false, false, st->done);
+  }
+}
+
+}  // namespace fst

@@ -1,0 +1,146 @@
+// The sharded, replicated, fail-stutter-aware serving layer.
+//
+// KvService composes the repo's existing building blocks into an
+// end-to-end service of the kind the ROADMAP's north star asks for and the
+// paper's Section 2.2.1 anecdote (Gribble's DDS) warns about: N compute
+// Nodes behind a Switch, a consistent-hash ShardMap placing every key on R
+// replicas, a ReplicaSelector routing reads with however much performance
+// information the configured design consumes, an AdmissionController
+// bounding per-node queues and shedding overload, and an SloTracker
+// splitting acks into goodput and late.
+//
+// The fail-stutter runtime closes the loop: every completed request feeds
+// the PerformanceStateRegistry, whose hysteresis detectors publish state
+// transitions; the configured ReactionPolicy maps each transition to a
+// reaction that the service applies structurally —
+//   kReweight -> the selector's per-node weight becomes the policy share;
+//   kEject    -> weight drops to zero AND the ShardMap rebalances the
+//                node's key ranges to its ring successors;
+//   recovery  -> weight restored (and ring ownership on un-eject).
+//
+// Detection under load: a saturated-but-healthy node has high latency
+// purely from queueing, so observations charge the expected time for the
+// whole admitted backlog (units = work x outstanding-at-admit). A node is
+// only declared stuttering when it is slow *for its queue depth* — the
+// per-component deficit the detectors are designed around — not merely
+// popular.
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/admission.h"
+#include "src/cluster/selector.h"
+#include "src/cluster/shard_map.h"
+#include "src/cluster/slo.h"
+#include "src/core/policy.h"
+#include "src/core/registry.h"
+#include "src/devices/hedge.h"
+#include "src/devices/network.h"
+#include "src/devices/node.h"
+#include "src/obs/recorder.h"
+#include "src/simcore/simulator.h"
+
+namespace fst {
+
+struct ClusterParams {
+  int nodes = 4;
+  ShardMapParams shard;           // replication + virtual nodes
+  NodeParams node;                // per-replica compute model
+  SwitchParams net;               // ports forced up to nodes + 1
+  AdmissionParams admission;
+  DetectorParams detector;
+  double read_work = 10000.0;     // CPU work units per get, per replica
+  double write_work = 10000.0;    // per put, per replica
+  int64_t request_bytes = 256;
+  int64_t response_bytes = 256;
+  int write_quorum = 1;           // acks required before a put reports
+  RouteMode route = RouteMode::kQueueWeighted;
+  bool hedge_reads = false;
+  HedgeParams hedge;
+  double spec_tolerance = 0.25;   // tolerance band on the per-node rate spec
+  Duration slo_deadline = Duration::Millis(300);
+};
+
+class KvService {
+ public:
+  KvService(Simulator& sim, ClusterParams params,
+            std::unique_ptr<ReactionPolicy> policy,
+            EventRecorder* recorder = nullptr);
+
+  // Reads route to one replica chosen by the selector (optionally hedged);
+  // a request that no admissible replica can accept is shed immediately.
+  void Get(uint64_t key, IoCallback done);
+
+  // Writes fan out to every replica of the key; `done` fires at the
+  // write_quorum-th success (or with failure once no quorum is reachable).
+  void Put(uint64_t key, IoCallback done);
+
+  Node* node(int i) { return nodes_[static_cast<size_t>(i)].get(); }
+  Switch& network() { return *switch_; }
+  ShardMap& shard_map() { return shard_map_; }
+  ReplicaSelector& selector() { return selector_; }
+  AdmissionController& admission() { return admission_; }
+  PerformanceStateRegistry& registry() { return registry_; }
+  SloTracker& slo() { return slo_; }
+  const HedgeStats& hedge_stats() const { return hedge_.stats(); }
+  const ClusterParams& params() const { return params_; }
+
+  int ejections() const { return ejections_; }
+  int reweights() const { return reweights_; }
+  int64_t reads() const { return reads_; }
+  int64_t writes() const { return writes_; }
+  int64_t sheds() const { return sheds_; }
+  int64_t peak_mirror_backlog() const { return peak_mirror_backlog_; }
+
+ private:
+  // Logical-op completion: SLO accounting + trace span close + user done.
+  void FinishOp(SimTime t0, uint64_t trace_id, bool admitted_any, bool ok,
+                const IoCallback& done);
+
+  // One admitted attempt against `node`: request over the switch, compute,
+  // response back, then registry observation + slot release. `cb` receives
+  // the attempt's IoResult (issued = t0).
+  void Dispatch(int node, double work, SimTime t0, IoCallback cb);
+
+  void IssueHedged(const std::vector<int>& ranked, SimTime t0,
+                   uint64_t trace_id, IoCallback done);
+
+  void OnStateChange(const StateChange& change);
+
+  uint64_t BeginTrace(SimTime now);
+
+  Simulator& sim_;
+  ClusterParams params_;
+  EventRecorder* recorder_;
+  uint16_t trace_comp_ = 0;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<Switch> switch_;
+  ShardMap shard_map_;
+  ReplicaSelector selector_;
+  AdmissionController admission_;
+  PerformanceStateRegistry registry_;
+  std::unique_ptr<ReactionPolicy> policy_;
+  HedgedOp hedge_;
+  SloTracker slo_;
+  std::map<std::string, int> name_to_index_;
+
+  int client_port_;
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+  int64_t sheds_ = 0;
+  int64_t in_flight_ = 0;
+  int ejections_ = 0;
+  int reweights_ = 0;
+  int64_t mirror_backlog_ = 0;
+  int64_t peak_mirror_backlog_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,96 @@
+#include "src/cluster/shard_map.h"
+
+#include <algorithm>
+
+namespace fst {
+
+namespace {
+
+// SplitMix64 finalizer: a strong, platform-stable 64-bit mixer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t ShardMap::HashKey(uint64_t key) { return Mix64(key); }
+
+ShardMap::ShardMap(int nodes, ShardMapParams params)
+    : nodes_(nodes), params_(params),
+      ejected_(static_cast<size_t>(nodes), false), live_nodes_(nodes) {
+  ring_.reserve(static_cast<size_t>(nodes) *
+                static_cast<size_t>(params_.vnodes_per_node));
+  for (int n = 0; n < nodes; ++n) {
+    for (int v = 0; v < params_.vnodes_per_node; ++v) {
+      // Mix node and vnode through independent streams so points from one
+      // node do not cluster.
+      const uint64_t where =
+          Mix64(Mix64(static_cast<uint64_t>(n) + 1) ^
+                Mix64((static_cast<uint64_t>(v) + 1) << 20));
+      ring_.push_back({where, n});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::vector<int> ShardMap::ReplicasFor(uint64_t key) const {
+  std::vector<int> out;
+  if (ring_.empty() || live_nodes_ == 0) {
+    return out;
+  }
+  const int want = std::min(params_.replication, live_nodes_);
+  out.reserve(static_cast<size_t>(want));
+  const uint64_t h = HashKey(key);
+  // Successor of h on the ring (wrapping).
+  size_t start = static_cast<size_t>(
+      std::lower_bound(ring_.begin(), ring_.end(), Point{h, -1}) -
+      ring_.begin());
+  for (size_t step = 0; step < ring_.size() && static_cast<int>(out.size()) < want;
+       ++step) {
+    const Point& p = ring_[(start + step) % ring_.size()];
+    if (ejected_[static_cast<size_t>(p.node)]) {
+      continue;
+    }
+    if (std::find(out.begin(), out.end(), p.node) == out.end()) {
+      out.push_back(p.node);
+    }
+  }
+  return out;
+}
+
+void ShardMap::Eject(int node) {
+  if (ejected_[static_cast<size_t>(node)]) {
+    return;
+  }
+  ejected_[static_cast<size_t>(node)] = true;
+  --live_nodes_;
+  ++rebalances_;
+}
+
+void ShardMap::Restore(int node) {
+  if (!ejected_[static_cast<size_t>(node)]) {
+    return;
+  }
+  ejected_[static_cast<size_t>(node)] = false;
+  ++live_nodes_;
+  ++rebalances_;
+}
+
+double ShardMap::OwnershipShare(int node, int samples) const {
+  if (samples <= 0) {
+    return 0.0;
+  }
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    const std::vector<int> replicas = ReplicasFor(static_cast<uint64_t>(i));
+    if (!replicas.empty() && replicas.front() == node) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace fst

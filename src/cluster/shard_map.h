@@ -1,0 +1,76 @@
+// Deterministic consistent-hash shard map (keys -> replica sets).
+//
+// The serving layer shards its key space over the cluster with a classic
+// consistent-hash ring: every node owns `vnodes_per_node` virtual points on
+// a 64-bit ring, a key hashes to a ring position, and its replica set is
+// the first `replication` *distinct, non-ejected* node owners found walking
+// clockwise. Ejecting a node (the fail-stop reaction, or the eject arm of a
+// fail-stutter policy) is an explicit rebalance: the ejected node's ring
+// segments fall through to their clockwise successors, so exactly the keys
+// it owned move and everything else stays put — the minimal-disruption
+// property that makes ejection cheap to model and cheap to reverse.
+//
+// Everything is deterministic: ring points come from a SplitMix64-style
+// mixer of (node, vnode), not from any RNG, so two ShardMaps built with the
+// same parameters agree bit-for-bit on every platform.
+#ifndef SRC_CLUSTER_SHARD_MAP_H_
+#define SRC_CLUSTER_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fst {
+
+struct ShardMapParams {
+  int vnodes_per_node = 64;
+  int replication = 2;
+};
+
+class ShardMap {
+ public:
+  ShardMap(int nodes, ShardMapParams params);
+
+  // Stable 64-bit key hash (SplitMix64 finalizer); exposed so callers and
+  // tests can reason about placement.
+  static uint64_t HashKey(uint64_t key);
+
+  // The ordered replica set for `key`: up to `replication` distinct live
+  // nodes, primary first. Fewer (possibly zero) when too few nodes remain.
+  std::vector<int> ReplicasFor(uint64_t key) const;
+
+  // Explicit rebalance: removes/restores a node's ring ownership. Both are
+  // idempotent and O(1); lookups skip ejected owners.
+  void Eject(int node);
+  void Restore(int node);
+
+  bool IsEjected(int node) const { return ejected_[static_cast<size_t>(node)]; }
+  int nodes() const { return nodes_; }
+  int live_nodes() const { return live_nodes_; }
+  int rebalances() const { return rebalances_; }
+  const ShardMapParams& params() const { return params_; }
+
+  // Fraction of `samples` deterministic probe keys whose *primary* replica
+  // is `node` — the load-balance diagnostic used by tests and reports.
+  double OwnershipShare(int node, int samples = 4096) const;
+
+ private:
+  struct Point {
+    uint64_t where;
+    int node;
+    bool operator<(const Point& o) const {
+      return where != o.where ? where < o.where : node < o.node;
+    }
+  };
+
+  int nodes_;
+  ShardMapParams params_;
+  std::vector<Point> ring_;     // sorted by `where`
+  std::vector<bool> ejected_;
+  int live_nodes_;
+  int rebalances_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CLUSTER_SHARD_MAP_H_

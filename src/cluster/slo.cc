@@ -1,0 +1,24 @@
+#include "src/cluster/slo.h"
+
+#include <cstdio>
+
+namespace fst {
+
+std::string SloTracker::ReportJson(Duration horizon) const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"arrivals\": %lld, \"acks\": %lld, \"goodput\": %lld, "
+      "\"late\": %lld, \"shed\": %lld, \"errors\": %lld, "
+      "\"goodput_per_sec\": %.3f, \"shed_rate\": %.4f, "
+      "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"p999_ms\": %.3f}",
+      static_cast<long long>(arrivals_), static_cast<long long>(acks_),
+      static_cast<long long>(goodput_), static_cast<long long>(late_),
+      static_cast<long long>(shed_), static_cast<long long>(errors_),
+      GoodputPerSec(horizon), ShedRate(), P50Ms(), P95Ms(), P99Ms(),
+      P999Ms());
+  return buf;
+}
+
+}  // namespace fst

@@ -1,0 +1,77 @@
+// Service-level-objective accounting for the serving layer.
+//
+// Goodput is the number the paper's argument turns on: raw throughput hides
+// a stutterer (late answers still count), so the tracker splits acks into
+// in-deadline (goodput) and late, and separately counts shed and errored
+// requests. Latencies accumulate in the shared log-linear Histogram and
+// surface as p50/p95/p99/p999 via ValueAtQuantile.
+#ifndef SRC_CLUSTER_SLO_H_
+#define SRC_CLUSTER_SLO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/simcore/stats.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+class SloTracker {
+ public:
+  explicit SloTracker(Duration deadline) : deadline_(deadline) {}
+
+  void RecordArrival() { ++arrivals_; }
+  void RecordShed() { ++shed_; }
+  void RecordError() { ++errors_; }
+  void RecordAck(Duration latency) {
+    ++acks_;
+    latency_.AddDuration(latency);
+    if (latency <= deadline_) {
+      ++goodput_;
+    } else {
+      ++late_;
+    }
+  }
+
+  int64_t arrivals() const { return arrivals_; }
+  int64_t acks() const { return acks_; }
+  int64_t goodput() const { return goodput_; }  // acks within the deadline
+  int64_t late() const { return late_; }
+  int64_t shed() const { return shed_; }
+  int64_t errors() const { return errors_; }
+  Duration deadline() const { return deadline_; }
+  const Histogram& latency() const { return latency_; }
+
+  double GoodputPerSec(Duration horizon) const {
+    const double s = horizon.ToSeconds();
+    return s > 0.0 ? static_cast<double>(goodput_) / s : 0.0;
+  }
+  double ShedRate() const {
+    return arrivals_ > 0
+               ? static_cast<double>(shed_) / static_cast<double>(arrivals_)
+               : 0.0;
+  }
+
+  double P50Ms() const { return latency_.ValueAtQuantile(0.50) / 1e6; }
+  double P95Ms() const { return latency_.ValueAtQuantile(0.95) / 1e6; }
+  double P99Ms() const { return latency_.ValueAtQuantile(0.99) / 1e6; }
+  double P999Ms() const { return latency_.ValueAtQuantile(0.999) / 1e6; }
+
+  // Fixed-format JSON object (stable across platforms and thread counts);
+  // `horizon` is the serving window goodput is normalized over.
+  std::string ReportJson(Duration horizon) const;
+
+ private:
+  Duration deadline_;
+  int64_t arrivals_ = 0;
+  int64_t acks_ = 0;
+  int64_t goodput_ = 0;
+  int64_t late_ = 0;
+  int64_t shed_ = 0;
+  int64_t errors_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CLUSTER_SLO_H_

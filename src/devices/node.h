@@ -12,6 +12,7 @@
 #ifndef SRC_DEVICES_NODE_H_
 #define SRC_DEVICES_NODE_H_
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <string>
@@ -43,7 +44,11 @@ class Node : public FaultableDevice {
   // Registers/releases resident working-set demand (e.g. an out-of-core
   // competitor arriving). Over-commit triggers the swap penalty.
   void ReserveMemory(double mb) { reserved_mb_ += mb; }
-  void ReleaseMemory(double mb) { reserved_mb_ -= mb; }
+  // Clamped at zero: unbalanced releases (e.g. a hog torn down twice) must
+  // not drive demand negative and mask a later over-commit.
+  void ReleaseMemory(double mb) {
+    reserved_mb_ = std::max(0.0, reserved_mb_ - mb);
+  }
   bool MemoryOvercommitted() const { return reserved_mb_ > params_.memory_mb; }
   double reserved_mb() const { return reserved_mb_; }
 

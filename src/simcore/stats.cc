@@ -132,18 +132,21 @@ void Histogram::Reset() {
   min_ = max_ = 0.0;
 }
 
-double Histogram::Quantile(double q) const {
+double Histogram::ValueAtQuantile(double q) const {
   if (count_ == 0) {
-    return 0.0;
+    return 0.0;  // degenerate: no data, all-zero (RepStats semantics)
+  }
+  if (count_ == 1) {
+    return max_;  // degenerate: the single sample, exactly
   }
   q = std::clamp(q, 0.0, 1.0);
-  const uint64_t target =
-      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= target && buckets_[i] > 0) {
-      return std::min(BucketUpperBound(i), max_);
+      return std::clamp(BucketUpperBound(i), min_, max_);
     }
   }
   return max_;

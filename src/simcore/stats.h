@@ -57,11 +57,18 @@ class Histogram {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
 
-  // Quantile in [0, 1]; returns an upper bound of the bucket containing it.
-  double Quantile(double q) const;
-  double P50() const { return Quantile(0.50); }
-  double P95() const { return Quantile(0.95); }
-  double P99() const { return Quantile(0.99); }
+  // Nearest-rank quantile accessor with defined degenerate semantics
+  // (matching RepStats): n == 0 returns 0.0; n == 1 returns the sample
+  // exactly. Otherwise returns the upper bound of the bucket holding the
+  // ceil(q*n)-th value, clamped into [min(), max()], with q clamped to
+  // [0, 1].
+  double ValueAtQuantile(double q) const;
+  // Legacy alias for ValueAtQuantile.
+  double Quantile(double q) const { return ValueAtQuantile(q); }
+  double P50() const { return ValueAtQuantile(0.50); }
+  double P95() const { return ValueAtQuantile(0.95); }
+  double P99() const { return ValueAtQuantile(0.99); }
+  double P999() const { return ValueAtQuantile(0.999); }
 
   // Fraction of recorded values <= threshold (bucket-resolution accurate).
   double FractionAtOrBelow(double threshold) const;

@@ -114,5 +114,23 @@ TEST(NodeTest, FailStopDrainsQueueWithErrors) {
   EXPECT_TRUE(sync_fail);
 }
 
+TEST(NodeTest, ReleaseMemoryClampsAtZero) {
+  // Regression: an unbalanced release used to drive reserved_mb_ negative,
+  // granting the node phantom headroom that masked later overcommit.
+  Simulator sim;
+  Node node(sim, "n0", FastNode());
+  node.ReserveMemory(60.0);
+  node.ReleaseMemory(100.0);  // over-release
+  EXPECT_DOUBLE_EQ(node.reserved_mb(), 0.0);
+  EXPECT_FALSE(node.MemoryOvercommitted());
+
+  // With the clamp, a subsequent overcommit is detected immediately instead
+  // of being absorbed by the phantom negative balance.
+  node.ReserveMemory(120.0);
+  EXPECT_TRUE(node.MemoryOvercommitted());
+  node.ReleaseMemory(120.0);
+  EXPECT_DOUBLE_EQ(node.reserved_mb(), 0.0);
+}
+
 }  // namespace
 }  // namespace fst

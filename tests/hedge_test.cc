@@ -189,5 +189,96 @@ TEST(HedgeTest, TailLatencyCollapsesUnderStutter) {
   EXPECT_GT(hedged.n, 200);
 }
 
+TEST(HedgeTest, MultipleHedgesLaunchStaggeredAndLateDuplicatesAreWasted) {
+  // max_hedges = 2 with a 20 ms delay: attempt 1 launches at 20 ms, attempt
+  // 2 at 40 ms. With both earlier attempts crawling, the third wins — its
+  // completion time proves it could not have started before 40 ms — and
+  // both slow duplicates are discarded when they eventually land.
+  Simulator sim;
+  Disk slow_a(sim, "slow_a", HedgeDisk());
+  Disk slow_b(sim, "slow_b", HedgeDisk());
+  slow_a.AttachModulator(std::make_shared<ConstantFactorModulator>(1000.0));
+  slow_b.AttachModulator(std::make_shared<ConstantFactorModulator>(1000.0));
+  Disk fast(sim, "fast", HedgeDisk());
+  HedgedOp hedge(sim, HedgeParams{Duration::Millis(20), 2});
+  bool done = false;
+  SimTime completed;
+  hedge.Issue(
+      {ReadFrom(slow_a, 100), ReadFrom(slow_b, 100), ReadFrom(fast, 100)},
+      [&](const IoResult& r) {
+        done = true;
+        EXPECT_TRUE(r.ok);
+        completed = r.completed;
+      });
+  RunAndExpect(sim, done);
+  EXPECT_GE((completed - SimTime::Zero()).ToSeconds(), 0.040);
+  EXPECT_LT((completed - SimTime::Zero()).ToSeconds(), 0.150);
+  EXPECT_EQ(hedge.stats().hedges_launched, 2);
+  EXPECT_EQ(hedge.stats().hedge_wins, 1);
+  // Both slow duplicates land long after the win and are reconciled away.
+  EXPECT_EQ(hedge.stats().wasted_completions, 2);
+  EXPECT_EQ(slow_a.blocks_serviced(), 1);
+  EXPECT_EQ(slow_b.blocks_serviced(), 1);
+}
+
+TEST(HedgeTest, AllFailWithMultipleHedgesFiresOnceInlineAtTimeZero) {
+  // Every attempt fails instantly (fail-stopped disks): the failover
+  // cascade runs inline through all max_hedges+1 attempts and `done` fires
+  // exactly once, with failure, without waiting out any hedge delay.
+  Simulator sim;
+  Disk a(sim, "a", HedgeDisk());
+  Disk b(sim, "b", HedgeDisk());
+  Disk c(sim, "c", HedgeDisk());
+  a.FailStop();
+  b.FailStop();
+  c.FailStop();
+  HedgedOp hedge(sim, HedgeParams{Duration::Seconds(10.0), 2});
+  int done_calls = 0;
+  hedge.Issue({ReadFrom(a, 0), ReadFrom(b, 0), ReadFrom(c, 0)},
+              [&](const IoResult& r) {
+                ++done_calls;
+                EXPECT_FALSE(r.ok);
+              });
+  sim.Run();
+  EXPECT_EQ(done_calls, 1);
+  EXPECT_EQ(hedge.stats().hedges_launched, 2);
+  EXPECT_EQ(hedge.stats().hedge_wins, 0);
+  EXPECT_EQ(hedge.stats().wasted_completions, 0);
+}
+
+TEST(HedgeTest, AllFailReportsTheLastFailuresCompletionTime) {
+  // Synthetic attempts failing at distinct times: attempt 0 at 5 ms,
+  // then (immediate failover) attempt 1 at 12 ms, attempt 2 at 21 ms. The
+  // reported IoResult must carry the *last* failure's completion time.
+  Simulator sim;
+  auto failing = [&sim](Duration after) -> HedgedOp::Attempt {
+    return [&sim, after](IoCallback done) {
+      const SimTime issued = sim.Now();
+      sim.Schedule(after, [&sim, issued, done]() {
+        IoResult r;
+        r.ok = false;
+        r.issued = issued;
+        r.completed = sim.Now();
+        done(r);
+      });
+    };
+  };
+  HedgedOp hedge(sim, HedgeParams{Duration::Millis(50), 2});
+  bool done = false;
+  SimTime completed;
+  hedge.Issue({failing(Duration::Millis(5)), failing(Duration::Millis(7)),
+               failing(Duration::Millis(9))},
+              [&](const IoResult& r) {
+                done = true;
+                EXPECT_FALSE(r.ok);
+                completed = r.completed;
+              });
+  RunAndExpect(sim, done);
+  // 5 + 7 + 9 ms: each failure launches the next attempt immediately
+  // (failover, not hedge-delay pacing).
+  EXPECT_EQ((completed - SimTime::Zero()).nanos(), Duration::Millis(21).nanos());
+  EXPECT_EQ(hedge.stats().hedges_launched, 2);
+}
+
 }  // namespace
 }  // namespace fst

@@ -939,5 +939,61 @@ TEST(TimeSeriesTest, UntilBoundsTheRecording) {
   EXPECT_EQ(rec.samples().size(), 3u);
 }
 
+// ValueAtQuantile edge semantics are pinned to match RepStats/Summarize:
+// an empty histogram reports 0 everywhere, a single sample reports itself
+// at every quantile, and results never escape [min, max].
+TEST(HistogramTest, ValueAtQuantileEmptyIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.P999(), 0.0);
+}
+
+TEST(HistogramTest, ValueAtQuantileSingleSampleIsExactEverywhere) {
+  Histogram h;
+  h.Add(1234.5);
+  for (double q : {0.0, 0.01, 0.5, 0.95, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.ValueAtQuantile(q), 1234.5) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, ValueAtQuantileTwoSamplesSplitAtMedian) {
+  Histogram h;
+  h.Add(10.0);
+  h.Add(1000.0);
+  // Nearest-rank: ceil(q*2) = 1 for q <= 0.5 (the low sample's bucket),
+  // 2 above (the high sample's bucket, clamped to max).
+  EXPECT_NEAR(h.ValueAtQuantile(0.5), 10.0, 10.0 * 0.05);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.51), 1000.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, ValueAtQuantileClampsToObservedRange) {
+  Histogram h;
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    h.Add(rng.UniformDouble(50.0, 150.0));
+  }
+  for (double q : {0.0, 0.001, 0.5, 0.999, 1.0}) {
+    const double v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, h.min()) << "q=" << q;
+    EXPECT_LE(v, h.max()) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, P999TracksExtremeTail) {
+  Histogram h;
+  // 1000 fast ops at ~1ms, 2 outliers at ~1s: p99 stays fast, p999 sees
+  // the outliers — the property SloTracker's percentile columns rely on.
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(1e6);
+  }
+  h.Add(1e9);
+  h.Add(1e9);
+  EXPECT_LT(h.P99(), 2e6);
+  EXPECT_GT(h.P999(), 0.9e9);
+}
+
 }  // namespace
 }  // namespace fst
