@@ -1,0 +1,215 @@
+#include "src/chaos/campaign.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "src/cluster/client.h"
+#include "src/core/policy.h"
+#include "src/faults/fault.h"
+#include "src/harness/sweep.h"
+
+namespace fst {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SeedOutcome RunChaosSeed(const CampaignParams& p, uint64_t seed) {
+  Simulator sim(seed);
+
+  FleetParams fleet_params;
+  fleet_params.arrivals_per_sec = p.arrivals_per_sec;
+  fleet_params.run_for = p.run_for;
+  fleet_params.read_fraction = p.read_fraction;
+  fleet_params.key_space = p.key_space;
+  ClientFleet fleet(sim, fleet_params);
+
+  ClusterParams cluster;
+  cluster.nodes = p.nodes;
+  cluster.shard.replication = p.replication;
+  cluster.write_quorum = p.write_quorum;
+  cluster.retry.enabled = true;
+  cluster.retry.deadline = Duration::Millis(800);
+  cluster.recovery.enabled = true;
+  KvService svc(sim, cluster, std::make_unique<ProportionalSharePolicy>());
+
+  FaultInjector injector(sim);
+  RandomScenarioParams sp = p.scenario;
+  sp.nodes = p.nodes;
+  sp.horizon = p.run_for;
+  const ChaosSchedule schedule = RandomScenario(seed, sp);
+  ApplySchedule(sim, svc, schedule, injector);
+
+  svc.StartRecovery(SimTime::Zero() + p.run_for + p.settle);
+  fleet.Run(svc, [](const FleetResult&) {});
+  sim.Run();
+
+  SeedOutcome out;
+  out.seed = seed;
+  out.dsl = schedule.ToDsl();
+  for (const InjectedFault& f : injector.injected()) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%.3fs %s %s x%.3g",
+                  f.when.ToSeconds(), f.component.c_str(), f.kind.c_str(),
+                  f.magnitude);
+    out.fault_timeline.push_back(line);
+  }
+  out.fire_digest = sim.fire_digest();
+  out.goodput_per_sec = svc.slo().GoodputPerSec(p.run_for);
+  out.crashes = svc.crashes();
+  out.recoveries = svc.recoveries();
+  out.keys_repaired = svc.keys_repaired();
+  out.read_misses = svc.read_misses();
+  out.retries = svc.slo().retries();
+  out.acked_keys = svc.acked_keys();
+  out.lost_acked = svc.lost_acked_writes();
+  out.under_replicated = svc.under_replicated_keys();
+
+  if (out.lost_acked > 0) {
+    out.violations.push_back("lost_acked_writes=" +
+                             std::to_string(out.lost_acked));
+  }
+  if (out.under_replicated > 0) {
+    out.violations.push_back("under_replicated_keys=" +
+                             std::to_string(out.under_replicated));
+  }
+  for (int i = 0; i < p.nodes; ++i) {
+    const std::string name = "node" + std::to_string(i);
+    const PerfState st = svc.registry().StateOf(name);
+    if (svc.node(i)->has_failed()) {
+      out.violations.push_back(name + " still down at end of run");
+      continue;
+    }
+    if (st == PerfState::kFailed) {
+      out.violations.push_back(name + " stuck kFailed though the device is up");
+    }
+    const bool ejected = svc.shard_map().IsEjected(i);
+    if (ejected && st != PerfState::kStuttering) {
+      out.violations.push_back(name + " ejected though state is " +
+                               PerfStateName(st));
+    }
+    if (st == PerfState::kHealthy && !ejected &&
+        std::fabs(svc.selector().WeightOf(i) - 1.0) > 1e-9) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s healthy but weight %.4f != 1.0",
+                    name.c_str(), svc.selector().WeightOf(i));
+      out.violations.push_back(buf);
+    }
+  }
+  out.ok = out.violations.empty();
+  return out;
+}
+
+CampaignResult RunCampaign(const CampaignParams& p) {
+  SweepSpec spec;
+  spec.name = p.name;
+  spec.seeds.clear();
+  for (int i = 0; i < p.seeds; ++i) {
+    spec.seeds.push_back(p.first_seed + static_cast<uint64_t>(i));
+  }
+
+  CampaignResult res;
+  res.params = p;
+  res.outcomes.resize(static_cast<size_t>(p.seeds));
+
+  SweepRunner runner(p.threads);
+  runner.Run(spec, [&p, &res](const CellPoint& pt) {
+    SeedOutcome o = RunChaosSeed(p, pt.seed);
+    CellResult cell;
+    cell.point = pt;
+    cell.value = o.goodput_per_sec;
+    cell.fire_digest = o.fire_digest;
+    // Cells write distinct, preallocated slots addressed by grid index —
+    // the same discipline the sweep runner itself uses.
+    res.outcomes[pt.index] = std::move(o);
+    return cell;
+  });
+
+  for (const SeedOutcome& o : res.outcomes) {
+    if (!o.ok) {
+      ++res.violations;
+    }
+  }
+  return res;
+}
+
+std::string CampaignResult::ReportJson() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"campaign\": \"%s\", \"nodes\": %d, \"seeds\": %d, "
+                "\"first_seed\": %llu, \"violating_seeds\": %d,\n"
+                " \"results\": [\n",
+                params.name.c_str(), params.nodes, params.seeds,
+                static_cast<unsigned long long>(params.first_seed),
+                violations);
+  out += buf;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const SeedOutcome& o = outcomes[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"seed\": %llu, \"ok\": %s, \"digest\": \"%016llx\", "
+        "\"goodput_per_sec\": %.3f, \"crashes\": %d, \"recoveries\": %d, "
+        "\"keys_repaired\": %lld, \"read_misses\": %lld, \"retries\": %lld, "
+        "\"acked_keys\": %lld, \"lost_acked\": %lld, "
+        "\"under_replicated\": %lld",
+        static_cast<unsigned long long>(o.seed), o.ok ? "true" : "false",
+        static_cast<unsigned long long>(o.fire_digest), o.goodput_per_sec,
+        o.crashes, o.recoveries, static_cast<long long>(o.keys_repaired),
+        static_cast<long long>(o.read_misses),
+        static_cast<long long>(o.retries),
+        static_cast<long long>(o.acked_keys),
+        static_cast<long long>(o.lost_acked),
+        static_cast<long long>(o.under_replicated));
+    out += buf;
+    if (!o.ok) {
+      out += ", \"violations\": [";
+      for (size_t v = 0; v < o.violations.size(); ++v) {
+        if (v > 0) {
+          out += ", ";
+        }
+        out += "\"" + JsonEscape(o.violations[v]) + "\"";
+      }
+      out += "], \"dsl\": \"" + JsonEscape(o.dsl) + "\"";
+      out += ", \"fault_timeline\": [";
+      for (size_t f = 0; f < o.fault_timeline.size(); ++f) {
+        if (f > 0) {
+          out += ", ";
+        }
+        out += "\"" + JsonEscape(o.fault_timeline[f]) + "\"";
+      }
+      out += "]";
+    }
+    out += i + 1 < outcomes.size() ? "},\n" : "}\n";
+  }
+  out += " ]}\n";
+  return out;
+}
+
+}  // namespace fst

@@ -1,0 +1,89 @@
+// The chaos-campaign engine: many seeded scenarios, invariant-checked.
+//
+// A campaign runs N independent seeds through the sweep harness. Each seed
+// builds a fresh Simulator + KvService (recovery + retries enabled),
+// generates its own RandomScenario, serves an open-loop workload through
+// the full fault schedule, lets the cluster quiesce, and then checks the
+// robustness invariants:
+//   1. durability  — no acknowledged write lost (some live node holds a
+//      version >= the acked one for every acked key);
+//   2. repair      — the replication factor is restored (no acked key is
+//      under-replicated across its current owner set);
+//   3. convergence — every node is back up, none is still marked kFailed,
+//      crash-ejected nodes have been unejected, and fully-recovered nodes
+//      carry weight 1.0 again.
+// Determinism is inherited from the harness: results are aggregated by
+// grid index, so the campaign report is byte-identical at any sweep thread
+// count, and a violating seed can be replayed exactly from its recorded
+// scenario DSL (included in the report next to the injected-fault
+// timeline).
+#ifndef SRC_CHAOS_CAMPAIGN_H_
+#define SRC_CHAOS_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chaos/scenario.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+struct CampaignParams {
+  std::string name = "chaos";
+  int nodes = 4;
+  int seeds = 50;
+  uint64_t first_seed = 1;
+  // Serving window (arrivals) and the settle window after arrivals stop in
+  // which heartbeats, weight ramps, and repair run to convergence. Settle
+  // must exceed the recovery ramp plus worst-case repair time.
+  Duration run_for = Duration::Seconds(20.0);
+  Duration settle = Duration::Seconds(8.0);
+  double arrivals_per_sec = 300.0;
+  double read_fraction = 0.7;
+  int64_t key_space = 400;
+  int replication = 2;
+  int write_quorum = 2;  // R=2/quorum=2: every ack has two copies on disk
+  RandomScenarioParams scenario;  // nodes/horizon overwritten per run
+  int threads = 0;  // <= 0 selects FST_SWEEP_THREADS / hardware default
+};
+
+struct SeedOutcome {
+  uint64_t seed = 0;
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::string dsl;  // the scenario script (replay: ParseDsl + ApplySchedule)
+  // Injected-fault ground truth ("<t>s <component> <kind>"), the fault
+  // timeline a violation is debugged against.
+  std::vector<std::string> fault_timeline;
+  uint64_t fire_digest = 0;
+  double goodput_per_sec = 0.0;
+  int crashes = 0;
+  int recoveries = 0;
+  int64_t keys_repaired = 0;
+  int64_t read_misses = 0;
+  int64_t retries = 0;
+  int64_t acked_keys = 0;
+  int64_t lost_acked = 0;
+  int64_t under_replicated = 0;
+};
+
+struct CampaignResult {
+  CampaignParams params;
+  std::vector<SeedOutcome> outcomes;  // ordered by seed
+  int violations = 0;                 // seeds with >= 1 violated invariant
+
+  // Fixed-format JSON, byte-identical across thread counts. Violating
+  // seeds carry their scenario DSL and fault timeline inline.
+  std::string ReportJson() const;
+};
+
+// Runs one seed end to end (exposed for tests and the closed-form checks).
+SeedOutcome RunChaosSeed(const CampaignParams& params, uint64_t seed);
+
+// Runs the full campaign across the sweep harness.
+CampaignResult RunCampaign(const CampaignParams& params);
+
+}  // namespace fst
+
+#endif  // SRC_CHAOS_CAMPAIGN_H_

@@ -1,0 +1,335 @@
+#include "src/chaos/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace fst {
+
+const char* ChaosKindName(ChaosKind k) {
+  switch (k) {
+    case ChaosKind::kSlow:
+      return "slow";
+    case ChaosKind::kGc:
+      return "gc";
+    case ChaosKind::kCrash:
+      return "crash";
+    case ChaosKind::kFlap:
+      return "flap";
+  }
+  return "?";
+}
+
+namespace {
+
+// Emits a duration exactly: integer nanoseconds. Human-authored scripts use
+// friendlier units; generated ones only need to round-trip.
+std::string DurToken(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d.nanos()));
+  return buf;
+}
+
+std::string FactorToken(double f) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "x%.17g", f);
+  return buf;
+}
+
+Duration ParseDur(const std::string& tok, const std::string& stmt) {
+  size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(tok, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("chaos dsl: bad duration '" + tok + "' in '" +
+                                stmt + "'");
+  }
+  const std::string unit = tok.substr(pos);
+  if (unit == "ns") {
+    // Re-parse as integer for exactness (ns is the round-trip unit).
+    return Duration(static_cast<int64_t>(std::strtoll(tok.c_str(), nullptr, 10)));
+  }
+  if (unit == "us") {
+    return Duration(static_cast<int64_t>(value * 1e3));
+  }
+  if (unit == "ms") {
+    return Duration(static_cast<int64_t>(value * 1e6));
+  }
+  if (unit == "s") {
+    return Duration(static_cast<int64_t>(value * 1e9));
+  }
+  throw std::invalid_argument("chaos dsl: duration '" + tok +
+                              "' needs a unit (ns/us/ms/s) in '" + stmt + "'");
+}
+
+int ParseInt(const std::string& tok, const std::string& stmt) {
+  try {
+    size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size()) {
+      throw std::invalid_argument(tok);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("chaos dsl: bad integer '" + tok + "' in '" +
+                                stmt + "'");
+  }
+}
+
+double ParseFactor(const std::string& tok, const std::string& stmt) {
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("chaos dsl: bad factor '" + tok + "' in '" +
+                                stmt + "'");
+  }
+}
+
+std::vector<std::string> Tokenize(const std::string& stmt) {
+  std::vector<std::string> out;
+  std::istringstream in(stmt);
+  std::string tok;
+  while (in >> tok) {
+    out.push_back(tok);
+  }
+  return out;
+}
+
+ChaosEvent ParseStatement(const std::string& stmt) {
+  const std::vector<std::string> toks = Tokenize(stmt);
+  ChaosEvent e;
+  const std::string& kind = toks.front();
+  if (kind == "slow") {
+    e.kind = ChaosKind::kSlow;
+  } else if (kind == "gc") {
+    e.kind = ChaosKind::kGc;
+  } else if (kind == "crash") {
+    e.kind = ChaosKind::kCrash;
+  } else if (kind == "flap") {
+    e.kind = ChaosKind::kFlap;
+  } else {
+    throw std::invalid_argument("chaos dsl: unknown kind '" + kind + "' in '" +
+                                stmt + "'");
+  }
+  for (size_t i = 1; i < toks.size(); ++i) {
+    const std::string& tok = toks[i];
+    if (tok.size() > 1 && tok[0] == 'x' &&
+        (std::isdigit(static_cast<unsigned char>(tok[1])) || tok[1] == '.')) {
+      e.magnitude = ParseFactor(tok.substr(1), stmt);
+      continue;
+    }
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("chaos dsl: expected key=value, got '" + tok +
+                                  "' in '" + stmt + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "node") {
+      e.node = ParseInt(val, stmt);
+    } else if (key == "at") {
+      e.at = ParseDur(val, stmt);
+    } else if (key == "for" &&
+               (e.kind == ChaosKind::kSlow || e.kind == ChaosKind::kGc)) {
+      e.duration = ParseDur(val, stmt);
+    } else if (key == "down" &&
+               (e.kind == ChaosKind::kCrash || e.kind == ChaosKind::kFlap)) {
+      e.duration = ParseDur(val, stmt);
+    } else if (key == "pause" && e.kind == ChaosKind::kGc) {
+      e.pause = ParseDur(val, stmt);
+    } else if (key == "every" && e.kind == ChaosKind::kGc) {
+      e.period = ParseDur(val, stmt);
+    } else if (key == "period" && e.kind == ChaosKind::kFlap) {
+      e.period = ParseDur(val, stmt);
+    } else if (key == "warmup" && e.kind == ChaosKind::kCrash) {
+      e.warmup = ParseDur(val, stmt);
+    } else if (key == "n" && e.kind == ChaosKind::kFlap) {
+      e.count = ParseInt(val, stmt);
+    } else {
+      throw std::invalid_argument("chaos dsl: key '" + key +
+                                  "' not valid for '" + kind + "' in '" + stmt +
+                                  "'");
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+std::string ChaosSchedule::ToDsl() const {
+  std::string out;
+  for (const ChaosEvent& e : events) {
+    out += ChaosKindName(e.kind);
+    out += " node=" + std::to_string(e.node);
+    out += " at=" + DurToken(e.at);
+    switch (e.kind) {
+      case ChaosKind::kSlow:
+        out += " for=" + DurToken(e.duration);
+        out += " " + FactorToken(e.magnitude);
+        break;
+      case ChaosKind::kGc:
+        out += " for=" + DurToken(e.duration);
+        out += " pause=" + DurToken(e.pause);
+        out += " every=" + DurToken(e.period);
+        break;
+      case ChaosKind::kCrash:
+        out += " down=" + DurToken(e.duration);
+        if (!e.warmup.IsZero()) {
+          out += " warmup=" + DurToken(e.warmup);
+          out += " " + FactorToken(e.magnitude);
+        }
+        break;
+      case ChaosKind::kFlap:
+        out += " down=" + DurToken(e.duration);
+        out += " period=" + DurToken(e.period);
+        out += " n=" + std::to_string(e.count);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ChaosSchedule ParseDsl(const std::string& text) {
+  ChaosSchedule schedule;
+  std::string stmt;
+  const auto flush = [&schedule, &stmt]() {
+    // Strip comments and whitespace-only statements.
+    const size_t hash = stmt.find('#');
+    if (hash != std::string::npos) {
+      stmt.resize(hash);
+    }
+    if (stmt.find_first_not_of(" \t\r") != std::string::npos) {
+      schedule.events.push_back(ParseStatement(stmt));
+    }
+    stmt.clear();
+  };
+  for (char c : text) {
+    if (c == '\n' || c == ';') {
+      flush();
+    } else {
+      stmt += c;
+    }
+  }
+  flush();
+  return schedule;
+}
+
+ChaosSchedule RandomScenario(uint64_t seed, const RandomScenarioParams& p) {
+  // Salted so a campaign's scenario stream is unrelated to the simulator
+  // seeded with the same value.
+  Rng rng(seed ^ 0xc4a05c10a5ef31b7ULL);
+  ChaosSchedule s;
+  const double h = p.horizon.ToSeconds();
+
+  // Crashes first: strictly serialized windows. Each crash fully restarts,
+  // then at least min_crash_gap elapses (repair headroom) before the next;
+  // everything lands in the first ~75% of the horizon so recovery and
+  // repair complete inside the run.
+  double t = h * 0.08 + rng.UniformDouble(0.0, h * 0.08);
+  for (int k = 0; k < p.crash_faults; ++k) {
+    const double max_down = std::max(1.3, p.max_down.ToSeconds());
+    const double down = rng.UniformDouble(1.2, max_down);
+    const bool flap = p.allow_flap && rng.Bernoulli(0.25);
+    const double period = down + rng.UniformDouble(1.0, 2.0);
+    const int cycles = 2;
+    const double span = flap ? period * (cycles - 1) + down : down;
+    if (t + span > h * 0.75) {
+      break;
+    }
+    ChaosEvent e;
+    e.node = static_cast<int>(rng.UniformInt(0, p.nodes - 1));
+    e.at = Duration::Seconds(t);
+    e.duration = Duration::Seconds(down);
+    if (flap) {
+      e.kind = ChaosKind::kFlap;
+      e.period = Duration::Seconds(period);
+      e.count = cycles;
+    } else {
+      e.kind = ChaosKind::kCrash;
+      if (rng.Bernoulli(0.5)) {
+        e.warmup = Duration::Seconds(rng.UniformDouble(0.5, 1.5));
+        e.magnitude = rng.UniformDouble(1.5, 3.0);
+      }
+    }
+    s.events.push_back(e);
+    t += span + p.min_crash_gap.ToSeconds() + rng.UniformDouble(0.0, 2.0);
+  }
+
+  // Stutters: performance faults may land anywhere early-to-mid run and may
+  // overlap crashes on other nodes — that composition (crash while a peer
+  // stutters) is the fail-stutter scenario the paper's conclusion asks for.
+  for (int k = 0; k < p.stutter_faults; ++k) {
+    ChaosEvent e;
+    e.node = static_cast<int>(rng.UniformInt(0, p.nodes - 1));
+    e.at = Duration::Seconds(rng.UniformDouble(h * 0.05, h * 0.6));
+    e.duration = Duration::Seconds(rng.UniformDouble(1.0, 4.0));
+    if (rng.Bernoulli(0.5)) {
+      e.kind = ChaosKind::kSlow;
+      e.magnitude = rng.UniformDouble(2.0, std::max(2.5, p.max_slow_factor));
+    } else {
+      e.kind = ChaosKind::kGc;
+      e.pause = Duration::Seconds(rng.UniformDouble(0.08, 0.25));
+      e.period = Duration::Seconds(rng.UniformDouble(0.5, 1.2));
+    }
+    s.events.push_back(e);
+  }
+  return s;
+}
+
+void ApplySchedule(Simulator& sim, KvService& service,
+                   const ChaosSchedule& schedule, FaultInjector& injector) {
+  (void)sim;  // scheduling flows through the injector's simulator binding
+  for (const ChaosEvent& e : schedule.events) {
+    if (e.node < 0 || e.node >= service.params().nodes) {
+      throw std::invalid_argument("chaos schedule: node " +
+                                  std::to_string(e.node) + " out of range");
+    }
+    Node& dev = *service.node(e.node);
+    const SimTime at = SimTime::Zero() + e.at;
+    switch (e.kind) {
+      case ChaosKind::kSlow:
+        injector.InjectStepChange(
+            dev, {{at, e.magnitude}, {at + e.duration, 1.0}});
+        break;
+      case ChaosKind::kGc: {
+        std::vector<std::pair<SimTime, Duration>> windows;
+        const Duration period =
+            e.period.IsZero() ? Duration::Seconds(1.0) : e.period;
+        for (Duration off = Duration::Zero(); off < e.duration;
+             off += period) {
+          windows.emplace_back(at + off, e.pause);
+        }
+        injector.InjectOfflineWindows(dev, windows, "chaos-gc");
+        break;
+      }
+      case ChaosKind::kCrash: {
+        CrashRestartFault f;
+        f.at = at;
+        f.down_for = e.duration;
+        f.warmup_factor = e.magnitude;
+        f.warmup_for = e.warmup;
+        injector.ScheduleCrashRestart(dev, f);
+        break;
+      }
+      case ChaosKind::kFlap: {
+        const Duration period =
+            e.period.IsZero() ? e.duration + Duration::Seconds(1.0) : e.period;
+        for (int k = 0; k < std::max(1, e.count); ++k) {
+          CrashRestartFault f;
+          f.at = at + period * static_cast<double>(k);
+          f.down_for = e.duration;
+          injector.ScheduleCrashRestart(dev, f);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace fst

@@ -1,0 +1,93 @@
+// Chaos scenarios: composable, seeded, replayable fault schedules.
+//
+// A ChaosSchedule is a list of timed fault entries against named nodes of a
+// KvService — slowdowns, GC-pause windows, crash-restart cycles, and
+// crash flapping — expressed either programmatically, via a tiny scripted
+// DSL, or generated pseudo-randomly from a seed. Everything is
+// deterministic: the generator draws only from its own seed (never the
+// simulator RNG), ToDsl() round-trips through ParseDsl() bit-exactly, and
+// ApplySchedule() attaches only RNG-free modulators, so a scenario replays
+// the same event sequence on every run, platform, and sweep thread count.
+//
+// DSL grammar — one statement per line or ';', '#' starts a comment:
+//   slow  node=<i> at=<dur> for=<dur> x<factor>
+//   gc    node=<i> at=<dur> for=<dur> pause=<dur> every=<dur>
+//   crash node=<i> at=<dur> down=<dur> [warmup=<dur> x<factor>]
+//   flap  node=<i> at=<dur> down=<dur> period=<dur> n=<count>
+// Durations take a unit suffix: ns, us, ms, or s (e.g. at=5s, pause=120ms).
+// ParseDsl throws std::invalid_argument on malformed input.
+#ifndef SRC_CHAOS_SCENARIO_H_
+#define SRC_CHAOS_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/faults/injector.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+enum class ChaosKind {
+  kSlow,   // step slowdown: x`magnitude` for `duration`
+  kGc,     // repeated offline pauses of `pause` every `period` for `duration`
+  kCrash,  // crash, down `duration`, optional warm-up stutter on restart
+  kFlap,   // `count` crash/restart cycles, one every `period`
+};
+
+const char* ChaosKindName(ChaosKind k);
+
+struct ChaosEvent {
+  ChaosKind kind = ChaosKind::kSlow;
+  int node = 0;
+  Duration at;                      // offset from simulation start
+  Duration duration;                // slow/gc: episode length; crash/flap: down time
+  double magnitude = 1.0;           // slow factor / crash warm-up factor
+  Duration period;                  // gc: pause spacing; flap: cycle spacing
+  Duration pause;                   // gc: single pause length
+  Duration warmup;                  // crash: warm-up length after restart
+  int count = 1;                    // flap: number of cycles
+};
+
+struct ChaosSchedule {
+  std::vector<ChaosEvent> events;
+
+  // Serializes to the DSL; ParseDsl(ToDsl()) reproduces the schedule
+  // exactly (durations are emitted in ns, factors with full precision).
+  std::string ToDsl() const;
+};
+
+// Parses the DSL described above. Throws std::invalid_argument with a
+// line-referenced message on any malformed statement.
+ChaosSchedule ParseDsl(const std::string& text);
+
+struct RandomScenarioParams {
+  int nodes = 4;
+  Duration horizon = Duration::Seconds(20.0);
+  int stutter_faults = 2;
+  int crash_faults = 2;
+  // Crash windows are serialized: consecutive crashes are separated by at
+  // least the previous down time plus this gap, giving anti-entropy repair
+  // room to restore the replication factor between losses. With R = 2 this
+  // is what makes "no acked write lost" an achievable invariant.
+  Duration min_crash_gap = Duration::Seconds(8.0);
+  Duration max_down = Duration::Seconds(2.0);
+  double max_slow_factor = 6.0;
+  bool allow_flap = true;
+};
+
+// Seeded scenario generator: same seed, same schedule, bit-for-bit. Crash
+// entries never overlap and always restart well before the horizon.
+ChaosSchedule RandomScenario(uint64_t seed, const RandomScenarioParams& params);
+
+// Binds every entry of `schedule` to the service's nodes through the fault
+// injector (ground truth recorded per entry). Entries naming nodes outside
+// [0, service.params().nodes) throw std::invalid_argument.
+void ApplySchedule(Simulator& sim, KvService& service,
+                   const ChaosSchedule& schedule, FaultInjector& injector);
+
+}  // namespace fst
+
+#endif  // SRC_CHAOS_SCENARIO_H_

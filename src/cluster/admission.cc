@@ -5,12 +5,14 @@
 namespace fst {
 
 AdmissionController::AdmissionController(int nodes, AdmissionParams params)
-    : params_(params), outstanding_(static_cast<size_t>(nodes), 0) {}
+    : params_(params), outstanding_(static_cast<size_t>(nodes), 0),
+      rejected_per_node_(static_cast<size_t>(nodes), 0) {}
 
 bool AdmissionController::TryAdmit(int node) {
   int& n = outstanding_[static_cast<size_t>(node)];
   if (n >= params_.max_outstanding_per_node) {
     ++rejected_;
+    ++rejected_per_node_[static_cast<size_t>(node)];
     return false;
   }
   ++n;

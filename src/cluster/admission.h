@@ -38,11 +38,18 @@ class AdmissionController {
   }
   int64_t admitted() const { return admitted_; }
   int64_t rejected() const { return rejected_; }
+  // Shed attribution: how many admits each node individually refused. A
+  // stuttering node at its cap shows up here long before global `rejected`
+  // says anything actionable.
+  int64_t rejected(int node) const {
+    return rejected_per_node_[static_cast<size_t>(node)];
+  }
   const AdmissionParams& params() const { return params_; }
 
  private:
   AdmissionParams params_;
   std::vector<int> outstanding_;
+  std::vector<int64_t> rejected_per_node_;
   int64_t admitted_ = 0;
   int64_t rejected_ = 0;
 };

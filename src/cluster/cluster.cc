@@ -14,6 +14,11 @@ KvService::KvService(Simulator& sim, ClusterParams params,
       admission_(params_.nodes, params_.admission),
       registry_(params_.detector), policy_(std::move(policy)),
       hedge_(sim, params_.hedge), slo_(params_.slo_deadline),
+      // The retry stream is forked only when retries are on, so configs
+      // without them draw exactly the same RNG sequence as before the
+      // retry layer existed.
+      retry_(params_.retry,
+             params_.retry.enabled ? sim.rng().Fork() : Rng(0)),
       client_port_(params_.nodes) {
   params_.net.ports = std::max(params_.net.ports, params_.nodes + 1);
   switch_ = std::make_unique<Switch>(sim_, params_.net, nullptr, recorder_);
@@ -30,6 +35,14 @@ KvService::KvService(Simulator& sim, ClusterParams params,
                                         params_.spec_tolerance));
     name_to_index_[name] = i;
   }
+  store_.resize(static_cast<size_t>(params_.nodes));
+  crash_handler_armed_.assign(static_cast<size_t>(params_.nodes), false);
+  ramp_gen_.assign(static_cast<size_t>(params_.nodes), 0);
+  if (data_plane()) {
+    for (int i = 0; i < params_.nodes; ++i) {
+      ArmCrashHandler(i);
+    }
+  }
   registry_.Subscribe(
       [this](const StateChange& change) { OnStateChange(change); });
 }
@@ -40,13 +53,19 @@ void KvService::OnStateChange(const StateChange& change) {
     return;
   }
   const int idx = it->second;
+  if (params_.recovery.enabled && change.from == PerfState::kFailed) {
+    // This transition was published by MarkRecovered: the recovery
+    // lifecycle owns the rejoin (uneject + weight ramp), so the generic
+    // reaction path must not snap the weight straight to 1.0.
+    return;
+  }
   const Reaction reaction = policy_->React(change, registry_);
   switch (reaction.kind) {
     case ReactionKind::kNone:
       if (change.to == PerfState::kHealthy) {
         selector_.SetWeight(idx, 1.0);
         if (shard_map_.IsEjected(idx)) {
-          shard_map_.Restore(idx);
+          shard_map_.Uneject(idx);
         }
       }
       break;
@@ -54,7 +73,7 @@ void KvService::OnStateChange(const StateChange& change) {
       ++reweights_;
       selector_.SetWeight(idx, reaction.share);
       if (reaction.share > 0.0 && shard_map_.IsEjected(idx)) {
-        shard_map_.Restore(idx);
+        shard_map_.Uneject(idx);
       }
       break;
     case ReactionKind::kEject:
@@ -81,16 +100,16 @@ uint64_t KvService::BeginTrace(SimTime now) {
 }
 
 void KvService::FinishOp(SimTime t0, uint64_t trace_id, bool admitted_any,
-                         bool ok, const IoCallback& done) {
+                         bool ok, const IoCallback& done, int attempts) {
   const SimTime now = sim_.Now();
   --in_flight_;
   if (ok) {
-    slo_.RecordAck(now - t0);
+    slo_.RecordAck(now - t0, attempts);
   } else if (!admitted_any) {
     ++sheds_;
-    slo_.RecordShed();
+    slo_.RecordShed(attempts);
   } else {
-    slo_.RecordError();
+    slo_.RecordError(attempts);
   }
   if (recorder_ != nullptr && trace_id != 0) {
     recorder_->RequestComplete(now, trace_comp_, trace_id, -1,
@@ -103,6 +122,41 @@ void KvService::FinishOp(SimTime t0, uint64_t trace_id, bool admitted_any,
     r.completed = now;
     done(r);
   }
+}
+
+void KvService::FinishOpFor(const OpRef& op, bool ok) {
+  FinishOp(op->t0, op->trace_id, op->admitted_any, ok, op->done,
+           std::max(op->attempts, 1));
+}
+
+void KvService::AttemptFailed(const OpRef& op, bool admitted_this_attempt) {
+  if (admitted_this_attempt) {
+    op->admitted_any = true;
+  }
+  const RetryPolicy::Decision d =
+      retry_.Consider(op->attempts, sim_.Now() - op->t0);
+  if (!d.retry) {
+    FinishOpFor(op, false);
+    return;
+  }
+  sim_.Schedule(d.backoff, [this, op] {
+    if (op->is_read) {
+      StartReadAttempt(op);
+    } else {
+      StartWriteAttempt(op);
+    }
+  });
+}
+
+bool KvService::IsMiss(int node, uint64_t key) const {
+  if (!data_plane()) {
+    return false;
+  }
+  if (acked_.find(key) == acked_.end()) {
+    return false;  // never-acked key: the read carries no durable content
+  }
+  const auto& s = store_[static_cast<size_t>(node)];
+  return s.find(key) == s.end();
 }
 
 void KvService::Dispatch(int node, double work, SimTime t0, IoCallback cb) {
@@ -155,59 +209,93 @@ void KvService::Get(uint64_t key, IoCallback done) {
   ++reads_;
   ++in_flight_;
   slo_.RecordArrival();
-  const uint64_t trace_id = BeginTrace(t0);
+  if (params_.retry.enabled) {
+    retry_.OnArrival();
+  }
+  auto op = std::make_shared<OpState>();
+  op->key = key;
+  op->is_read = true;
+  op->t0 = t0;
+  op->trace_id = BeginTrace(t0);
+  op->done = std::move(done);
+  StartReadAttempt(op);
+}
 
-  const std::vector<int> replicas = shard_map_.ReplicasFor(key);
+void KvService::StartReadAttempt(const OpRef& op) {
+  ++op->attempts;
+  const SimTime attempt_start = sim_.Now();
+  const std::vector<int> replicas = shard_map_.ReplicasFor(op->key);
   std::vector<int> ranked = selector_.Rank(
       replicas, [this](int n) { return admission_.outstanding(n); });
   if (ranked.empty()) {
-    FinishOp(t0, trace_id, false, false, done);
+    AttemptFailed(op, false);
     return;
   }
   if (params_.hedge_reads && ranked.size() > 1) {
-    IssueHedged(ranked, t0, trace_id, std::move(done));
+    IssueHedged(ranked, op);
     return;
   }
   for (int node : ranked) {
     if (!admission_.TryAdmit(node)) {
       continue;
     }
-    Dispatch(node, params_.read_work, t0,
-             [this, t0, trace_id, done = std::move(done)](const IoResult& r) {
-               FinishOp(t0, trace_id, true, r.ok, done);
+    Dispatch(node, params_.read_work, attempt_start,
+             [this, node, op](const IoResult& r) {
+               bool ok = r.ok;
+               if (ok && IsMiss(node, op->key)) {
+                 // The node is healthy but does not hold the key (fresh
+                 // ring successor after a crash): fail the attempt over
+                 // without blaming the node's performance state.
+                 ++read_misses_;
+                 ok = false;
+               }
+               if (ok) {
+                 FinishOpFor(op, true);
+               } else {
+                 AttemptFailed(op, true);
+               }
              });
     return;
   }
-  FinishOp(t0, trace_id, false, false, done);
+  AttemptFailed(op, false);
 }
 
-void KvService::IssueHedged(const std::vector<int>& ranked, SimTime t0,
-                            uint64_t trace_id, IoCallback done) {
+void KvService::IssueHedged(const std::vector<int>& ranked, const OpRef& op) {
+  const SimTime attempt_start = sim_.Now();
   const int attempts_allowed = std::min(
       static_cast<int>(ranked.size()), 1 + std::max(params_.hedge.max_hedges, 0));
-  auto admitted_any = std::make_shared<bool>(false);
   std::vector<HedgedOp::Attempt> attempts;
   attempts.reserve(static_cast<size_t>(attempts_allowed));
   for (int i = 0; i < attempts_allowed; ++i) {
     const int node = ranked[static_cast<size_t>(i)];
-    attempts.push_back([this, node, t0, admitted_any](IoCallback cb) {
+    attempts.push_back([this, node, attempt_start, op](IoCallback cb) {
       if (!admission_.TryAdmit(node)) {
         IoResult r;
         r.ok = false;
-        r.issued = t0;
+        r.issued = attempt_start;
         r.completed = sim_.Now();
         cb(r);
         return;
       }
-      *admitted_any = true;
-      Dispatch(node, params_.read_work, t0, std::move(cb));
+      op->admitted_any = true;
+      Dispatch(node, params_.read_work, attempt_start,
+               [this, node, op, cb = std::move(cb)](const IoResult& r) mutable {
+                 IoResult out = r;
+                 if (out.ok && IsMiss(node, op->key)) {
+                   ++read_misses_;
+                   out.ok = false;
+                 }
+                 cb(out);
+               });
     });
   }
-  hedge_.Issue(std::move(attempts),
-               [this, t0, trace_id, admitted_any,
-                done = std::move(done)](const IoResult& r) {
-                 FinishOp(t0, trace_id, *admitted_any, r.ok, done);
-               });
+  hedge_.Issue(std::move(attempts), [this, op](const IoResult& r) {
+    if (r.ok) {
+      FinishOpFor(op, true);
+    } else {
+      AttemptFailed(op, false);  // admitted_any already recorded on op
+    }
+  });
 }
 
 void KvService::Put(uint64_t key, IoCallback done) {
@@ -215,31 +303,39 @@ void KvService::Put(uint64_t key, IoCallback done) {
   ++writes_;
   ++in_flight_;
   slo_.RecordArrival();
-  const uint64_t trace_id = BeginTrace(t0);
+  if (params_.retry.enabled) {
+    retry_.OnArrival();
+  }
+  auto op = std::make_shared<OpState>();
+  op->key = key;
+  op->is_read = false;
+  op->t0 = t0;
+  op->trace_id = BeginTrace(t0);
+  op->version = next_version_++;
+  op->done = std::move(done);
+  StartWriteAttempt(op);
+}
 
-  const std::vector<int> replicas = shard_map_.ReplicasFor(key);
+void KvService::StartWriteAttempt(const OpRef& op) {
+  ++op->attempts;
+  const SimTime attempt_start = sim_.Now();
+  const std::vector<int> replicas = shard_map_.ReplicasFor(op->key);
   if (replicas.empty()) {
-    FinishOp(t0, trace_id, false, false, done);
+    AttemptFailed(op, false);
     return;
   }
   const int quorum =
       std::clamp(params_.write_quorum, 1, static_cast<int>(replicas.size()));
 
-  struct WriteState {
+  struct WriteAttempt {
     int dispatched = 0;
     int completed = 0;
     int ok = 0;
     int quorum = 0;
     bool reported = false;
-    SimTime t0;
-    uint64_t trace_id = 0;
-    IoCallback done;
   };
-  auto st = std::make_shared<WriteState>();
+  auto st = std::make_shared<WriteAttempt>();
   st->quorum = quorum;
-  st->t0 = t0;
-  st->trace_id = trace_id;
-  st->done = std::move(done);
 
   for (size_t i = 0; i < replicas.size(); ++i) {
     const int node = replicas[i];
@@ -252,10 +348,19 @@ void KvService::Put(uint64_t key, IoCallback done) {
       ++mirror_backlog_;
       peak_mirror_backlog_ = std::max(peak_mirror_backlog_, mirror_backlog_);
     }
-    Dispatch(node, params_.write_work, t0,
-             [this, st, mirror](const IoResult& r) {
+    Dispatch(node, params_.write_work, attempt_start,
+             [this, st, op, node, mirror](const IoResult& r) {
                if (mirror) {
                  --mirror_backlog_;
+               }
+               if (data_plane() && r.ok &&
+                   !nodes_[static_cast<size_t>(node)]->has_failed()) {
+                 // A completion that raced a crash must not resurrect data
+                 // the crash wiped, hence the has_failed() guard.
+                 auto& slot = store_[static_cast<size_t>(node)][op->key];
+                 if (op->version > slot) {
+                   slot = op->version;
+                 }
                }
                ++st->completed;
                if (r.ok) {
@@ -263,18 +368,246 @@ void KvService::Put(uint64_t key, IoCallback done) {
                }
                if (!st->reported && st->ok >= st->quorum) {
                  st->reported = true;
-                 FinishOp(st->t0, st->trace_id, true, true, st->done);
+                 if (data_plane()) {
+                   auto& v = acked_[op->key];
+                   if (op->version > v) {
+                     v = op->version;
+                   }
+                 }
+                 FinishOpFor(op, true);
                } else if (!st->reported && st->completed == st->dispatched) {
                  // Every admitted replica has answered and quorum is
                  // unreachable.
                  st->reported = true;
-                 FinishOp(st->t0, st->trace_id, true, false, st->done);
+                 AttemptFailed(op, true);
                }
              });
   }
   if (st->dispatched == 0) {
-    FinishOp(t0, trace_id, false, false, st->done);
+    AttemptFailed(op, false);
   }
+}
+
+// -- Crash-recovery lifecycle --
+
+void KvService::ArmCrashHandler(int node) {
+  if (crash_handler_armed_[static_cast<size_t>(node)]) {
+    return;
+  }
+  crash_handler_armed_[static_cast<size_t>(node)] = true;
+  nodes_[static_cast<size_t>(node)]->OnFailure([this, node] {
+    crash_handler_armed_[static_cast<size_t>(node)] = false;
+    OnNodeCrash(node);
+  });
+}
+
+void KvService::OnNodeCrash(int node) {
+  ++crashes_;
+  // Invalidate any in-flight weight ramp; the node is gone again.
+  ++ramp_gen_[static_cast<size_t>(node)];
+  store_[static_cast<size_t>(node)].clear();
+  // Detection (eject + handoff) happens through the normal observation
+  // paths: in-flight requests fail (ObserveFailure) or the heartbeat
+  // timeout fires — the service has no oracle into device state.
+}
+
+void KvService::StartRecovery(SimTime until) {
+  if (!params_.recovery.enabled) {
+    return;
+  }
+  recovery_until_ = until;
+  const SimTime now = sim_.Now();
+  // Seed every node's liveness clock so a late start is not mistaken for a
+  // fleet-wide crash on the first tick.
+  for (const auto& node : nodes_) {
+    registry_.RecordLiveness(node->name(), now);
+  }
+  sim_.Schedule(params_.recovery.heartbeat_every,
+                [this] { HeartbeatTick(); });
+}
+
+void KvService::HeartbeatTick() {
+  const SimTime now = sim_.Now();
+  for (int i = 0; i < params_.nodes; ++i) {
+    // Management-plane probe: straight to the node, bypassing admission (a
+    // saturated node must still prove liveness). A probe on a crashed node
+    // fails synchronously and proves nothing.
+    nodes_[static_cast<size_t>(i)]->Compute(
+        params_.recovery.heartbeat_work, [this, i](const IoResult& r) {
+          if (!r.ok) {
+            return;
+          }
+          const std::string& name = nodes_[static_cast<size_t>(i)]->name();
+          registry_.RecordLiveness(name, sim_.Now());
+          if (registry_.StateOf(name) == PerfState::kFailed) {
+            RecoverNode(i);
+          }
+        });
+  }
+  registry_.CheckLiveness(now, params_.recovery.liveness_timeout);
+  KickRepair();
+  if (now + params_.recovery.heartbeat_every <= recovery_until_) {
+    sim_.Schedule(params_.recovery.heartbeat_every,
+                  [this] { HeartbeatTick(); });
+  }
+}
+
+void KvService::RecoverNode(int node) {
+  ++recoveries_;
+  const SimTime now = sim_.Now();
+  registry_.MarkRecovered(nodes_[static_cast<size_t>(node)]->name(), now);
+  if (shard_map_.IsEjected(node)) {
+    shard_map_.Uneject(node);
+  }
+  ArmCrashHandler(node);  // re-arm for the next crash (flapping)
+  BeginWeightRamp(node);
+  KickRepair();
+}
+
+void KvService::BeginWeightRamp(int node) {
+  const uint64_t gen = ++ramp_gen_[static_cast<size_t>(node)];
+  const RecoveryParams& rp = params_.recovery;
+  const int steps = std::max(1, rp.ramp_steps);
+  const double w0 = std::clamp(rp.ramp_initial, 0.0, 1.0);
+  selector_.SetWeight(node, w0);
+  for (int k = 1; k <= steps; ++k) {
+    const double frac = static_cast<double>(k) / static_cast<double>(steps);
+    // Final step pinned to exactly 1.0 (float addition may land epsilon off).
+    const double w = k == steps ? 1.0 : w0 + (1.0 - w0) * frac;
+    sim_.Schedule(rp.ramp_duration * frac, [this, node, gen, w] {
+      if (ramp_gen_[static_cast<size_t>(node)] != gen) {
+        return;  // the node crashed again; this ramp is stale
+      }
+      selector_.SetWeight(node, w);
+    });
+  }
+}
+
+void KvService::KickRepair() {
+  if (!params_.recovery.enabled || repair_active_) {
+    return;
+  }
+  if (params_.recovery.repair_keys_per_sec <= 0.0 || acked_.empty()) {
+    return;
+  }
+  repair_active_ = true;
+  sim_.Schedule(Duration::Seconds(1.0 / params_.recovery.repair_keys_per_sec),
+                [this] { RepairStep(); });
+}
+
+void KvService::RepairStep() {
+  const Duration interval =
+      Duration::Seconds(1.0 / params_.recovery.repair_keys_per_sec);
+  if (acked_.empty()) {
+    repair_active_ = false;
+    return;
+  }
+  auto it = acked_.lower_bound(repair_cursor_);
+  const size_t n = acked_.size();
+  for (size_t scanned = 0; scanned < n; ++scanned) {
+    if (it == acked_.end()) {
+      it = acked_.begin();
+    }
+    const uint64_t key = it->first;
+    const uint64_t ver = it->second;
+    const std::vector<int> replicas = shard_map_.ReplicasFor(key);
+    int target = -1;
+    for (int r : replicas) {
+      if (nodes_[static_cast<size_t>(r)]->has_failed()) {
+        continue;
+      }
+      const auto& s = store_[static_cast<size_t>(r)];
+      const auto f = s.find(key);
+      if (f == s.end() || f->second < ver) {
+        target = r;
+        break;
+      }
+    }
+    if (target >= 0) {
+      bool have_source = false;
+      for (int src = 0; src < params_.nodes && !have_source; ++src) {
+        if (src == target ||
+            nodes_[static_cast<size_t>(src)]->has_failed()) {
+          continue;
+        }
+        const auto& s = store_[static_cast<size_t>(src)];
+        const auto f = s.find(key);
+        have_source = f != s.end() && f->second >= ver;
+      }
+      if (have_source) {
+        if (!admission_.TryAdmit(target)) {
+          // Target saturated: hold the cursor, try again next interval —
+          // this is exactly the "tunable repair bandwidth yields to
+          // foreground traffic" behavior.
+          repair_cursor_ = key;
+          sim_.Schedule(interval, [this] { RepairStep(); });
+          return;
+        }
+        repair_cursor_ = key + 1;
+        const double work =
+            params_.write_work * params_.recovery.repair_work_factor;
+        Dispatch(target, work, sim_.Now(),
+                 [this, key, ver, target](const IoResult& r) {
+                   if (r.ok &&
+                       !nodes_[static_cast<size_t>(target)]->has_failed()) {
+                     auto& slot = store_[static_cast<size_t>(target)][key];
+                     if (ver > slot) {
+                       slot = ver;
+                     }
+                     ++keys_repaired_;
+                   }
+                 });
+        sim_.Schedule(interval, [this] { RepairStep(); });
+        return;
+      }
+    }
+    ++it;
+  }
+  // Full pass found nothing to do: go idle until the next kick.
+  repair_active_ = false;
+}
+
+// -- Invariant probes --
+
+int64_t KvService::lost_acked_writes() const {
+  int64_t lost = 0;
+  for (const auto& [key, ver] : acked_) {
+    bool safe = false;
+    for (int node = 0; node < params_.nodes && !safe; ++node) {
+      if (nodes_[static_cast<size_t>(node)]->has_failed()) {
+        continue;
+      }
+      const auto& s = store_[static_cast<size_t>(node)];
+      const auto f = s.find(key);
+      safe = f != s.end() && f->second >= ver;
+    }
+    if (!safe) {
+      ++lost;
+    }
+  }
+  return lost;
+}
+
+int64_t KvService::under_replicated_keys() const {
+  int64_t under = 0;
+  for (const auto& [key, ver] : acked_) {
+    const std::vector<int> replicas = shard_map_.ReplicasFor(key);
+    int copies = 0;
+    for (int r : replicas) {
+      if (nodes_[static_cast<size_t>(r)]->has_failed()) {
+        continue;
+      }
+      const auto& s = store_[static_cast<size_t>(r)];
+      const auto f = s.find(key);
+      if (f != s.end() && f->second >= ver) {
+        ++copies;
+      }
+    }
+    if (copies < static_cast<int>(replicas.size())) {
+      ++under;
+    }
+  }
+  return under;
 }
 
 }  // namespace fst

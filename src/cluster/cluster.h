@@ -31,9 +31,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cluster/admission.h"
+#include "src/cluster/retry.h"
 #include "src/cluster/selector.h"
 #include "src/cluster/shard_map.h"
 #include "src/cluster/slo.h"
@@ -46,6 +48,31 @@
 #include "src/simcore/simulator.h"
 
 namespace fst {
+
+// Crash-recovery lifecycle knobs. Everything here is opt-in: with
+// `enabled == false` (the default) KvService schedules no heartbeats, no
+// repair, no ramps, and forks no extra RNG streams, so pre-existing runs
+// stay bit-identical.
+struct RecoveryParams {
+  bool enabled = false;
+  // Management-plane liveness probing. Each tick probes every node with a
+  // tiny compute; a successful probe is a liveness proof, and any node
+  // silent past `liveness_timeout` is declared crashed (kFailed -> eject).
+  Duration heartbeat_every = Duration::Millis(250);
+  Duration liveness_timeout = Duration::Seconds(1.0);
+  double heartbeat_work = 100.0;
+  // Anti-entropy repair: re-replicates acked keys whose current owner set
+  // is missing copies, one key per 1/repair_keys_per_sec, each copy costing
+  // write_work * repair_work_factor on the target.
+  double repair_keys_per_sec = 400.0;
+  double repair_work_factor = 1.0;
+  // Recovered nodes rejoin at `ramp_initial` selector weight and climb to
+  // 1.0 in `ramp_steps` equal steps over `ramp_duration` (a warm-cache /
+  // warm-JIT model: don't hand a cold node its full share at once).
+  Duration ramp_duration = Duration::Seconds(2.0);
+  int ramp_steps = 4;
+  double ramp_initial = 0.25;
+};
 
 struct ClusterParams {
   int nodes = 4;
@@ -64,6 +91,13 @@ struct ClusterParams {
   HedgeParams hedge;
   double spec_tolerance = 0.25;   // tolerance band on the per-node rate spec
   Duration slo_deadline = Duration::Millis(300);
+  // Data-plane bookkeeping: per-node stores plus the acked-write ledger the
+  // loss/replication invariants are checked against. Implied by
+  // recovery.enabled; settable alone for "ignore the crash" baselines that
+  // still need the invariants probed.
+  bool track_data = false;
+  RetryParams retry;
+  RecoveryParams recovery;
 };
 
 class KvService {
@@ -79,6 +113,13 @@ class KvService {
   // Writes fan out to every replica of the key; `done` fires at the
   // write_quorum-th success (or with failure once no quorum is reachable).
   void Put(uint64_t key, IoCallback done);
+
+  // Arms the crash-recovery control loop (requires recovery.enabled):
+  // heartbeat ticks run until `until`, each one probing liveness, declaring
+  // timed-out nodes crashed, recovering restarted ones, and kicking the
+  // anti-entropy repair chain. The horizon is explicit so a run's event
+  // queue drains once serving stops.
+  void StartRecovery(SimTime until);
 
   Node* node(int i) { return nodes_[static_cast<size_t>(i)].get(); }
   Switch& network() { return *switch_; }
@@ -97,18 +138,73 @@ class KvService {
   int64_t sheds() const { return sheds_; }
   int64_t peak_mirror_backlog() const { return peak_mirror_backlog_; }
 
+  // -- Crash-recovery observability and invariant probes --
+  const RetryPolicy& retry() const { return retry_; }
+  int crashes() const { return crashes_; }
+  int recoveries() const { return recoveries_; }
+  int64_t keys_repaired() const { return keys_repaired_; }
+  int64_t read_misses() const { return read_misses_; }
+  bool repair_active() const { return repair_active_; }
+  int64_t acked_keys() const {
+    return static_cast<int64_t>(acked_.size());
+  }
+  // Acked keys for which no live node holds a version at least as new as
+  // the acked one: the durability invariant ("no acked write lost") counts
+  // this at end of run and demands zero.
+  int64_t lost_acked_writes() const;
+  // Acked keys whose current replica set holds fewer copies than it should:
+  // post-repair this must be zero (replication factor restored).
+  int64_t under_replicated_keys() const;
+
  private:
+  // Per-logical-op state threaded through retries: one OpState lives from
+  // arrival to terminal outcome no matter how many attempts it takes.
+  struct OpState {
+    uint64_t key = 0;
+    bool is_read = true;
+    int attempts = 0;
+    bool admitted_any = false;
+    SimTime t0;
+    uint64_t trace_id = 0;
+    uint64_t version = 0;  // writes: the version this op installs
+    IoCallback done;
+  };
+  using OpRef = std::shared_ptr<OpState>;
+
   // Logical-op completion: SLO accounting + trace span close + user done.
   void FinishOp(SimTime t0, uint64_t trace_id, bool admitted_any, bool ok,
-                const IoCallback& done);
+                const IoCallback& done, int attempts = 1);
 
   // One admitted attempt against `node`: request over the switch, compute,
   // response back, then registry observation + slot release. `cb` receives
   // the attempt's IoResult (issued = t0).
   void Dispatch(int node, double work, SimTime t0, IoCallback cb);
 
-  void IssueHedged(const std::vector<int>& ranked, SimTime t0,
-                   uint64_t trace_id, IoCallback done);
+  void IssueHedged(const std::vector<int>& ranked, const OpRef& op);
+
+  // Retry loop: one service attempt per call; a failed attempt consults the
+  // RetryPolicy and either backs off and re-enters or reports terminally.
+  void StartReadAttempt(const OpRef& op);
+  void StartWriteAttempt(const OpRef& op);
+  void AttemptFailed(const OpRef& op, bool admitted_this_attempt);
+  void FinishOpFor(const OpRef& op, bool ok);
+
+  // Data plane (active when track_data or recovery.enabled): a read attempt
+  // at `node` misses when the key is acked but absent from the node's
+  // store — the attempt fails over without blaming the node's health.
+  bool data_plane() const {
+    return params_.track_data || params_.recovery.enabled;
+  }
+  bool IsMiss(int node, uint64_t key) const;
+
+  // Crash-recovery lifecycle.
+  void ArmCrashHandler(int node);
+  void OnNodeCrash(int node);
+  void RecoverNode(int node);
+  void BeginWeightRamp(int node);
+  void HeartbeatTick();
+  void KickRepair();
+  void RepairStep();
 
   void OnStateChange(const StateChange& change);
 
@@ -128,6 +224,7 @@ class KvService {
   std::unique_ptr<ReactionPolicy> policy_;
   HedgedOp hedge_;
   SloTracker slo_;
+  RetryPolicy retry_;
   std::map<std::string, int> name_to_index_;
 
   int client_port_;
@@ -139,6 +236,23 @@ class KvService {
   int reweights_ = 0;
   int64_t mirror_backlog_ = 0;
   int64_t peak_mirror_backlog_ = 0;
+
+  // Data plane: per-node stores (key -> version) plus the acked ledger
+  // (ordered so repair scans are deterministic).
+  std::vector<std::unordered_map<uint64_t, uint64_t>> store_;
+  std::map<uint64_t, uint64_t> acked_;
+  uint64_t next_version_ = 1;
+  int64_t read_misses_ = 0;
+
+  // Crash-recovery lifecycle state.
+  std::vector<bool> crash_handler_armed_;
+  std::vector<uint64_t> ramp_gen_;  // invalidates in-flight ramp steps
+  SimTime recovery_until_;
+  bool repair_active_ = false;
+  uint64_t repair_cursor_ = 0;
+  int crashes_ = 0;
+  int recoveries_ = 0;
+  int64_t keys_repaired_ = 0;
 };
 
 }  // namespace fst

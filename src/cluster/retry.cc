@@ -1,0 +1,60 @@
+#include "src/cluster/retry.h"
+
+namespace fst {
+
+Duration RetryPolicy::BackoffFor(int attempts_made) {
+  // attempts_made >= 1 here (the first try has already happened).
+  Duration b = params_.base_backoff;
+  for (int k = 1; k < attempts_made; ++k) {
+    b = b * params_.multiplier;
+    if (b >= params_.max_backoff) {
+      b = params_.max_backoff;
+      break;
+    }
+  }
+  if (b > params_.max_backoff) {
+    b = params_.max_backoff;
+  }
+  if (params_.jitter > 0.0) {
+    const double lo = 1.0 - params_.jitter;
+    b = b * rng_.UniformDouble(lo < 0.0 ? 0.0 : lo, 1.0);
+  }
+  return b;
+}
+
+RetryPolicy::Decision RetryPolicy::Consider(int attempts_made,
+                                            Duration elapsed) {
+  Decision d;
+  if (!params_.enabled || attempts_made >= params_.max_attempts) {
+    ++stats_.denied_attempts;
+    return d;
+  }
+  if (tokens_ < 1.0) {
+    ++stats_.denied_budget;
+    return d;
+  }
+  // Deadline check uses the *undithered* backoff bound so the decision does
+  // not depend on a jitter draw we have not committed to yet; the actual
+  // wait is then drawn only on a grant.
+  if (!params_.deadline.IsZero()) {
+    Duration bound = params_.base_backoff;
+    for (int k = 1; k < attempts_made; ++k) {
+      bound = bound * params_.multiplier;
+      if (bound >= params_.max_backoff) {
+        bound = params_.max_backoff;
+        break;
+      }
+    }
+    if (elapsed + bound >= params_.deadline) {
+      ++stats_.denied_deadline;
+      return d;
+    }
+  }
+  tokens_ -= 1.0;
+  ++stats_.granted;
+  d.retry = true;
+  d.backoff = BackoffFor(attempts_made);
+  return d;
+}
+
+}  // namespace fst

@@ -70,13 +70,31 @@ void ShardMap::Eject(int node) {
   ++rebalances_;
 }
 
-void ShardMap::Restore(int node) {
+void ShardMap::Uneject(int node) {
   if (!ejected_[static_cast<size_t>(node)]) {
     return;
   }
   ejected_[static_cast<size_t>(node)] = false;
   ++live_nodes_;
   ++rebalances_;
+}
+
+uint64_t ShardMap::OwnershipDigest(int samples) const {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto fold = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (int i = 0; i < samples; ++i) {
+    const std::vector<int> replicas = ReplicasFor(static_cast<uint64_t>(i));
+    fold(replicas.size());
+    for (int r : replicas) {
+      fold(static_cast<uint64_t>(r));
+    }
+  }
+  return h;
 }
 
 double ShardMap::OwnershipShare(int node, int samples) const {

@@ -40,9 +40,14 @@ class ShardMap {
   std::vector<int> ReplicasFor(uint64_t key) const;
 
   // Explicit rebalance: removes/restores a node's ring ownership. Both are
-  // idempotent and O(1); lookups skip ejected owners.
+  // idempotent and O(1); lookups skip ejected owners. Because lookups
+  // derive everything from the immutable ring plus the ejected mask,
+  // Eject∘Uneject is the identity on ownership for any interleaving — the
+  // property tests pin this byte-for-byte via OwnershipDigest().
   void Eject(int node);
-  void Restore(int node);
+  void Uneject(int node);
+  // Backward-compatible alias for Uneject.
+  void Restore(int node) { Uneject(node); }
 
   bool IsEjected(int node) const { return ejected_[static_cast<size_t>(node)]; }
   int nodes() const { return nodes_; }
@@ -53,6 +58,11 @@ class ShardMap {
   // Fraction of `samples` deterministic probe keys whose *primary* replica
   // is `node` — the load-balance diagnostic used by tests and reports.
   double OwnershipShare(int node, int samples = 4096) const;
+
+  // FNV-1a digest over the full replica sets of `samples` deterministic
+  // probe keys: a byte-identity witness for the whole ownership function.
+  // Two maps with equal digests place every probed key identically.
+  uint64_t OwnershipDigest(int samples = 2048) const;
 
  private:
   struct Point {

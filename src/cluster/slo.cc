@@ -5,17 +5,22 @@
 namespace fst {
 
 std::string SloTracker::ReportJson(Duration horizon) const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"arrivals\": %lld, \"acks\": %lld, \"goodput\": %lld, "
       "\"late\": %lld, \"shed\": %lld, \"errors\": %lld, "
+      "\"first_try_acks\": %lld, \"retried_acks\": %lld, "
+      "\"exhausted\": %lld, \"retries\": %lld, "
       "\"goodput_per_sec\": %.3f, \"shed_rate\": %.4f, "
       "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
       "\"p999_ms\": %.3f}",
       static_cast<long long>(arrivals_), static_cast<long long>(acks_),
       static_cast<long long>(goodput_), static_cast<long long>(late_),
       static_cast<long long>(shed_), static_cast<long long>(errors_),
+      static_cast<long long>(first_try_acks_),
+      static_cast<long long>(retried_acks_),
+      static_cast<long long>(exhausted_), static_cast<long long>(retries_),
       GoodputPerSec(horizon), ShedRate(), P50Ms(), P95Ms(), P99Ms(),
       P999Ms());
   return buf;

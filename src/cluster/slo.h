@@ -21,10 +21,21 @@ class SloTracker {
   explicit SloTracker(Duration deadline) : deadline_(deadline) {}
 
   void RecordArrival() { ++arrivals_; }
-  void RecordShed() { ++shed_; }
-  void RecordError() { ++errors_; }
-  void RecordAck(Duration latency) {
+  // `attempts` is how many service attempts the operation consumed before
+  // this terminal outcome (1 = no retries). The split distinguishes work
+  // retries saved (retried successes) from work they merely deferred
+  // (exhausted: ops that burned every attempt and still failed).
+  void RecordShed(int attempts = 1) {
+    ++shed_;
+    AccountAttempts(attempts, /*ok=*/false);
+  }
+  void RecordError(int attempts = 1) {
+    ++errors_;
+    AccountAttempts(attempts, /*ok=*/false);
+  }
+  void RecordAck(Duration latency, int attempts = 1) {
     ++acks_;
+    AccountAttempts(attempts, /*ok=*/true);
     latency_.AddDuration(latency);
     if (latency <= deadline_) {
       ++goodput_;
@@ -39,6 +50,12 @@ class SloTracker {
   int64_t late() const { return late_; }
   int64_t shed() const { return shed_; }
   int64_t errors() const { return errors_; }
+  int64_t first_try_acks() const { return first_try_acks_; }
+  int64_t retried_acks() const { return retried_acks_; }
+  // Terminal failures that consumed more than one attempt (retry budget or
+  // deadline ran out without a success).
+  int64_t exhausted() const { return exhausted_; }
+  int64_t retries() const { return retries_; }  // extra attempts, all ops
   Duration deadline() const { return deadline_; }
   const Histogram& latency() const { return latency_; }
 
@@ -62,6 +79,19 @@ class SloTracker {
   std::string ReportJson(Duration horizon) const;
 
  private:
+  void AccountAttempts(int attempts, bool ok) {
+    if (attempts > 1) {
+      retries_ += attempts - 1;
+      if (ok) {
+        ++retried_acks_;
+      } else {
+        ++exhausted_;
+      }
+    } else if (ok) {
+      ++first_try_acks_;
+    }
+  }
+
   Duration deadline_;
   int64_t arrivals_ = 0;
   int64_t acks_ = 0;
@@ -69,6 +99,10 @@ class SloTracker {
   int64_t late_ = 0;
   int64_t shed_ = 0;
   int64_t errors_ = 0;
+  int64_t first_try_acks_ = 0;
+  int64_t retried_acks_ = 0;
+  int64_t exhausted_ = 0;
+  int64_t retries_ = 0;
   Histogram latency_;
 };
 

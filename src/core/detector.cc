@@ -98,4 +98,17 @@ void StutterDetector::ObserveFailure(SimTime now) {
   TransitionTo(PerfState::kFailed, now);
 }
 
+void StutterDetector::ResetAfterRecovery(SimTime now) {
+  if (state_ != PerfState::kFailed) {
+    return;
+  }
+  window_open_ = false;
+  consecutive_bad_ = 0;
+  consecutive_good_ = 0;
+  ewma_seeded_ = false;
+  ewma_deficit_ = 1.0;
+  ewma_rate_ = 0.0;
+  TransitionTo(PerfState::kHealthy, now);
+}
+
 }  // namespace fst

@@ -53,8 +53,15 @@ class StutterDetector {
   void Observe(SimTime now, double units, Duration latency);
 
   // Records an absolute failure (request returned ok=false, or the
-  // classifier promoted a timeout). Terminal.
+  // classifier promoted a timeout). Terminal until ResetAfterRecovery.
   void ObserveFailure(SimTime now);
+
+  // Crash-recovery: leaves kFailed once the component has demonstrably
+  // served again (a successful probe). Discards the open window and both
+  // consecutive-window streaks so stale pre-crash evidence cannot re-fail
+  // the fresh instance; the smoothed estimates restart from scratch. No-op
+  // unless currently kFailed.
+  void ResetAfterRecovery(SimTime now);
 
   PerfState state() const { return state_; }
 

@@ -40,6 +40,49 @@ void PerformanceStateRegistry::ObserveFailure(const std::string& component,
   PublishIfChanged(component, before, now);
 }
 
+void PerformanceStateRegistry::RecordLiveness(const std::string& component,
+                                              SimTime now) {
+  if (!detectors_.contains(component)) {
+    return;
+  }
+  last_liveness_[component] = now;
+}
+
+SimTime PerformanceStateRegistry::LastLiveness(
+    const std::string& component) const {
+  auto it = last_liveness_.find(component);
+  return it != last_liveness_.end() ? it->second : SimTime::Zero();
+}
+
+std::vector<std::string> PerformanceStateRegistry::CheckLiveness(
+    SimTime now, Duration deadline) {
+  std::vector<std::string> newly_failed;
+  for (const auto& [name, det] : detectors_) {
+    if (det->state() == PerfState::kFailed) {
+      continue;
+    }
+    if (now - LastLiveness(name) < deadline) {
+      continue;
+    }
+    const PerfState before = det->state();
+    det->ObserveFailure(now);
+    PublishIfChanged(name, before, now);
+    newly_failed.push_back(name);
+  }
+  return newly_failed;
+}
+
+void PerformanceStateRegistry::MarkRecovered(const std::string& component,
+                                             SimTime now) {
+  auto it = detectors_.find(component);
+  if (it == detectors_.end() || it->second->state() != PerfState::kFailed) {
+    return;
+  }
+  it->second->ResetAfterRecovery(now);
+  last_liveness_[component] = now;
+  PublishIfChanged(component, PerfState::kFailed, now);
+}
+
 void PerformanceStateRegistry::PublishIfChanged(const std::string& component,
                                                 PerfState before, SimTime now) {
   const auto& det = *detectors_.at(component);

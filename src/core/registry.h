@@ -52,6 +52,25 @@ class PerformanceStateRegistry {
   // Feeds an absolute failure; publishes kFailed.
   void ObserveFailure(const std::string& component, SimTime now);
 
+  // -- Crash detection (missed heartbeat) and recovery state --
+  //
+  // A liveness proof is any demonstration the component still serves:
+  // callers record one per successful heartbeat probe. CheckLiveness then
+  // implements timeout-based crash detection: every component whose last
+  // proof is older than `deadline` transitions to kFailed (published like
+  // any other state change). Registration counts as a proof at t=0.
+
+  void RecordLiveness(const std::string& component, SimTime now);
+  SimTime LastLiveness(const std::string& component) const;
+
+  // Fails every component silent for longer than `deadline`; returns the
+  // names newly declared failed, in registration (map) order.
+  std::vector<std::string> CheckLiveness(SimTime now, Duration deadline);
+
+  // Crash recovery: un-fails a component that has proven it serves again
+  // (detector resets to kHealthy, transition published, liveness renewed).
+  void MarkRecovered(const std::string& component, SimTime now);
+
   void Subscribe(Listener listener);
 
   // Mirrors every published state change into the event stream (detector
@@ -77,6 +96,7 @@ class PerformanceStateRegistry {
   DetectorParams detector_params_;
   EventRecorder* recorder_ = nullptr;
   std::map<std::string, std::unique_ptr<StutterDetector>> detectors_;
+  std::map<std::string, SimTime> last_liveness_;
   std::vector<Listener> listeners_;
   std::vector<StateChange> history_;
   uint64_t observations_ = 0;

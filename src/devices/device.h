@@ -67,9 +67,27 @@ class FaultableDevice {
   virtual void FailStop() { failed_ = true; }
   bool has_failed() const { return failed_; }
 
+  // Leaves the failed state (crash-recovery lifecycle): the component comes
+  // back up, empty-handed — whatever state it held died with the crash, and
+  // callers that care (replication layers) must repair it back to health.
+  // Idempotent; a no-op on a device that never failed.
+  virtual void Restart() {
+    if (!failed_) {
+      return;
+    }
+    failed_ = false;
+    NotifyRecovery();
+  }
+  int restarts() const { return restarts_; }
+
   // Registers a callback fired once on fail-stop transition.
   void OnFailure(std::function<void()> cb) {
     failure_callbacks_.push_back(std::move(cb));
+  }
+
+  // Registers a callback fired once on the next restart transition.
+  void OnRecovery(std::function<void()> cb) {
+    recovery_callbacks_.push_back(std::move(cb));
   }
 
  protected:
@@ -101,12 +119,24 @@ class FaultableDevice {
     failure_callbacks_.clear();
   }
 
+  void NotifyRecovery() {
+    ++restarts_;
+    // Swap first: a recovery callback may re-arm OnRecovery for a later flap.
+    std::vector<std::function<void()>> cbs;
+    cbs.swap(recovery_callbacks_);
+    for (auto& cb : cbs) {
+      cb();
+    }
+  }
+
   bool failed_ = false;
 
  private:
   std::string name_;
   std::vector<std::shared_ptr<ServiceModulator>> modulators_;
   std::vector<std::function<void()>> failure_callbacks_;
+  std::vector<std::function<void()>> recovery_callbacks_;
+  int restarts_ = 0;
 };
 
 }  // namespace fst

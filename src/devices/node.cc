@@ -96,6 +96,15 @@ void Node::StartService(Task task) {
   });
 }
 
+void Node::Restart() {
+  if (!failed_) {
+    return;
+  }
+  failed_ = false;
+  NotifyRecovery();
+  MaybeStart();
+}
+
 void Node::FailStop() {
   if (failed_) {
     return;

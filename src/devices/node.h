@@ -53,6 +53,7 @@ class Node : public FaultableDevice {
   double reserved_mb() const { return reserved_mb_; }
 
   void FailStop() override;
+  void Restart() override;
 
   const NodeParams& params() const { return params_; }
   double tasks_completed() const { return tasks_completed_; }

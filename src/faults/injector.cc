@@ -54,6 +54,34 @@ void FaultInjector::InjectPeriodicOffline(FaultableDevice& dev,
          length.ToSeconds() / mean_interval.ToSeconds() + 1.0);
 }
 
+void FaultInjector::InjectOfflineWindows(
+    FaultableDevice& dev,
+    const std::vector<std::pair<SimTime, Duration>>& windows,
+    const std::string& kind) {
+  if (windows.empty()) {
+    return;
+  }
+  auto mod = std::make_shared<OfflineWindowModulator>();
+  SimTime first = SimTime::Max();
+  Duration longest = Duration::Zero();
+  for (const auto& [start, length] : windows) {
+    mod->AddWindow(start, length);
+    if (start < first) {
+      first = start;
+    }
+    if (length > longest) {
+      longest = length;
+    }
+    if (recorder_ != nullptr && recorder_->enabled()) {
+      recorder_->FaultDeactivate(start + length, recorder_->Intern(dev.name()),
+                                 recorder_->Intern(kind));
+    }
+  }
+  dev.AttachModulator(std::move(mod));
+  Record(first, FaultClass::kPerformance, dev.name(), kind,
+         longest.ToSeconds());
+}
+
 void FaultInjector::InjectStepChange(FaultableDevice& dev,
                                      std::vector<StepModulator::Step> steps) {
   double worst = 1.0;
@@ -83,6 +111,38 @@ void FaultInjector::ScheduleFailStop(FaultableDevice& dev, SimTime when) {
   Record(when, FaultClass::kCorrectness, dev.name(), "fail-stop", 0.0);
   FaultableDevice* target = &dev;
   sim_.ScheduleAt(when, [target]() { target->FailStop(); });
+}
+
+void FaultInjector::ScheduleCrashRestart(FaultableDevice& dev,
+                                         const CrashRestartFault& fault) {
+  Record(fault.at, FaultClass::kCorrectness, dev.name(), "crash-restart",
+         fault.down_for.ToSeconds());
+  FaultableDevice* target = &dev;
+  sim_.ScheduleAt(fault.at, [target]() { target->FailStop(); });
+  if (fault.down_for.IsZero()) {
+    return;  // a plain fail-stop: the device never comes back
+  }
+  const SimTime up_at = fault.at + fault.down_for;
+  const bool warmup = fault.warmup_factor > 1.0 && !fault.warmup_for.IsZero();
+  if (warmup) {
+    Record(up_at, FaultClass::kPerformance, dev.name(), "restart-warmup",
+           fault.warmup_factor);
+    dev.AttachModulator(std::make_shared<StepModulator>(
+        std::vector<StepModulator::Step>{{up_at, fault.warmup_factor},
+                                         {up_at + fault.warmup_for, 1.0}}));
+    if (recorder_ != nullptr && recorder_->enabled()) {
+      recorder_->FaultDeactivate(up_at + fault.warmup_for,
+                                 recorder_->Intern(dev.name()),
+                                 recorder_->Intern("restart-warmup"));
+    }
+  }
+  sim_.ScheduleAt(up_at, [this, target, up_at]() {
+    target->Restart();
+    if (recorder_ != nullptr && recorder_->enabled()) {
+      recorder_->FaultDeactivate(up_at, recorder_->Intern(target->name()),
+                                 recorder_->Intern("crash-restart"));
+    }
+  });
 }
 
 int FaultInjector::ScheduleScsiTimeouts(ScsiChain& chain, double per_day,

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/devices/device.h"
@@ -16,6 +17,16 @@
 #include "src/simcore/simulator.h"
 
 namespace fst {
+
+// One crash-restart cycle: down for an interval, then back — optionally
+// stuttering through a warm-up window while caches refill. Scheduled
+// per-device via FaultInjector::ScheduleCrashRestart.
+struct CrashRestartFault {
+  SimTime at;                          // fail-stop instant
+  Duration down_for = Duration::Seconds(2.0);  // Zero => never restarts
+  double warmup_factor = 1.0;          // > 1 => slow after restart
+  Duration warmup_for = Duration::Zero();
+};
 
 class FaultInjector {
  public:
@@ -48,6 +59,14 @@ class FaultInjector {
   void InjectPeriodicOffline(FaultableDevice& dev, Duration mean_interval,
                              Duration length, const std::string& kind);
 
+  // Offline windows at explicit times — the scripted-chaos variant of
+  // InjectPeriodicOffline: no RNG involved, so scenario schedules replay
+  // exactly. Each window is (start, length).
+  void InjectOfflineWindows(
+      FaultableDevice& dev,
+      const std::vector<std::pair<SimTime, Duration>>& windows,
+      const std::string& kind);
+
   // Factor changes at explicit times.
   void InjectStepChange(FaultableDevice& dev, std::vector<StepModulator::Step> steps);
 
@@ -55,6 +74,14 @@ class FaultInjector {
 
   // Fail-stop the device at `when`.
   void ScheduleFailStop(FaultableDevice& dev, SimTime when);
+
+  // Crash-restart lifecycle: fail-stop at `fault.at`, restart after
+  // `fault.down_for`, optionally `fault.warmup_factor`x slow for
+  // `fault.warmup_for` after the restart (the cold-cache stutter of a
+  // rebooted node — the combined fail-stop + performance fault the paper's
+  // conclusion asks systems to be tested under). Ground truth records the
+  // crash as a correctness fault and the warm-up as a performance fault.
+  void ScheduleCrashRestart(FaultableDevice& dev, const CrashRestartFault& fault);
 
   // -- Infrastructure-level faults --
 

@@ -90,6 +90,38 @@ TEST(ShardMapTest, RestoreRoundTripsExactly) {
   }
 }
 
+TEST(ShardMapTest, EjectUnejectIsIdentityUnderRandomInterleavings) {
+  ShardMap map(6, {64, 3});
+  const uint64_t baseline = map.OwnershipDigest();
+  Rng rng(12345);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Eject a random subset in random order (always leaving at least one
+    // node live), then uneject in an independently shuffled order. Any
+    // interleaving must restore ownership byte-for-byte.
+    std::vector<int> ejected;
+    const int wanted = 1 + static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < wanted; ++i) {
+      const int node = static_cast<int>(rng.UniformInt(0, 5));
+      if (!map.IsEjected(node) && map.live_nodes() > 1) {
+        map.Eject(node);
+        ejected.push_back(node);
+      }
+    }
+    ASSERT_FALSE(ejected.empty());
+    EXPECT_NE(map.OwnershipDigest(), baseline) << "trial " << trial;
+    for (size_t i = ejected.size(); i > 1; --i) {
+      std::swap(ejected[i - 1],
+                ejected[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+    }
+    for (const int node : ejected) {
+      map.Uneject(node);
+    }
+    EXPECT_EQ(map.OwnershipDigest(), baseline) << "trial " << trial;
+    EXPECT_EQ(map.live_nodes(), 6) << "trial " << trial;
+  }
+}
+
 TEST(ShardMapTest, AllNodesEjectedYieldsEmptySets) {
   ShardMap map(3, {16, 2});
   map.Eject(0);
@@ -169,6 +201,24 @@ TEST(AdmissionTest, CapsOutstandingAndReleases) {
   EXPECT_EQ(adm.rejected(), 1);
 }
 
+TEST(AdmissionTest, TracksRejectionsPerNode) {
+  AdmissionController adm(3, {2});
+  EXPECT_TRUE(adm.TryAdmit(0));
+  EXPECT_TRUE(adm.TryAdmit(0));
+  EXPECT_FALSE(adm.TryAdmit(0));
+  EXPECT_FALSE(adm.TryAdmit(0));
+  EXPECT_TRUE(adm.TryAdmit(1));
+  EXPECT_TRUE(adm.TryAdmit(2));
+  EXPECT_TRUE(adm.TryAdmit(2));
+  EXPECT_FALSE(adm.TryAdmit(2));
+  // The aggregate matches, and the per-node split shows where the back
+  // pressure concentrates — the signature of a single stuttering node.
+  EXPECT_EQ(adm.rejected(), 3);
+  EXPECT_EQ(adm.rejected(0), 2);
+  EXPECT_EQ(adm.rejected(1), 0);
+  EXPECT_EQ(adm.rejected(2), 1);
+}
+
 // ---------------------------------------------------------------------------
 // SloTracker
 // ---------------------------------------------------------------------------
@@ -199,6 +249,30 @@ TEST(SloTest, SplitsAcksIntoGoodputAndLate) {
   const std::string json = slo.ReportJson(Duration::Seconds(5.0));
   EXPECT_NE(json.find("\"goodput\": 5"), std::string::npos) << json;
   EXPECT_NE(json.find("\"shed_rate\": 0.1111"), std::string::npos) << json;
+}
+
+TEST(SloTest, SplitsOutcomesByRetryDisposition) {
+  SloTracker slo(Duration::Millis(100));
+  for (int i = 0; i < 6; ++i) {
+    slo.RecordArrival();
+  }
+  slo.RecordAck(Duration::Millis(10));      // first-try success
+  slo.RecordAck(Duration::Millis(10), 3);   // succeeded on the third attempt
+  slo.RecordAck(Duration::Millis(500), 2);  // retried success, late
+  slo.RecordError(4);                       // burned every attempt
+  slo.RecordError();                        // failed without retrying
+  slo.RecordShed(2);                        // shed after one retry
+  EXPECT_EQ(slo.first_try_acks(), 1);
+  EXPECT_EQ(slo.retried_acks(), 2);
+  // Exhausted = terminal failures that consumed retries.
+  EXPECT_EQ(slo.exhausted(), 2);
+  // Extra attempts across all ops: 2 + 1 + 3 + 0 + 1.
+  EXPECT_EQ(slo.retries(), 7);
+  const std::string json = slo.ReportJson(Duration::Seconds(1.0));
+  EXPECT_NE(json.find("\"first_try_acks\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"retried_acks\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exhausted\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"retries\": 7"), std::string::npos) << json;
 }
 
 // ---------------------------------------------------------------------------

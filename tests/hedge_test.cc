@@ -280,5 +280,43 @@ TEST(HedgeTest, AllFailReportsTheLastFailuresCompletionTime) {
   EXPECT_EQ(hedge.stats().hedges_launched, 2);
 }
 
+TEST(HedgeTest, PrimaryCrashMidFlightStillCompletesExactlyOnce) {
+  Simulator sim;
+  // The primary is slow enough (100x) that the hedge fires at 20 ms while
+  // the primary is still in service; the primary then fail-stops at 30 ms
+  // with both attempts in flight.
+  Disk primary(sim, "primary", HedgeDisk());
+  primary.AttachModulator(std::make_shared<ConstantFactorModulator>(100.0));
+  Disk secondary(sim, "secondary", HedgeDisk());
+  HedgedOp hedge(sim, HedgeParams{Duration::Millis(20), 1});
+
+  int completions = 0;
+  IoResult final_result;
+  hedge.Issue({ReadFrom(primary, 500000), ReadFrom(secondary, 500000)},
+              [&](const IoResult& r) {
+                ++completions;
+                final_result = r;
+              });
+  sim.ScheduleAt(SimTime::Zero() + Duration::Millis(30),
+                 [&] { primary.FailStop(); });
+  sim.Run();
+
+  // The crash surfaces the primary's in-flight read as a failure, but the
+  // duplicate already racing on the secondary wins: the caller sees exactly
+  // one completion, a success.
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(final_result.ok);
+  EXPECT_EQ(hedge.stats().operations, 1);
+  EXPECT_EQ(hedge.stats().hedges_launched, 1);
+  EXPECT_EQ(hedge.stats().hedge_wins, 1);
+  // Latency is attributed to the winning duplicate: hedge delay (20 ms)
+  // plus the secondary's ~21 ms random read — not the crash time, and not
+  // the primary's would-be ~2 s service.
+  const double latency_s =
+      (final_result.completed - SimTime::Zero()).ToSeconds();
+  EXPECT_GT(latency_s, 0.020);
+  EXPECT_LT(latency_s, 0.1);
+}
+
 }  // namespace
 }  // namespace fst
