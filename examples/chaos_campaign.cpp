@@ -9,13 +9,19 @@
 //   * replication factor restored after repair,
 //   * every node back up, registry converged, weights ramped to 1.0.
 //
-//   $ ./examples/chaos_campaign [seeds] [threads] [out_dir]
+//   $ ./examples/chaos_campaign [seeds] [threads] [out_dir] [live]
 //
 // seeds:   campaign size (default 50).
 // threads: sweep worker threads (default FST_SWEEP_THREADS or hardware);
 //          the campaign JSON is byte-identical for any thread count — CI
 //          diffs a 1-thread run against a 4-thread run.
 // out_dir: where chaos_campaign.json lands (default "."; "" skips).
+// live:    the literal string "live" arms the online telemetry plane:
+//          every seed runs with expectation tracking + SLO burn alerting,
+//          scenarios add sub-threshold gray stutters, and the campaign
+//          additionally writes chaos_bundle.json (unified telemetry
+//          bundle) and chaos_report.html (self-contained viewer) to
+//          out_dir — both byte-identical at any thread count.
 //
 // Exit status: 0 when every seed holds every invariant, 2 otherwise (the
 // offending seeds print their scenario DSL and fault timeline, which is
@@ -36,6 +42,12 @@ int main(int argc, char** argv) {
     params.threads = std::atoi(argv[2]);
   }
   const std::string out_dir = argc > 3 ? argv[3] : ".";
+  if (argc > 4 && std::string(argv[4]) == "live") {
+    params.telemetry = true;
+    // Two gray stutters per seed: the sub-enter_deficit slowdowns the
+    // legacy detectors are blind to and the live plane exists to score.
+    params.scenario.gray_faults = 2;
+  }
 
   std::printf("chaos campaign: %d seeds, %d nodes, %.0fs serving + %.0fs "
               "settle per seed\n\n",
@@ -57,6 +69,14 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%d/%d seeds violated invariants\n", result.violations,
               params.seeds);
+  if (params.telemetry) {
+    std::printf(
+        "telemetry: %d faults (%d gray), precision %.3f, recall %.3f, "
+        "gray missed by legacy %d, gray scored live %d\n",
+        result.scorecard.faults, result.scorecard.gray_faults,
+        result.scorecard.precision(), result.scorecard.recall(),
+        result.scorecard.gray_legacy_missed, result.scorecard.gray_live_scored);
+  }
   for (const fst::SeedOutcome& o : result.outcomes) {
     if (o.ok) {
       continue;
@@ -78,6 +98,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", path.c_str());
+    if (params.telemetry) {
+      if (!result.WriteBundle(out_dir)) {
+        std::fprintf(stderr, "failed writing telemetry bundle in %s\n",
+                     out_dir.c_str());
+        return 1;
+      }
+      std::printf("wrote %s/%s_bundle.json and %s/%s_report.html\n",
+                  out_dir.c_str(), params.name.c_str(), out_dir.c_str(),
+                  params.name.c_str());
+    }
   }
   return result.violations == 0 ? 0 : 2;
 }

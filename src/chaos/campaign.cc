@@ -1,5 +1,6 @@
 #include "src/chaos/campaign.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -9,36 +10,12 @@
 #include "src/core/policy.h"
 #include "src/faults/fault.h"
 #include "src/harness/sweep.h"
+#include "src/obs/correlator.h"
+#include "src/obs/export.h"
+#include "src/obs/live/report.h"
+#include "src/obs/recorder.h"
 
 namespace fst {
-
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 SeedOutcome RunChaosSeed(const CampaignParams& p, uint64_t seed) {
   Simulator sim(seed);
@@ -57,16 +34,27 @@ SeedOutcome RunChaosSeed(const CampaignParams& p, uint64_t seed) {
   cluster.retry.enabled = true;
   cluster.retry.deadline = Duration::Millis(800);
   cluster.recovery.enabled = true;
-  KvService svc(sim, cluster, std::make_unique<ProportionalSharePolicy>());
+  EventRecorder recorder;  // used only on the telemetry path
+  if (p.telemetry) {
+    cluster.live = p.live;
+    cluster.live.enabled = true;
+  }
+  KvService svc(sim, cluster, std::make_unique<ProportionalSharePolicy>(),
+                p.telemetry ? &recorder : nullptr);
 
   FaultInjector injector(sim);
+  if (p.telemetry) {
+    injector.set_recorder(&recorder);
+  }
   RandomScenarioParams sp = p.scenario;
   sp.nodes = p.nodes;
   sp.horizon = p.run_for;
   const ChaosSchedule schedule = RandomScenario(seed, sp);
   ApplySchedule(sim, svc, schedule, injector);
 
-  svc.StartRecovery(SimTime::Zero() + p.run_for + p.settle);
+  const SimTime end_of_run = SimTime::Zero() + p.run_for + p.settle;
+  svc.StartRecovery(end_of_run);
+  svc.StartTelemetry(end_of_run);
   fleet.Run(svc, [](const FleetResult&) {});
   sim.Run();
 
@@ -90,6 +78,47 @@ SeedOutcome RunChaosSeed(const CampaignParams& p, uint64_t seed) {
   out.acked_keys = svc.acked_keys();
   out.lost_acked = svc.lost_acked_writes();
   out.under_replicated = svc.under_replicated_keys();
+
+  if (p.telemetry) {
+    out.telemetry = true;
+    const LivePlane& live = *svc.live();
+    const CorrelationReport rep =
+        CorrelateFaultTimeline(recorder.Events(), recorder.components());
+    const std::vector<GraySpan> spans = live.expectation().GraySpans();
+    out.scorecard = BuildScorecard(rep, spans, end_of_run, p.scorecard);
+    out.gray_spans = static_cast<int>(spans.size());
+    out.burn_raised = live.burn().raised_count();
+    out.burn_cleared = live.burn().cleared_count();
+    for (int i = 0; i < p.nodes; ++i) {
+      out.max_stutter_score =
+          std::max(out.max_stutter_score, live.expectation().MaxScore(i));
+    }
+    out.live_json = live.Json();
+    out.slo_json = svc.slo().ReportJson(p.run_for);
+
+    // Detection-quality invariants. Count consistency is unconditional;
+    // crash coverage holds because every generated crash keeps the node
+    // down >= 1.2s, past the 1s liveness timeout, so the heartbeat (or a
+    // failed data-path request) must declare it.
+    if (out.scorecard.detected + out.scorecard.missed !=
+        out.scorecard.faults) {
+      out.violations.push_back("scorecard count mismatch: detected " +
+                               std::to_string(out.scorecard.detected) +
+                               " + missed " +
+                               std::to_string(out.scorecard.missed) +
+                               " != faults " +
+                               std::to_string(out.scorecard.faults));
+    }
+    for (const FaultRecord& f : rep.faults) {
+      if (f.kind == "crash-restart" && !f.detected) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "crash on %s at %.3fs never detected", f.device.c_str(),
+                      f.injected_at.ToSeconds());
+        out.violations.push_back(buf);
+      }
+    }
+  }
 
   if (out.lost_acked > 0) {
     out.violations.push_back("lost_acked_writes=" +
@@ -155,8 +184,95 @@ CampaignResult RunCampaign(const CampaignParams& p) {
     if (!o.ok) {
       ++res.violations;
     }
+    if (o.telemetry) {
+      res.scorecard.Merge(o.scorecard);
+    }
   }
   return res;
+}
+
+int CampaignResult::ExemplarIndex() const {
+  int first_violating = -1;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].telemetry) {
+      return -1;
+    }
+    if (outcomes[i].gray_spans > 0) {
+      return static_cast<int>(i);
+    }
+    if (first_violating < 0 && !outcomes[i].ok) {
+      first_violating = static_cast<int>(i);
+    }
+  }
+  if (first_violating >= 0) {
+    return first_violating;
+  }
+  return outcomes.empty() ? -1 : 0;
+}
+
+std::string CampaignResult::UnifiedBundleJson() const {
+  std::vector<ReportSection> sections;
+  char buf[256];
+
+  int total_faults = 0;
+  std::string violating = "[";
+  std::string seed_rows = "[\n";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const SeedOutcome& o = outcomes[i];
+    total_faults += o.scorecard.faults;
+    if (!o.ok) {
+      if (violating.size() > 1) {
+        violating += ", ";
+      }
+      violating += std::to_string(o.seed);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s  {\"seed\": %llu, \"ok\": %s, "
+                  "\"goodput_per_sec\": %.3f, \"gray_spans\": %d, "
+                  "\"burn_raised\": %d, \"burn_cleared\": %d, "
+                  "\"max_stutter_score\": %.4f, \"scorecard\": ",
+                  i == 0 ? "" : ",\n", static_cast<unsigned long long>(o.seed),
+                  o.ok ? "true" : "false", o.goodput_per_sec, o.gray_spans,
+                  o.burn_raised, o.burn_cleared, o.max_stutter_score);
+    seed_rows += buf;
+    seed_rows += o.scorecard.ToJson();
+    seed_rows += "}";
+  }
+  violating += "]";
+  seed_rows += "\n]";
+
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"%s\", \"nodes\": %d, \"seeds\": %d, "
+                "\"first_seed\": %llu, \"violations\": %d, \"faults\": %d, "
+                "\"violating_seeds\": ",
+                params.name.c_str(), params.nodes, params.seeds,
+                static_cast<unsigned long long>(params.first_seed),
+                violations, total_faults);
+  std::string campaign = buf;
+  campaign += violating + "}";
+  sections.push_back({"campaign", campaign});
+  sections.push_back({"scorecard", scorecard.ToJson()});
+  sections.push_back({"seeds", seed_rows});
+
+  const int ex = ExemplarIndex();
+  if (ex >= 0) {
+    const SeedOutcome& o = outcomes[static_cast<size_t>(ex)];
+    sections.push_back(
+        {"exemplar_seed", std::to_string(o.seed)});
+    sections.push_back({"exemplar_live", o.live_json});
+    sections.push_back({"slo", o.slo_json});
+  }
+  return BundleJson(sections);
+}
+
+bool CampaignResult::WriteBundle(const std::string& dir) const {
+  const std::string bundle = UnifiedBundleJson();
+  const std::string base = dir + "/" + params.name;
+  bool ok = WriteTextFile(base + "_bundle.json", bundle);
+  ok = WriteTextFile(base + "_report.html",
+                     HtmlReport("Chaos campaign: " + params.name, bundle)) &&
+       ok;
+  return ok;
 }
 
 std::string CampaignResult::ReportJson() const {

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "src/chaos/scenario.h"
+#include "src/obs/live/live_plane.h"
+#include "src/obs/live/scorecard.h"
 #include "src/simcore/time.h"
 
 namespace fst {
@@ -46,6 +48,15 @@ struct CampaignParams {
   int write_quorum = 2;  // R=2/quorum=2: every ack has two copies on disk
   RandomScenarioParams scenario;  // nodes/horizon overwritten per run
   int threads = 0;  // <= 0 selects FST_SWEEP_THREADS / hardware default
+  // Online telemetry: each seed runs with the KvService live plane armed
+  // and an event recorder attached; the injector's ground truth, the
+  // correlator's timeline, and the live plane's gray spans join into a
+  // per-seed detector scorecard (merged across seeds in grid order), and
+  // two detection-quality invariants are checked on top of the robustness
+  // ones. Off by default: zero extra allocations, ticks, or events.
+  bool telemetry = false;
+  LivePlaneParams live;         // live.enabled is implied by `telemetry`
+  ScorecardParams scorecard;
 };
 
 struct SeedOutcome {
@@ -66,16 +77,43 @@ struct SeedOutcome {
   int64_t acked_keys = 0;
   int64_t lost_acked = 0;
   int64_t under_replicated = 0;
+
+  // -- Telemetry-enabled campaigns only (params.telemetry) --
+  bool telemetry = false;   // the fields below are populated
+  DetectorScorecard scorecard;
+  int gray_spans = 0;       // live-plane stutter intervals on this seed
+  int burn_raised = 0;      // SLO burn alerts raised / cleared
+  int burn_cleared = 0;
+  double max_stutter_score = 0.0;  // highest window score on any node
+  std::string live_json;    // LivePlane::Json() for this seed
+  std::string slo_json;     // SloTracker::ReportJson(run_for)
 };
 
 struct CampaignResult {
   CampaignParams params;
   std::vector<SeedOutcome> outcomes;  // ordered by seed
   int violations = 0;                 // seeds with >= 1 violated invariant
+  // Merged across seeds in grid order (telemetry campaigns only).
+  DetectorScorecard scorecard;
 
   // Fixed-format JSON, byte-identical across thread counts. Violating
   // seeds carry their scenario DSL and fault timeline inline.
   std::string ReportJson() const;
+
+  // The exemplar seed whose live series the bundle embeds: the first seed
+  // with a gray span, else the first violating seed, else the first seed.
+  // -1 when there are no outcomes or telemetry was off.
+  int ExemplarIndex() const;
+
+  // Unified campaign bundle: campaign summary + merged scorecard +
+  // per-seed scorecard rows + the exemplar seed's live series and SLO
+  // report, one schema-stamped JSON object. Pure function of the
+  // grid-ordered outcomes — byte-identical at any sweep thread count.
+  std::string UnifiedBundleJson() const;
+
+  // Writes <dir>/<name>_bundle.json and <dir>/<name>_report.html (the
+  // self-contained HTML view over the same bundle). False on I/O error.
+  bool WriteBundle(const std::string& dir) const;
 };
 
 // Runs one seed end to end (exposed for tests and the closed-form checks).

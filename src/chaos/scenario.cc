@@ -279,6 +279,21 @@ ChaosSchedule RandomScenario(uint64_t seed, const RandomScenarioParams& p) {
     }
     s.events.push_back(e);
   }
+
+  // Gray stutters last (appended after every pre-existing draw, so
+  // gray_faults == 0 reproduces historical schedules bit-for-bit). Long
+  // and shallow: several seconds at a factor under the detectors'
+  // enter_deficit, the shape that erodes goodput without ever tripping a
+  // state transition.
+  for (int k = 0; k < p.gray_faults; ++k) {
+    ChaosEvent e;
+    e.kind = ChaosKind::kSlow;
+    e.node = static_cast<int>(rng.UniformInt(0, p.nodes - 1));
+    e.at = Duration::Seconds(rng.UniformDouble(h * 0.15, h * 0.55));
+    e.duration = Duration::Seconds(rng.UniformDouble(2.0, 5.0));
+    e.magnitude = rng.UniformDouble(p.gray_min_factor, p.gray_max_factor);
+    s.events.push_back(e);
+  }
   return s;
 }
 

@@ -76,6 +76,14 @@ struct RandomScenarioParams {
   Duration max_down = Duration::Seconds(2.0);
   double max_slow_factor = 6.0;
   bool allow_flap = true;
+  // Gray stutters: slowdowns drawn from [gray_min_factor, gray_max_factor),
+  // deliberately below the hysteresis detectors' default enter_deficit of
+  // 1.5 so the legacy path cannot see them — the live plane's
+  // ExpectationTracker is what should. Zero (the default) draws nothing
+  // and leaves every pre-existing schedule for a seed bit-identical.
+  int gray_faults = 0;
+  double gray_min_factor = 1.25;
+  double gray_max_factor = 1.45;
 };
 
 // Seeded scenario generator: same seed, same schedule, bit-for-bit. Crash

@@ -35,6 +35,9 @@ KvService::KvService(Simulator& sim, ClusterParams params,
                                         params_.spec_tolerance));
     name_to_index_[name] = i;
   }
+  if (params_.live.enabled) {
+    live_ = std::make_unique<LivePlane>(params_.nodes, params_.live);
+  }
   store_.resize(static_cast<size_t>(params_.nodes));
   crash_handler_armed_.assign(static_cast<size_t>(params_.nodes), false);
   ramp_gen_.assign(static_cast<size_t>(params_.nodes), 0);
@@ -187,6 +190,11 @@ void KvService::Dispatch(int node, double work, SimTime t0, IoCallback cb) {
                 nodes_[static_cast<size_t>(node)]->name();
             if (ok) {
               registry_.Observe(name, now, backlog_units, now - t0);
+              if (live_ != nullptr) {
+                // Same backlog normalization as the registry, so the live
+                // plane and the detectors argue over the same quantity.
+                live_->ObserveNode(node, now, backlog_units, now - t0);
+              }
             } else {
               registry_.ObserveFailure(name, now);
             }
@@ -399,6 +407,26 @@ void KvService::ArmCrashHandler(int node) {
     crash_handler_armed_[static_cast<size_t>(node)] = false;
     OnNodeCrash(node);
   });
+}
+
+void KvService::StartTelemetry(SimTime until) {
+  if (live_ == nullptr) {
+    return;
+  }
+  telemetry_until_ = until;
+  sim_.Schedule(live_->window(), [this] { TelemetryTick(); });
+}
+
+void KvService::TelemetryTick() {
+  const SimTime now = sim_.Now();
+  const SloSnapshot s = slo_.Snapshot();
+  OutcomeCounts counts;
+  counts.good = s.goodput;
+  counts.bad = s.bad();
+  live_->Tick(now, counts);
+  if (now < telemetry_until_) {
+    sim_.Schedule(live_->window(), [this] { TelemetryTick(); });
+  }
 }
 
 void KvService::OnNodeCrash(int node) {

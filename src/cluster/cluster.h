@@ -44,6 +44,7 @@
 #include "src/devices/hedge.h"
 #include "src/devices/network.h"
 #include "src/devices/node.h"
+#include "src/obs/live/live_plane.h"
 #include "src/obs/recorder.h"
 #include "src/simcore/simulator.h"
 
@@ -98,6 +99,10 @@ struct ClusterParams {
   bool track_data = false;
   RetryParams retry;
   RecoveryParams recovery;
+  // Online telemetry plane (expectation tracking + SLO burn alerting).
+  // Disabled by default: no plane is allocated, the hot path sees one
+  // null-pointer test, and no telemetry ticks are scheduled.
+  LivePlaneParams live;
 };
 
 class KvService {
@@ -121,6 +126,12 @@ class KvService {
   // queue drains once serving stops.
   void StartRecovery(SimTime until);
 
+  // Arms the telemetry tick (requires live.enabled): every live.window the
+  // service closes expectation windows and feeds the burn alerter one
+  // cumulative SLO snapshot, until `until`. Like StartRecovery, the
+  // horizon is explicit so the event queue drains once serving stops.
+  void StartTelemetry(SimTime until);
+
   Node* node(int i) { return nodes_[static_cast<size_t>(i)].get(); }
   Switch& network() { return *switch_; }
   ShardMap& shard_map() { return shard_map_; }
@@ -128,6 +139,9 @@ class KvService {
   AdmissionController& admission() { return admission_; }
   PerformanceStateRegistry& registry() { return registry_; }
   SloTracker& slo() { return slo_; }
+  // Null when the live plane is disabled.
+  LivePlane* live() { return live_.get(); }
+  const LivePlane* live() const { return live_.get(); }
   const HedgeStats& hedge_stats() const { return hedge_.stats(); }
   const ClusterParams& params() const { return params_; }
 
@@ -208,6 +222,8 @@ class KvService {
 
   void OnStateChange(const StateChange& change);
 
+  void TelemetryTick();
+
   uint64_t BeginTrace(SimTime now);
 
   Simulator& sim_;
@@ -224,6 +240,8 @@ class KvService {
   std::unique_ptr<ReactionPolicy> policy_;
   HedgedOp hedge_;
   SloTracker slo_;
+  std::unique_ptr<LivePlane> live_;  // null unless params.live.enabled
+  SimTime telemetry_until_;
   RetryPolicy retry_;
   std::map<std::string, int> name_to_index_;
 

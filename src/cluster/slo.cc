@@ -4,14 +4,38 @@
 
 namespace fst {
 
+SloSnapshot SloTracker::Snapshot() const {
+  SloSnapshot s;
+  s.arrivals = arrivals_;
+  s.acks = acks_;
+  s.goodput = goodput_;
+  s.late = late_;
+  s.shed = shed_;
+  s.errors = errors_;
+  s.first_try_acks = first_try_acks_;
+  s.retried_acks = retried_acks_;
+  s.exhausted = exhausted_;
+  s.retries = retries_;
+  s.ack_attempts = ack_attempts_;
+  s.shed_attempts = shed_attempts_;
+  s.error_attempts = error_attempts_;
+  s.p50_ms = P50Ms();
+  s.p95_ms = P95Ms();
+  s.p99_ms = P99Ms();
+  s.p999_ms = P999Ms();
+  return s;
+}
+
 std::string SloTracker::ReportJson(Duration horizon) const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"arrivals\": %lld, \"acks\": %lld, \"goodput\": %lld, "
       "\"late\": %lld, \"shed\": %lld, \"errors\": %lld, "
       "\"first_try_acks\": %lld, \"retried_acks\": %lld, "
       "\"exhausted\": %lld, \"retries\": %lld, "
+      "\"ack_attempts\": %lld, \"shed_attempts\": %lld, "
+      "\"error_attempts\": %lld, "
       "\"goodput_per_sec\": %.3f, \"shed_rate\": %.4f, "
       "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
       "\"p999_ms\": %.3f}",
@@ -21,8 +45,10 @@ std::string SloTracker::ReportJson(Duration horizon) const {
       static_cast<long long>(first_try_acks_),
       static_cast<long long>(retried_acks_),
       static_cast<long long>(exhausted_), static_cast<long long>(retries_),
-      GoodputPerSec(horizon), ShedRate(), P50Ms(), P95Ms(), P99Ms(),
-      P999Ms());
+      static_cast<long long>(ack_attempts_),
+      static_cast<long long>(shed_attempts_),
+      static_cast<long long>(error_attempts_), GoodputPerSec(horizon),
+      ShedRate(), P50Ms(), P95Ms(), P99Ms(), P999Ms());
   return buf;
 }
 

@@ -16,6 +16,37 @@
 
 namespace fst {
 
+// One consistent read of every SloTracker counter plus the latency
+// quantiles — the unit a telemetry tick forwards to the live plane (and
+// anything else that wants deltas without racing ReportJson's formatting).
+struct SloSnapshot {
+  int64_t arrivals = 0;
+  int64_t acks = 0;
+  int64_t goodput = 0;  // acks within the deadline
+  int64_t late = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;
+  int64_t first_try_acks = 0;
+  int64_t retried_acks = 0;
+  int64_t exhausted = 0;
+  int64_t retries = 0;
+  // Per-outcome service-attempt totals: how much replica work each
+  // terminal outcome actually consumed (acks + sheds + errors account
+  // every attempt exactly once).
+  int64_t ack_attempts = 0;
+  int64_t shed_attempts = 0;
+  int64_t error_attempts = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+
+  // Terminal outcomes that failed the objective (late, shed, errored).
+  int64_t bad() const { return late + shed + errors; }
+  // All terminal outcomes.
+  int64_t terminal() const { return acks + shed + errors; }
+};
+
 class SloTracker {
  public:
   explicit SloTracker(Duration deadline) : deadline_(deadline) {}
@@ -27,14 +58,17 @@ class SloTracker {
   // (exhausted: ops that burned every attempt and still failed).
   void RecordShed(int attempts = 1) {
     ++shed_;
+    shed_attempts_ += attempts;
     AccountAttempts(attempts, /*ok=*/false);
   }
   void RecordError(int attempts = 1) {
     ++errors_;
+    error_attempts_ += attempts;
     AccountAttempts(attempts, /*ok=*/false);
   }
   void RecordAck(Duration latency, int attempts = 1) {
     ++acks_;
+    ack_attempts_ += attempts;
     AccountAttempts(attempts, /*ok=*/true);
     latency_.AddDuration(latency);
     if (latency <= deadline_) {
@@ -56,6 +90,9 @@ class SloTracker {
   // deadline ran out without a success).
   int64_t exhausted() const { return exhausted_; }
   int64_t retries() const { return retries_; }  // extra attempts, all ops
+  int64_t ack_attempts() const { return ack_attempts_; }
+  int64_t shed_attempts() const { return shed_attempts_; }
+  int64_t error_attempts() const { return error_attempts_; }
   Duration deadline() const { return deadline_; }
   const Histogram& latency() const { return latency_; }
 
@@ -73,6 +110,9 @@ class SloTracker {
   double P95Ms() const { return latency_.ValueAtQuantile(0.95) / 1e6; }
   double P99Ms() const { return latency_.ValueAtQuantile(0.99) / 1e6; }
   double P999Ms() const { return latency_.ValueAtQuantile(0.999) / 1e6; }
+
+  // One consistent read of all counters + quantiles.
+  SloSnapshot Snapshot() const;
 
   // Fixed-format JSON object (stable across platforms and thread counts);
   // `horizon` is the serving window goodput is normalized over.
@@ -103,6 +143,9 @@ class SloTracker {
   int64_t retried_acks_ = 0;
   int64_t exhausted_ = 0;
   int64_t retries_ = 0;
+  int64_t ack_attempts_ = 0;
+  int64_t shed_attempts_ = 0;
+  int64_t error_attempts_ = 0;
   Histogram latency_;
 };
 

@@ -45,6 +45,20 @@ CorrelationReport CorrelateFaultTimeline(const std::vector<TraceEvent>& events,
         report.faults.push_back(std::move(rec));
         break;
       }
+      case EventKind::kFaultDeactivate: {
+        const std::string& device = table.Name(e.component);
+        const std::string& kind = table.Name(e.label);
+        // Close the earliest still-open fault of this kind on the device.
+        for (FaultRecord& rec : report.faults) {
+          if (rec.device == device && rec.kind == kind && !rec.cleared &&
+              rec.injected_at <= e.when) {
+            rec.cleared = true;
+            rec.cleared_at = e.when;
+            break;
+          }
+        }
+        break;
+      }
       case EventKind::kStateTransition: {
         const int to_state = static_cast<int>(e.a);
         if (to_state == 0) {
@@ -53,6 +67,18 @@ CorrelationReport CorrelateFaultTimeline(const std::vector<TraceEvent>& events,
         const std::string& component = table.Name(e.component);
         auto it = by_component.find(component);
         bool matched_any_fault = false;
+        // Attribution when several faults overlap on one component:
+        // prefer (0) a fault still active at the transition whose class
+        // matches the entered state (correctness faults explain kFailed,
+        // performance faults explain kStuttering), then (1) any active
+        // fault, then (2) an already-cleared one (a detector firing just
+        // after an episode ends still gets credit). Earliest injection
+        // wins within a tier — without the tiers, a long-lived gray
+        // stutter would steal the kFailed transition a later crash on the
+        // same node caused.
+        constexpr size_t kNone = static_cast<size_t>(-1);
+        size_t best = kNone;
+        int best_tier = 3;
         if (it != by_component.end()) {
           for (size_t idx : it->second.fault_indexes) {
             FaultRecord& rec = report.faults[idx];
@@ -60,14 +86,24 @@ CorrelationReport CorrelateFaultTimeline(const std::vector<TraceEvent>& events,
               continue;
             }
             matched_any_fault = true;
-            if (!rec.detected) {
-              rec.detected = true;
-              rec.detected_at = e.when;
-              rec.detection_latency = e.when - rec.injected_at;
-              rec.detected_state = to_state;
-              break;
+            if (rec.detected) {
+              continue;
+            }
+            const bool active = !rec.cleared || rec.cleared_at >= e.when;
+            const bool class_match = rec.correctness == (to_state == 2);
+            const int tier = !active ? 2 : (class_match ? 0 : 1);
+            if (tier < best_tier) {
+              best_tier = tier;
+              best = idx;
             }
           }
+        }
+        if (best != kNone) {
+          FaultRecord& rec = report.faults[best];
+          rec.detected = true;
+          rec.detected_at = e.when;
+          rec.detection_latency = e.when - rec.injected_at;
+          rec.detected_state = to_state;
         }
         if (!matched_any_fault) {
           ++report.false_positives;
@@ -129,7 +165,7 @@ CorrelationReport CorrelateFaultTimeline(const std::vector<TraceEvent>& events,
 
 std::string CorrelationReport::ToJson() const {
   std::ostringstream out;
-  out << "{\"faults\":[";
+  out << "{" << SchemaStampJson() << ",\"faults\":[";
   for (size_t i = 0; i < faults.size(); ++i) {
     const FaultRecord& f = faults[i];
     if (i > 0) {
@@ -141,7 +177,11 @@ std::string CorrelationReport::ToJson() const {
         << ",\"correctness\":" << (f.correctness ? "true" : "false")
         << ",\"magnitude\":" << JsonNumber(f.magnitude)
         << ",\"injected_at_ns\":" << f.injected_at.nanos()
-        << ",\"detected\":" << (f.detected ? "true" : "false");
+        << ",\"cleared\":" << (f.cleared ? "true" : "false");
+    if (f.cleared) {
+      out << ",\"cleared_at_ns\":" << f.cleared_at.nanos();
+    }
+    out << ",\"detected\":" << (f.detected ? "true" : "false");
     if (f.detected) {
       out << ",\"detected_at_ns\":" << f.detected_at.nanos()
           << ",\"detection_latency_s\":"

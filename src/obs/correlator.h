@@ -6,7 +6,10 @@
 // components are wrongly flagged. This module computes exactly those
 // quantities per injected fault:
 //   * detection latency — fault activation -> first detector transition out
-//     of Healthy on the fault's component;
+//     of Healthy on the fault's component (when faults overlap on one
+//     component, a transition is attributed preferring still-active faults
+//     whose class matches the entered state: correctness faults explain
+//     kFailed, performance faults explain kStuttering);
 //   * reaction latency  — detection -> first policy/supervisor action on
 //     that component;
 //   * missed faults and false positives (transitions with no active fault).
@@ -36,6 +39,12 @@ struct FaultRecord {
   bool correctness = false;
   double magnitude = 1.0;
   SimTime injected_at;
+
+  // End of the fault episode (kFaultDeactivate with matching component +
+  // kind), when producers emit one; faults with no recorded deactivation
+  // stay cleared == false (treat them as active through end of stream).
+  bool cleared = false;
+  SimTime cleared_at;
 
   bool detected = false;
   SimTime detected_at;

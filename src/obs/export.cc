@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -24,6 +25,19 @@ std::string DurMicros(double ns) {
 }
 
 }  // namespace
+
+std::string SchemaStampJson() {
+  std::string out =
+      "\"schema_version\":" + std::to_string(kTelemetrySchemaVersion);
+  const char* threads = std::getenv("FST_SWEEP_THREADS");
+  if (threads != nullptr && *threads != '\0') {
+    const long v = std::strtol(threads, nullptr, 10);
+    if (v > 0) {
+      out += ",\"sweep_threads\":" + std::to_string(v);
+    }
+  }
+  return out;
+}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -153,13 +167,16 @@ std::string PerfettoTraceJson(const std::vector<TraceEvent>& events,
         break;  // subsumed by the kRequestComplete slices
     }
   }
-  out << "],\"displayTimeUnit\":\"ms\"}";
+  out << "],\"displayTimeUnit\":\"ms\"," << SchemaStampJson() << "}";
   return out.str();
 }
 
 std::string EventsJsonl(const std::vector<TraceEvent>& events,
                         const ComponentTable& table) {
   std::ostringstream out;
+  // Header line: the stream's schema stamp (consumers may skip any line
+  // without a "t_ns" key).
+  out << "{" << SchemaStampJson() << "}\n";
   for (const TraceEvent& e : events) {
     out << "{\"t_ns\":" << e.when.nanos() << ",\"kind\":\""
         << EventKindName(e.kind) << "\",\"component\":\""
@@ -182,7 +199,7 @@ std::string EventsJsonl(const std::vector<TraceEvent>& events,
 std::string MetricsJson(const MetricRegistry& metrics) {
   const MetricRegistry::Snapshot snap = metrics.Snap();
   std::ostringstream out;
-  out << "{\"counters\":{";
+  out << "{" << SchemaStampJson() << ",\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : snap.counters) {
     out << (first ? "" : ",") << "\"" << JsonEscape(name)

@@ -19,6 +19,18 @@
 
 namespace fst {
 
+// Version of the telemetry artifact formats this module (and the live
+// plane's report exporter) emits. Bump when a field changes meaning or
+// layout so downstream diffing can reject mixed-schema comparisons.
+inline constexpr int kTelemetrySchemaVersion = 2;
+
+// JSON fragment `"schema_version": N` plus `, "sweep_threads": M` when
+// the FST_SWEEP_THREADS environment variable is set (bench/sweep runs
+// stamp their thread count so artifacts from different configurations
+// are never diffed against each other by accident). Campaign bundles do
+// NOT use this — they must stay byte-identical across thread counts.
+std::string SchemaStampJson();
+
 // Escapes `s` for inclusion inside a JSON string literal.
 std::string JsonEscape(const std::string& s);
 

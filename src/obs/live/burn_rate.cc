@@ -1,0 +1,103 @@
+#include "src/obs/live/burn_rate.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fst {
+
+SloBurnAlerter::SloBurnAlerter(BurnRateParams params) : params_(params) {}
+
+double SloBurnAlerter::BurnOver(SimTime now, Duration window,
+                                OutcomeCounts cum) const {
+  // Baseline: the newest history entry at or before now - window (the
+  // window's left edge), falling back to the oldest kept entry.
+  const SimTime cutoff = now - window;
+  OutcomeCounts base;  // zero counts before the first snapshot
+  for (const auto& [when, counts] : history_) {
+    if (when > cutoff) {
+      break;
+    }
+    base = counts;
+  }
+  const int64_t d_total = cum.total() - base.total();
+  if (d_total <= 0) {
+    return 0.0;  // no terminal outcomes in the window: nothing burned
+  }
+  const int64_t d_bad = cum.bad - base.bad;
+  const double bad_fraction =
+      static_cast<double>(d_bad) / static_cast<double>(d_total);
+  const double budget = std::max(1.0 - params_.slo_target, 1e-9);
+  return bad_fraction / budget;
+}
+
+void SloBurnAlerter::Tick(SimTime now, OutcomeCounts cum) {
+  BurnSample s;
+  s.when = now;
+  s.fast = BurnOver(now, params_.fast_window, cum);
+  s.slow = BurnOver(now, params_.slow_window, cum);
+  s.lng = BurnOver(now, params_.long_window, cum);
+
+  if (!alerting_) {
+    if (s.fast >= params_.raise_burn && s.slow >= params_.raise_burn) {
+      alerting_ = true;
+      ++raised_;
+      calm_ticks_ = 0;
+      events_.push_back(BurnEvent{now, true, s.fast, s.slow});
+    }
+  } else {
+    if (s.fast < params_.clear_burn) {
+      ++calm_ticks_;
+      if (calm_ticks_ >= params_.clear_ticks) {
+        alerting_ = false;
+        ++cleared_;
+        calm_ticks_ = 0;
+        events_.push_back(BurnEvent{now, false, s.fast, s.slow});
+      }
+    } else {
+      calm_ticks_ = 0;
+    }
+  }
+  s.alerting = alerting_;
+  series_.push_back(s);
+
+  history_.emplace_back(now, cum);
+  const SimTime keep_from = now - params_.long_window;
+  // Keep one entry at or before the long window's left edge so BurnOver
+  // always finds a baseline.
+  while (history_.size() > 1 && history_[1].first <= keep_from) {
+    history_.pop_front();
+  }
+}
+
+std::string SloBurnAlerter::Json() const {
+  std::string out = "{\"samples\": [";
+  char buf[224];
+  for (size_t i = 0; i < series_.size(); ++i) {
+    const BurnSample& s = series_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"t_ns\": %lld, \"fast\": %.4f, \"slow\": %.4f, "
+                  "\"long\": %.4f, \"alerting\": %s}",
+                  i == 0 ? "" : ",\n  ",
+                  static_cast<long long>(s.when.nanos()), s.fast, s.slow,
+                  s.lng, s.alerting ? "true" : "false");
+    out += buf;
+  }
+  out += "], \"events\": [";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const BurnEvent& e = events_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"t_ns\": %lld, \"type\": \"%s\", \"fast\": %.4f, "
+                  "\"slow\": %.4f}",
+                  i == 0 ? "" : ", ",
+                  static_cast<long long>(e.when.nanos()),
+                  e.raised ? "raise" : "clear", e.fast, e.slow);
+    out += buf;
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail), "], \"raised\": %d, \"cleared\": %d}",
+                raised_, cleared_);
+  out += tail;
+  return out;
+}
+
+}  // namespace fst

@@ -1,0 +1,97 @@
+// Multi-window SLO burn-rate alerting over cumulative outcome counters.
+//
+// Classic error-budget alerting adapted to sim-time: the serving layer's
+// SLO is "a fraction slo_target of terminal outcomes are good" (for the
+// KvService, good = acked within the deadline). The *burn rate* over a
+// window is (observed bad fraction) / (budgeted bad fraction): burn 1.0
+// consumes the error budget exactly on schedule, burn 10 exhausts it 10x
+// too fast. An alert needs BOTH a fast and a slow window hot — the fast
+// window gives low time-to-detect, the slow window keeps one bad
+// scheduling blip from paging — and clears only after `clear_ticks`
+// consecutive calm fast windows (hysteresis, so a flapping stutterer
+// cannot flap the alert).
+//
+// The alerter consumes cumulative counters (monotone), not deltas, so a
+// caller just forwards SloTracker snapshots on each telemetry tick.
+#ifndef SRC_OBS_LIVE_BURN_RATE_H_
+#define SRC_OBS_LIVE_BURN_RATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fst {
+
+struct BurnRateParams {
+  // Objective: at least this fraction of terminal outcomes is good.
+  double slo_target = 0.95;
+  // Fast/slow gate windows plus a long context window — the sim-scale
+  // analogue of the SRE 5m/1h/6h ladder.
+  Duration fast_window = Duration::Seconds(1.0);
+  Duration slow_window = Duration::Seconds(5.0);
+  Duration long_window = Duration::Seconds(60.0);
+  // Raise when fast AND slow burn reach this multiple of budget.
+  double raise_burn = 2.0;
+  // Clear once fast burn stays below this for clear_ticks ticks.
+  double clear_burn = 1.0;
+  int clear_ticks = 4;
+};
+
+// Cumulative terminal outcomes since the start of the run.
+struct OutcomeCounts {
+  int64_t good = 0;
+  int64_t bad = 0;
+  int64_t total() const { return good + bad; }
+};
+
+struct BurnSample {
+  SimTime when;
+  double fast = 0.0;
+  double slow = 0.0;
+  double lng = 0.0;
+  bool alerting = false;
+};
+
+struct BurnEvent {
+  SimTime when;
+  bool raised = false;  // false = cleared
+  double fast = 0.0;
+  double slow = 0.0;
+};
+
+class SloBurnAlerter {
+ public:
+  explicit SloBurnAlerter(BurnRateParams params);
+
+  // One cumulative snapshot per telemetry tick; `cum` must be monotone.
+  void Tick(SimTime now, OutcomeCounts cum);
+
+  bool alerting() const { return alerting_; }
+  int raised_count() const { return raised_; }
+  int cleared_count() const { return cleared_; }
+  const std::vector<BurnEvent>& events() const { return events_; }
+  const std::vector<BurnSample>& series() const { return series_; }
+  const BurnRateParams& params() const { return params_; }
+
+  // Fixed-format JSON: {"samples":[...],"events":[...]}.
+  std::string Json() const;
+
+ private:
+  double BurnOver(SimTime now, Duration window, OutcomeCounts cum) const;
+
+  BurnRateParams params_;
+  std::deque<std::pair<SimTime, OutcomeCounts>> history_;
+  std::vector<BurnSample> series_;
+  std::vector<BurnEvent> events_;
+  bool alerting_ = false;
+  int calm_ticks_ = 0;
+  int raised_ = 0;
+  int cleared_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_OBS_LIVE_BURN_RATE_H_

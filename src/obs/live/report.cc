@@ -1,0 +1,203 @@
+#include "src/obs/live/report.h"
+
+#include "src/obs/export.h"
+
+namespace fst {
+
+std::string BundleJson(const std::vector<ReportSection>& sections) {
+  std::string out = "{\"schema_version\": " +
+                    std::to_string(kTelemetrySchemaVersion);
+  for (const ReportSection& s : sections) {
+    out += ",\n\"";
+    out += JsonEscape(s.name);
+    out += "\": ";
+    out += s.json.empty() ? "null" : s.json;
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+// The embedded bundle goes inside a <script type="application/json">
+// block; only "</script" (and comment openers) can break out of one.
+std::string EscapeForJsonScript(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '<') {
+      out += "\\u003c";
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+constexpr char kHtmlBody[] = R"HTML(</script>
+<style>
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto; max-width: 980px; color: #222; }
+  h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.8em; border-bottom: 1px solid #ddd; }
+  table { border-collapse: collapse; margin: 0.6em 0; } td, th { border: 1px solid #ccc; padding: 3px 9px; text-align: right; }
+  th { background: #f3f3f3; } td:first-child, th:first-child { text-align: left; }
+  .spark { margin: 0.4em 0; } .lbl { font-size: 12px; color: #666; }
+  .alert { color: #b00020; font-weight: 600; } .ok { color: #1a7f37; font-weight: 600; }
+</style>
+<h1 id="title"></h1>
+<div id="root"></div>
+<script>
+"use strict";
+const bundle = JSON.parse(document.getElementById("bundle").textContent);
+document.getElementById("title").textContent = document.title;
+const root = document.getElementById("root");
+function h(tag, attrs, ...kids) {
+  const el = document.createElement(tag);
+  for (const k in (attrs || {})) el.setAttribute(k, attrs[k]);
+  for (const kid of kids) el.append(kid);
+  return el;
+}
+function section(titleText) { const d = h("div"); d.append(h("h2", null, titleText)); root.append(d); return d; }
+function table(parent, headers, rows) {
+  const t = h("table"), tr = h("tr");
+  for (const hd of headers) tr.append(h("th", null, hd));
+  t.append(tr);
+  for (const row of rows) {
+    const r = h("tr");
+    for (const cell of row) r.append(cell instanceof Node ? h("td", null, cell) : h("td", null, String(cell)));
+    t.append(r);
+  }
+  parent.append(t);
+}
+function fmt(x, digits) { return typeof x === "number" ? x.toFixed(digits === undefined ? 3 : digits) : String(x); }
+function ms(ns) { return (ns / 1e6).toFixed(0) + "ms"; }
+function sparkline(parent, label, seriesList, opts) {
+  // seriesList: [{name, points: [[x, y], ...]}]; one shared scale.
+  const W = 920, H = 90, P = 4;
+  let xmin = Infinity, xmax = -Infinity, ymin = 0, ymax = -Infinity;
+  for (const s of seriesList) for (const [x, y] of s.points) {
+    xmin = Math.min(xmin, x); xmax = Math.max(xmax, x); ymax = Math.max(ymax, y);
+  }
+  if (!isFinite(xmin) || xmax <= xmin) return;
+  ymax = Math.max(ymax, (opts && opts.yfloor) || 1e-9);
+  const sx = x => P + (x - xmin) / (xmax - xmin) * (W - 2 * P);
+  const sy = y => H - P - (y - ymin) / (ymax - ymin) * (H - 2 * P);
+  const svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+  svg.setAttribute("width", W); svg.setAttribute("height", H);
+  svg.setAttribute("class", "spark"); svg.style.border = "1px solid #eee";
+  const colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+  if (opts && opts.hline !== undefined && opts.hline <= ymax) {
+    const l = document.createElementNS(svg.namespaceURI, "line");
+    l.setAttribute("x1", P); l.setAttribute("x2", W - P);
+    l.setAttribute("y1", sy(opts.hline)); l.setAttribute("y2", sy(opts.hline));
+    l.setAttribute("stroke", "#bbb"); l.setAttribute("stroke-dasharray", "4,3");
+    svg.append(l);
+  }
+  seriesList.forEach((s, i) => {
+    const p = document.createElementNS(svg.namespaceURI, "polyline");
+    p.setAttribute("points", s.points.map(([x, y]) => sx(x) + "," + sy(y)).join(" "));
+    p.setAttribute("fill", "none"); p.setAttribute("stroke", colors[i % colors.length]);
+    p.setAttribute("stroke-width", "1.3");
+    svg.append(p);
+  });
+  const lbl = h("div", { class: "lbl" },
+    label + "  [max " + fmt(ymax, 2) + "]  " +
+    seriesList.map((s, i) => s.name).join(" / "));
+  parent.append(lbl, svg);
+}
+
+// ---- scorecard -------------------------------------------------------
+if (bundle.scorecard) {
+  const sc = bundle.scorecard;
+  const d = section("Detector scorecard");
+  table(d, ["metric", "value"], [
+    ["faults injected", sc.faults], ["detected", sc.detected], ["missed", sc.missed],
+    ["false positives", sc.false_positives], ["reacted", sc.reacted],
+    ["precision", fmt(sc.precision, 4)], ["recall", fmt(sc.recall, 4)],
+    ["gray faults", sc.gray_faults],
+    ["gray missed by legacy detectors", sc.gray_legacy_missed],
+    ["gray scored by live plane", sc.gray_live_scored],
+  ]);
+  const q = s => [s.n, fmt(s.mean, 2), fmt(s.p50, 2), fmt(s.p95, 2), fmt(s.p99, 2), fmt(s.max, 2)];
+  table(d, ["latency (ms)", "n", "mean", "p50", "p95", "p99", "max"], [
+    ["time to detect (MTTD)", ...q(sc.mttd_ms)],
+    ["time to react (MTTR)", ...q(sc.mttr_ms)],
+  ]);
+  table(d, ["fault kind", "faults", "detected"],
+    Object.keys(sc.by_kind).map(k => [k, sc.by_kind[k].faults, sc.by_kind[k].detected]));
+}
+
+// ---- campaign outcomes ----------------------------------------------
+if (bundle.campaign && bundle.campaign.seeds) {
+  const c = bundle.campaign;
+  const d = section("Chaos campaign");
+  table(d, ["metric", "value"], [
+    ["seeds", c.seeds], ["violations", c.violations],
+    ["total faults", c.faults === undefined ? "-" : c.faults],
+  ]);
+  if (c.violating_seeds && c.violating_seeds.length) {
+    d.append(h("div", { class: "alert" }, "violating seeds: " + c.violating_seeds.join(", ")));
+  }
+}
+
+// ---- exemplar seed: live series -------------------------------------
+const live = bundle.exemplar_live || bundle.live;
+if (live && live.expectation) {
+  const d = section("Exemplar seed: stutter score per node");
+  const byNode = new Map();
+  for (const r of live.expectation) {
+    if (!byNode.has(r.node)) byNode.set(r.node, []);
+    if (r.n > 0) byNode.get(r.node).push([r.t_ns, r.score]);
+  }
+  sparkline(d, "stutter score (dashed: gray threshold)",
+    [...byNode.keys()].sort((a, b) => a - b).map(n => ({ name: "node" + n, points: byNode.get(n) })),
+    { hline: 1.2, yfloor: 1.5 });
+  if (live.gray_spans && live.gray_spans.length) {
+    table(d, ["node", "start", "end", "windows", "peak score"],
+      live.gray_spans.map(s => ["node" + s.node, ms(s.start_ns), ms(s.end_ns), s.windows, fmt(s.peak_score, 3)]));
+  } else {
+    d.append(h("div", { class: "ok" }, "no gray spans"));
+  }
+  if (live.burn && live.burn.samples) {
+    const d2 = section("Exemplar seed: SLO burn rate");
+    sparkline(d2, "burn (dashed: raise threshold)", [
+      { name: "fast", points: live.burn.samples.map(s => [s.t_ns, s.fast]) },
+      { name: "slow", points: live.burn.samples.map(s => [s.t_ns, s.slow]) },
+    ], { hline: 2.0, yfloor: 2.5 });
+    if (live.burn.events.length) {
+      table(d2, ["t", "event", "fast burn", "slow burn"],
+        live.burn.events.map(e => [ms(e.t_ns), e.type, fmt(e.fast, 2), fmt(e.slow, 2)]));
+    } else {
+      d2.append(h("div", { class: "ok" }, "no SLO burn alerts"));
+    }
+  }
+}
+
+// ---- slo -------------------------------------------------------------
+if (bundle.slo) {
+  const d = section("Exemplar seed: SLO outcomes");
+  table(d, ["metric", "value"], Object.entries(bundle.slo)
+    .filter(([k, v]) => typeof v !== "object")
+    .map(([k, v]) => [k, typeof v === "number" ? +v.toFixed(4) : v]));
+}
+
+root.append(h("div", { class: "lbl" }, "schema_version " + bundle.schema_version));
+</script>
+)HTML";
+
+}  // namespace
+
+std::string HtmlReport(const std::string& title,
+                       const std::string& bundle_json) {
+  std::string out =
+      "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+      "<title>";
+  out += JsonEscape(title);  // escapes quotes; '<' cannot appear in titles we pass
+  out += "</title>\n</head>\n<body>\n"
+         "<script id=\"bundle\" type=\"application/json\">";
+  out += EscapeForJsonScript(bundle_json);
+  out += kHtmlBody;
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace fst

@@ -1,0 +1,36 @@
+// Unified campaign report: one JSON bundle (and a self-contained HTML
+// page over it) joining everything the telemetry plane produced for a
+// run — live expectation series, gray spans, SLO burn events, detector
+// scorecards, per-seed outcomes.
+//
+// Determinism contract: BundleJson is a pure function of its sections
+// (ordered as given, schema-stamped with the literal version — never the
+// sweep thread count), and HtmlReport is a pure function of the bundle
+// string. A campaign that assembles sections in grid order therefore
+// produces byte-identical bundle + HTML at any sweep thread count.
+#ifndef SRC_OBS_LIVE_REPORT_H_
+#define SRC_OBS_LIVE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace fst {
+
+struct ReportSection {
+  std::string name;  // JSON key; must be unique within the bundle
+  std::string json;  // pre-rendered JSON value (object/array/scalar)
+};
+
+// {"schema_version": N, "<name1>": <json1>, ...} with sections in order.
+std::string BundleJson(const std::vector<ReportSection>& sections);
+
+// A single-file HTML page (no external assets, no scripts fetched) that
+// embeds `bundle_json` verbatim and renders scorecard tables, gray-span
+// lists, burn-event timelines, and SVG sparklines of the embedded series
+// with a few hundred lines of inline vanilla JS.
+std::string HtmlReport(const std::string& title,
+                       const std::string& bundle_json);
+
+}  // namespace fst
+
+#endif  // SRC_OBS_LIVE_REPORT_H_

@@ -1,0 +1,144 @@
+#include "src/obs/live/scorecard.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fst {
+
+namespace {
+
+// "node3" -> 3; anything else -> -1 (never matches a GraySpan).
+int ParseNodeIndex(const std::string& device) {
+  constexpr char kPrefix[] = "node";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (device.size() <= kPrefixLen ||
+      device.compare(0, kPrefixLen, kPrefix) != 0) {
+    return -1;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(device.c_str() + kPrefixLen, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) {
+    return -1;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+double DetectorScorecard::precision() const {
+  const int fired = detected + false_positives;
+  return fired > 0 ? static_cast<double>(detected) / fired : 1.0;
+}
+
+double DetectorScorecard::recall() const {
+  return faults > 0 ? static_cast<double>(detected) / faults : 1.0;
+}
+
+void DetectorScorecard::Merge(const DetectorScorecard& o) {
+  faults += o.faults;
+  detected += o.detected;
+  missed += o.missed;
+  false_positives += o.false_positives;
+  reacted += o.reacted;
+  gray_faults += o.gray_faults;
+  gray_legacy_missed += o.gray_legacy_missed;
+  gray_live_scored += o.gray_live_scored;
+  mttd_ms.Merge(o.mttd_ms);
+  mttr_ms.Merge(o.mttr_ms);
+  for (const auto& [kind, counts] : o.by_kind) {
+    KindCounts& mine = by_kind[kind];
+    mine.faults += counts.faults;
+    mine.detected += counts.detected;
+  }
+}
+
+std::string DetectorScorecard::ToJson() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"faults\": %d, \"detected\": %d, \"missed\": %d, "
+                "\"false_positives\": %d, \"reacted\": %d, "
+                "\"precision\": %.4f, \"recall\": %.4f, "
+                "\"gray_faults\": %d, \"gray_legacy_missed\": %d, "
+                "\"gray_live_scored\": %d",
+                faults, detected, missed, false_positives, reacted,
+                precision(), recall(), gray_faults, gray_legacy_missed,
+                gray_live_scored);
+  std::string out = buf;
+  std::snprintf(buf, sizeof(buf),
+                ", \"mttd_ms\": {\"n\": %llu, \"mean\": %.4f, \"p50\": %.4f, "
+                "\"p95\": %.4f, \"p99\": %.4f, \"max\": %.4f}",
+                static_cast<unsigned long long>(mttd_ms.count()),
+                mttd_ms.mean(), mttd_ms.P50(), mttd_ms.P95(), mttd_ms.P99(),
+                mttd_ms.max());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ", \"mttr_ms\": {\"n\": %llu, \"mean\": %.4f, \"p50\": %.4f, "
+                "\"p95\": %.4f, \"p99\": %.4f, \"max\": %.4f}",
+                static_cast<unsigned long long>(mttr_ms.count()),
+                mttr_ms.mean(), mttr_ms.P50(), mttr_ms.P95(), mttr_ms.P99(),
+                mttr_ms.max());
+  out += buf;
+  out += ", \"by_kind\": {";
+  bool first = true;
+  for (const auto& [kind, counts] : by_kind) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\": {\"faults\": %d, \"detected\": %d}",
+                  first ? "" : ", ", kind.c_str(), counts.faults,
+                  counts.detected);
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+DetectorScorecard BuildScorecard(const CorrelationReport& report,
+                                 const std::vector<GraySpan>& spans,
+                                 SimTime end_of_run,
+                                 const ScorecardParams& params) {
+  DetectorScorecard card;
+  card.false_positives = report.false_positives;
+  for (const FaultRecord& f : report.faults) {
+    ++card.faults;
+    DetectorScorecard::KindCounts& kc = card.by_kind[f.kind];
+    ++kc.faults;
+    if (f.detected) {
+      ++card.detected;
+      ++kc.detected;
+      card.mttd_ms.Add(f.detection_latency.ToSeconds() * 1e3);
+    } else {
+      ++card.missed;
+    }
+    if (f.reacted) {
+      ++card.reacted;
+      card.mttr_ms.Add(f.reaction_latency.ToSeconds() * 1e3);
+    }
+
+    const bool gray = !f.correctness && f.magnitude > 1.0 &&
+                      f.magnitude < params.gray_magnitude_ceiling;
+    if (!gray) {
+      continue;
+    }
+    ++card.gray_faults;
+    const SimTime active_end = f.cleared ? f.cleared_at : end_of_run;
+    // Legacy-missed: no transition while the fault was actually active.
+    // (A transition after clearance belongs to some later episode — e.g.
+    // a crash on the same node — not to this stutter.)
+    if (!f.detected || f.detected_at > active_end) {
+      ++card.gray_legacy_missed;
+    }
+    const int node = ParseNodeIndex(f.device);
+    if (node < 0) {
+      continue;
+    }
+    for (const GraySpan& s : spans) {
+      if (s.node == node && s.start <= active_end && s.end >= f.injected_at) {
+        ++card.gray_live_scored;
+        break;
+      }
+    }
+  }
+  return card;
+}
+
+}  // namespace fst

@@ -1,0 +1,87 @@
+// Detector scorecards: per-run detection-quality accounting.
+//
+// The correlator (src/obs/correlator.h) answers "what happened to each
+// injected fault"; the scorecard rolls that up into the quantities a
+// fleet operator compares detectors by — precision, recall, MTTD/MTTR
+// distributions — and adds the fail-stutter-specific column the paper
+// motivates: *gray* faults, stutters whose magnitude sits below the
+// threshold detector's enter_deficit and which the legacy path therefore
+// never converts into a state transition. Each gray fault is classified
+// as legacy-missed (no transition while the fault was active) and/or
+// live-scored (the ExpectationTracker raised a GraySpan overlapping it).
+//
+// Scorecards are mergeable so a chaos campaign can fold per-seed cards
+// into one fleet card in grid order, independent of sweep thread count.
+#ifndef SRC_OBS_LIVE_SCORECARD_H_
+#define SRC_OBS_LIVE_SCORECARD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/correlator.h"
+#include "src/obs/live/expectation.h"
+#include "src/obs/live/window_stats.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+
+struct ScorecardParams {
+  // A performance fault (correctness == false, magnitude > 1) below this
+  // magnitude is gray: the threshold detector's enter_deficit (1.5 by
+  // default) will not fire on it from slowdown alone.
+  double gray_magnitude_ceiling = 1.5;
+};
+
+struct DetectorScorecard {
+  int faults = 0;
+  int detected = 0;
+  int missed = 0;
+  int false_positives = 0;
+  int reacted = 0;
+
+  int gray_faults = 0;
+  // Gray faults with no detector transition inside their active interval.
+  int gray_legacy_missed = 0;
+  // Gray faults overlapped by an ExpectationTracker GraySpan on the node.
+  int gray_live_scored = 0;
+
+  // Detection / reaction latency distributions in *milliseconds* (the
+  // sketch buckets are integer-grained, so sub-second latencies recorded
+  // in seconds would collapse; ms keeps the 1/32 relative bound useful).
+  QuantileSketch mttd_ms;
+  QuantileSketch mttr_ms;
+
+  struct KindCounts {
+    int faults = 0;
+    int detected = 0;
+  };
+  // Keyed by injected fault kind ("step-change", "crash-restart", ...).
+  std::map<std::string, KindCounts> by_kind;
+
+  // detected / (detected + false_positives); 1.0 when nothing fired.
+  double precision() const;
+  // detected / faults; 1.0 when no faults were injected.
+  double recall() const;
+
+  void Merge(const DetectorScorecard& o);
+
+  // Fixed-format JSON object (deterministic: map iteration is ordered).
+  std::string ToJson() const;
+};
+
+// Joins the correlator report with the live plane's gray spans. A fault's
+// active interval is [injected_at, cleared_at] (cleared_at falls back to
+// end_of_run when the producer emitted no deactivation). `spans` may be
+// empty — e.g. when the live plane is disabled — in which case every gray
+// fault simply scores gray_live_scored = 0. Fault device names of the
+// form "node<i>" are parsed to match GraySpan::node; other names never
+// match a span.
+DetectorScorecard BuildScorecard(const CorrelationReport& report,
+                                 const std::vector<GraySpan>& spans,
+                                 SimTime end_of_run,
+                                 const ScorecardParams& params = {});
+
+}  // namespace fst
+
+#endif  // SRC_OBS_LIVE_SCORECARD_H_

@@ -167,6 +167,32 @@ TEST(CorrelatorTest, BackToHealthyTransitionsAreNotDetections) {
   EXPECT_EQ(report.false_positives, 0);
 }
 
+TEST(CorrelatorTest, TransitionsPreferActiveClassMatchedFaults) {
+  EventRecorder rec;
+  const uint16_t node0 = rec.Intern("node0");
+  // A long-lived gray performance fault, then a crash on the same node.
+  // The kFailed transition the crash causes must be attributed to the
+  // crash (active + correctness), not stolen by the earlier stutter; the
+  // later Stuttering transition then matches the performance fault.
+  rec.FaultActivate(At(1.0), node0, rec.Intern("step-change"), 1.3, false);
+  rec.FaultActivate(At(10.0), node0, rec.Intern("crash-restart"), 2.0, true);
+  rec.StateTransition(At(11.0), node0, rec.Intern("Healthy->Failed"), 2, 1.0);
+  rec.FaultDeactivate(At(12.0), node0, rec.Intern("crash-restart"));
+  rec.StateTransition(At(13.0), node0, rec.Intern("Healthy->Stuttering"), 1,
+                      0.4);
+  const auto report = CorrelateFaultTimeline(rec.Events(), rec.components());
+  ASSERT_EQ(report.faults.size(), 2u);
+  const FaultRecord& gray = report.faults[0];
+  const FaultRecord& crash = report.faults[1];
+  ASSERT_TRUE(crash.detected);
+  EXPECT_EQ(crash.detected_state, 2);
+  EXPECT_NEAR(crash.detection_latency.ToSeconds(), 1.0, 1e-9);
+  ASSERT_TRUE(gray.detected);
+  EXPECT_EQ(gray.detected_state, 1);
+  EXPECT_NEAR(gray.detection_latency.ToSeconds(), 12.0, 1e-9);
+  EXPECT_EQ(report.false_positives, 0);
+}
+
 TEST(CorrelatorTest, AliasJoinsFaultDeviceToDetectorComponent) {
   EventRecorder rec;
   const uint16_t disk0 = rec.Intern("disk0");
@@ -240,7 +266,7 @@ TEST(ExportTest, PerfettoTraceHasSlicesCountersAndInstants) {
   EXPECT_NE(json.find("Healthy->Stuttering"), std::string::npos);
 }
 
-TEST(ExportTest, JsonlEmitsOneLinePerEvent) {
+TEST(ExportTest, JsonlEmitsSchemaHeaderThenOneLinePerEvent) {
   EventRecorder rec;
   const uint16_t c = rec.Intern("c");
   rec.Mark(At(1.0), c, 0, 1.0);
@@ -252,12 +278,17 @@ TEST(ExportTest, JsonlEmitsOneLinePerEvent) {
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty()) {
+      if (lines == 0) {
+        // First line is the schema stamp, not an event.
+        EXPECT_NE(line.find("\"schema_version\""), std::string::npos);
+        EXPECT_EQ(line.find("\"t_ns\""), std::string::npos);
+      }
       ++lines;
       EXPECT_EQ(line.front(), '{');
       EXPECT_EQ(line.back(), '}');
     }
   }
-  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(lines, 4);  // header + 3 events
 }
 
 // ---------------------------------------------------------------- end-to-end

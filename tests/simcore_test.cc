@@ -736,6 +736,36 @@ TEST(HistogramTest, MergeAddsCounts) {
   EXPECT_NEAR(a.Quantile(0.25), 10.0, 1.0);
 }
 
+TEST(HistogramTest, MergeMatchesCombinedStream) {
+  // Merging two histograms must be indistinguishable from one histogram
+  // that saw both streams: identical buckets, so identical statistics —
+  // the property sharded aggregation (sweep cells, per-window sketches)
+  // relies on.
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  Rng rng(93);
+  for (int i = 0; i < 4000; ++i) {
+    const double va = rng.Pareto(50.0, 1.3);
+    const double vb = rng.UniformDouble(10.0, 5000.0);
+    a.Add(va);
+    combined.Add(va);
+    b.Add(vb);
+    combined.Add(vb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  // Sums accumulate in different orders; bucket counts (and therefore
+  // every quantile) are exactly equal, the sum only to rounding.
+  EXPECT_NEAR(a.sum(), combined.sum(), combined.sum() * 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (double q : {0.05, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.ValueAtQuantile(q), combined.ValueAtQuantile(q))
+        << "q=" << q;
+  }
+}
+
 TEST(TimeWeightedAverageTest, WeightsByHoldTime) {
   TimeWeightedAverage twa;
   twa.Update(SimTime(0), 0.0);
