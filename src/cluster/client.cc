@@ -1,12 +1,35 @@
 #include "src/cluster/client.h"
 
+#include <cmath>
+#include <stdexcept>
 #include <utility>
 
 namespace fst {
 
+void ValidateFleetParams(const FleetParams& params) {
+  if (!(params.arrivals_per_sec > 0.0) ||
+      !std::isfinite(params.arrivals_per_sec)) {
+    throw std::invalid_argument(
+        "FleetParams.arrivals_per_sec must be positive and finite");
+  }
+  if (params.run_for < Duration::Zero()) {
+    throw std::invalid_argument("FleetParams.run_for must be >= 0");
+  }
+  if (!(params.read_fraction >= 0.0 && params.read_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "FleetParams.read_fraction must be in [0, 1]");
+  }
+  if (params.key_space < 1) {
+    throw std::invalid_argument("FleetParams.key_space must be >= 1");
+  }
+  if (!std::isfinite(params.zipf_s)) {
+    throw std::invalid_argument("FleetParams.zipf_s must be finite");
+  }
+}
+
 ClientFleet::ClientFleet(Simulator& sim, FleetParams params)
-    : sim_(sim), params_(params), arrival_rng_(sim.rng().Fork()),
-      key_rng_(sim.rng().Fork()),
+    : sim_(sim), params_((ValidateFleetParams(params), params)),
+      arrival_rng_(sim.rng().Fork()), key_rng_(sim.rng().Fork()),
       zipf_(params_.key_space, params_.zipf_s > 0.0 ? params_.zipf_s : 0.0) {}
 
 void ClientFleet::Run(KvService& service,

@@ -36,6 +36,13 @@ struct FleetParams {
   double zipf_s = 1.1;
 };
 
+// Throws std::invalid_argument for parameters the arrival process cannot
+// run on: a non-positive or non-finite rate (the old code fed
+// Exponential(1/rate) a divide-by-zero), a negative horizon, a read
+// fraction outside [0, 1], an empty key space, or a non-finite skew.
+// run_for == 0 is valid: the fleet resolves `done` with zero ops issued.
+void ValidateFleetParams(const FleetParams& params);
+
 struct FleetResult {
   int64_t ops_issued = 0;
   int64_t reads_issued = 0;

@@ -35,6 +35,14 @@ KvService::KvService(Simulator& sim, ClusterParams params,
                                         params_.spec_tolerance));
     name_to_index_[name] = i;
   }
+  // Resolve every node's observation channel once: the dispatch hot path
+  // feeds the registry through these instead of re-hashing the name per
+  // completion.
+  channels_.reserve(static_cast<size_t>(params_.nodes));
+  for (int i = 0; i < params_.nodes; ++i) {
+    channels_.push_back(registry_.Resolve(nodes_[static_cast<size_t>(i)]->name()));
+  }
+  depth_fn_ = [this](int n) { return admission_.outstanding(n); };
   if (params_.live.enabled) {
     live_ = std::make_unique<LivePlane>(params_.nodes, params_.live);
   }
@@ -102,13 +110,65 @@ uint64_t KvService::BeginTrace(SimTime now) {
   return id;
 }
 
-void KvService::FinishOp(SimTime t0, uint64_t trace_id, bool admitted_any,
-                         bool ok, const IoCallback& done, int attempts) {
+OpTable::Id KvService::BeginOp(uint64_t key, bool is_read, bool tagged,
+                               uint64_t tag, IoCallback done) {
+  const SimTime t0 = sim_.Now();
+  if (is_read) {
+    ++reads_;
+  } else {
+    ++writes_;
+  }
+  ++in_flight_;
+  slo_.RecordArrival();
+  if (params_.retry.enabled) {
+    retry_.OnArrival();
+  }
+  const OpTable::Id id = ops_.Allocate();
+  const uint32_t slot = OpTable::RawSlot(id);
+  ops_.key[slot] = key;
+  ops_.t0[slot] = t0;
+  ops_.trace_id[slot] = BeginTrace(t0);
+  ops_.tag[slot] = tag;
+  ops_.flags[slot] = static_cast<uint8_t>((is_read ? OpTable::kIsRead : 0) |
+                                          (tagged ? OpTable::kTagged : 0));
+  if (!is_read) {
+    ops_.version[slot] = next_version_++;
+  }
+  ops_.done[slot] = std::move(done);
+  return id;
+}
+
+void KvService::FinishOp(OpTable::Id id, bool ok) {
+  const uint32_t slot = OpTable::RawSlot(id);
   const SimTime now = sim_.Now();
+  const SimTime t0 = ops_.t0[slot];
+  const uint64_t trace_id = ops_.trace_id[slot];
+  const uint8_t flags = ops_.flags[slot];
+  const int attempts = std::max<int>(ops_.attempts[slot], 1);
+  const uint64_t tag = ops_.tag[slot];
+  IoCallback done = std::move(ops_.done[slot]);
+  ops_.Free(id);
   --in_flight_;
-  if (ok) {
+  if ((flags & OpTable::kTagged) != 0) {
+    // Coalesced delivery: outcome rides the ring to the next drain; the
+    // shed counter stays inline because it is service state, not SLO state.
+    CompletionRecord rec;
+    rec.tag = tag;
+    rec.issued = t0;
+    rec.completed = now;
+    rec.attempts = attempts;
+    if (ok) {
+      rec.outcome = SloOutcome::kAck;
+    } else if ((flags & OpTable::kAdmittedAny) == 0) {
+      ++sheds_;
+      rec.outcome = SloOutcome::kShed;
+    } else {
+      rec.outcome = SloOutcome::kError;
+    }
+    completions_.Append(rec);
+  } else if (ok) {
     slo_.RecordAck(now - t0, attempts);
-  } else if (!admitted_any) {
+  } else if ((flags & OpTable::kAdmittedAny) == 0) {
     ++sheds_;
     slo_.RecordShed(attempts);
   } else {
@@ -127,26 +187,31 @@ void KvService::FinishOp(SimTime t0, uint64_t trace_id, bool admitted_any,
   }
 }
 
-void KvService::FinishOpFor(const OpRef& op, bool ok) {
-  FinishOp(op->t0, op->trace_id, op->admitted_any, ok, op->done,
-           std::max(op->attempts, 1));
+const std::vector<CompletionRecord>& KvService::DrainCompletions() {
+  completions_.SwapDrain(drained_);
+  slo_.RecordBatch(drained_.data(), drained_.size());
+  return drained_;
 }
 
-void KvService::AttemptFailed(const OpRef& op, bool admitted_this_attempt) {
+void KvService::AttemptFailed(OpTable::Id id, bool admitted_this_attempt) {
+  const uint32_t slot = OpTable::RawSlot(id);
   if (admitted_this_attempt) {
-    op->admitted_any = true;
+    ops_.flags[slot] |= OpTable::kAdmittedAny;
   }
   const RetryPolicy::Decision d =
-      retry_.Consider(op->attempts, sim_.Now() - op->t0);
+      retry_.Consider(ops_.attempts[slot], sim_.Now() - ops_.t0[slot]);
   if (!d.retry) {
-    FinishOpFor(op, false);
+    FinishOp(id, false);
     return;
   }
-  sim_.Schedule(d.backoff, [this, op] {
-    if (op->is_read) {
-      StartReadAttempt(op);
+  // The op has no other outstanding continuation once an attempt fails, so
+  // the backoff timer is the sole owner: the slot is guaranteed live when
+  // it fires.
+  sim_.Schedule(d.backoff, [this, id] {
+    if ((ops_.flags[OpTable::RawSlot(id)] & OpTable::kIsRead) != 0) {
+      StartReadAttempt(id);
     } else {
-      StartWriteAttempt(op);
+      StartWriteAttempt(id);
     }
   });
 }
@@ -162,10 +227,53 @@ bool KvService::IsMiss(int node, uint64_t key) const {
   return s.find(key) == s.end();
 }
 
-void KvService::Dispatch(int node, double work, SimTime t0, IoCallback cb) {
+void KvService::Dispatch(double work, SimTime t0, const AttemptCtx& ctx) {
   // Outstanding already includes this op's admission slot; the registry is
   // charged the expected time for the whole admitted backlog, so queueing
   // at a healthy node does not read as a stutter.
+  const int node = ctx.node;
+  const double backlog_units =
+      work * static_cast<double>(std::max(admission_.outstanding(node), 1));
+  // The whole request -> compute -> response chain captures only PODs
+  // (~80 bytes), so every stage lives inside the InlineFunction buffer:
+  // no heap allocation per attempt.
+  NetMessage request;
+  request.src = client_port_;
+  request.dst = node;
+  request.bytes = params_.request_bytes;
+  request.done = [this, work, backlog_units, t0, ctx](SimTime) {
+    nodes_[static_cast<size_t>(ctx.node)]->Compute(
+        work,
+        [this, backlog_units, t0, ctx](const IoResult& computed) {
+          NetMessage response;
+          response.src = ctx.node;
+          response.dst = client_port_;
+          response.bytes = params_.response_bytes;
+          const bool ok = computed.ok;
+          response.done = [this, backlog_units, t0, ok, ctx](SimTime) {
+            admission_.Release(ctx.node);
+            const SimTime now = sim_.Now();
+            if (ok) {
+              registry_.Observe(channels_[static_cast<size_t>(ctx.node)], now,
+                                backlog_units, now - t0);
+              if (live_ != nullptr) {
+                // Same backlog normalization as the registry, so the live
+                // plane and the detectors argue over the same quantity.
+                live_->ObserveNode(ctx.node, now, backlog_units, now - t0);
+              }
+            } else {
+              registry_.ObserveFailure(channels_[static_cast<size_t>(ctx.node)],
+                                       now);
+            }
+            OnAttemptComplete(ctx, ok);
+          };
+          switch_->Send(std::move(response));
+        });
+  };
+  switch_->Send(std::move(request));
+}
+
+void KvService::DispatchCb(int node, double work, SimTime t0, IoCallback cb) {
   const double backlog_units =
       work * static_cast<double>(std::max(admission_.outstanding(node), 1));
   NetMessage request;
@@ -186,17 +294,15 @@ void KvService::Dispatch(int node, double work, SimTime t0, IoCallback cb) {
                            cb = std::move(cb)](SimTime) mutable {
             admission_.Release(node);
             const SimTime now = sim_.Now();
-            const std::string& name =
-                nodes_[static_cast<size_t>(node)]->name();
             if (ok) {
-              registry_.Observe(name, now, backlog_units, now - t0);
+              registry_.Observe(channels_[static_cast<size_t>(node)], now,
+                                backlog_units, now - t0);
               if (live_ != nullptr) {
-                // Same backlog normalization as the registry, so the live
-                // plane and the detectors argue over the same quantity.
                 live_->ObserveNode(node, now, backlog_units, now - t0);
               }
             } else {
-              registry_.ObserveFailure(name, now);
+              registry_.ObserveFailure(channels_[static_cast<size_t>(node)],
+                                       now);
             }
             if (cb) {
               IoResult r;
@@ -212,71 +318,136 @@ void KvService::Dispatch(int node, double work, SimTime t0, IoCallback cb) {
   switch_->Send(std::move(request));
 }
 
-void KvService::Get(uint64_t key, IoCallback done) {
-  const SimTime t0 = sim_.Now();
-  ++reads_;
-  ++in_flight_;
-  slo_.RecordArrival();
-  if (params_.retry.enabled) {
-    retry_.OnArrival();
+void KvService::OnAttemptComplete(const AttemptCtx& ctx, bool ok) {
+  switch (ctx.kind) {
+    case kCtxRead: {
+      bool read_ok = ok;
+      if (read_ok && IsMiss(ctx.node, ctx.key)) {
+        // The node is healthy but does not hold the key (fresh ring
+        // successor after a crash): fail the attempt over without blaming
+        // the node's performance state.
+        ++read_misses_;
+        read_ok = false;
+      }
+      // A non-hedged read has exactly one outstanding continuation — this
+      // one — so the op is guaranteed live here.
+      if (read_ok) {
+        FinishOp(ctx.op_id, true);
+      } else {
+        AttemptFailed(ctx.op_id, true);
+      }
+      return;
+    }
+    case kCtxWrite: {
+      // Side effects every completion owes regardless of op liveness: the
+      // mirror backlog gauge and the store install both act purely on
+      // captured values (a completion racing a crash must not resurrect
+      // data the crash wiped, hence the has_failed() guard).
+      if (ctx.mirror != 0) {
+        --mirror_backlog_;
+      }
+      if (data_plane() && ok &&
+          !nodes_[static_cast<size_t>(ctx.node)]->has_failed()) {
+        auto& slot_ver = store_[static_cast<size_t>(ctx.node)][ctx.key];
+        if (ctx.version > slot_ver) {
+          slot_ver = ctx.version;
+        }
+      }
+      // Quorum bookkeeping only if the op is still live *and* these
+      // results belong to its current attempt; stale completions were
+      // already inert under the legacy shared-state scheme.
+      const int64_t s = ops_.SlotOf(ctx.op_id);
+      if (s < 0) {
+        return;
+      }
+      const auto slot = static_cast<size_t>(s);
+      if (ops_.attempts[slot] != ctx.attempt_no) {
+        return;
+      }
+      ++ops_.wa_completed[slot];
+      if (ok) {
+        ++ops_.wa_ok[slot];
+      }
+      const bool reported = (ops_.flags[slot] & OpTable::kWaReported) != 0;
+      if (!reported && ops_.wa_ok[slot] >= ops_.wa_quorum[slot]) {
+        ops_.flags[slot] |= OpTable::kWaReported;
+        if (data_plane()) {
+          auto& v = acked_[ctx.key];
+          if (ctx.version > v) {
+            v = ctx.version;
+          }
+        }
+        FinishOp(ctx.op_id, true);
+      } else if (!reported &&
+                 ops_.wa_completed[slot] == ops_.wa_dispatched[slot]) {
+        // Every admitted replica has answered and quorum is unreachable.
+        ops_.flags[slot] |= OpTable::kWaReported;
+        AttemptFailed(ctx.op_id, true);
+      }
+      return;
+    }
+    case kCtxRepair: {
+      if (ok && !nodes_[static_cast<size_t>(ctx.node)]->has_failed()) {
+        auto& slot_ver = store_[static_cast<size_t>(ctx.node)][ctx.key];
+        if (ctx.version > slot_ver) {
+          slot_ver = ctx.version;
+        }
+        ++keys_repaired_;
+      }
+      return;
+    }
   }
-  auto op = std::make_shared<OpState>();
-  op->key = key;
-  op->is_read = true;
-  op->t0 = t0;
-  op->trace_id = BeginTrace(t0);
-  op->done = std::move(done);
-  StartReadAttempt(op);
 }
 
-void KvService::StartReadAttempt(const OpRef& op) {
-  ++op->attempts;
+void KvService::Get(uint64_t key, IoCallback done) {
+  StartReadAttempt(BeginOp(key, /*is_read=*/true, /*tagged=*/false, 0,
+                           std::move(done)));
+}
+
+void KvService::GetTagged(uint64_t key, uint64_t tag) {
+  StartReadAttempt(BeginOp(key, /*is_read=*/true, /*tagged=*/true, tag, {}));
+}
+
+void KvService::StartReadAttempt(OpTable::Id id) {
+  const uint32_t slot = OpTable::RawSlot(id);
+  ++ops_.attempts[slot];
   const SimTime attempt_start = sim_.Now();
-  const std::vector<int> replicas = shard_map_.ReplicasFor(op->key);
-  std::vector<int> ranked = selector_.Rank(
-      replicas, [this](int n) { return admission_.outstanding(n); });
-  if (ranked.empty()) {
-    AttemptFailed(op, false);
+  const uint64_t key = ops_.key[slot];
+  shard_map_.ReplicasFor(key, replicas_scratch_);
+  selector_.RankInto(replicas_scratch_, depth_fn_, ranked_scratch_);
+  if (ranked_scratch_.empty()) {
+    AttemptFailed(id, false);
     return;
   }
-  if (params_.hedge_reads && ranked.size() > 1) {
-    IssueHedged(ranked, op);
+  if (params_.hedge_reads && ranked_scratch_.size() > 1) {
+    IssueHedged(ranked_scratch_, id);
     return;
   }
-  for (int node : ranked) {
+  for (int node : ranked_scratch_) {
     if (!admission_.TryAdmit(node)) {
       continue;
     }
-    Dispatch(node, params_.read_work, attempt_start,
-             [this, node, op](const IoResult& r) {
-               bool ok = r.ok;
-               if (ok && IsMiss(node, op->key)) {
-                 // The node is healthy but does not hold the key (fresh
-                 // ring successor after a crash): fail the attempt over
-                 // without blaming the node's performance state.
-                 ++read_misses_;
-                 ok = false;
-               }
-               if (ok) {
-                 FinishOpFor(op, true);
-               } else {
-                 AttemptFailed(op, true);
-               }
-             });
+    AttemptCtx ctx;
+    ctx.op_id = id;
+    ctx.key = key;
+    ctx.node = node;
+    ctx.kind = kCtxRead;
+    Dispatch(params_.read_work, attempt_start, ctx);
     return;
   }
-  AttemptFailed(op, false);
+  AttemptFailed(id, false);
 }
 
-void KvService::IssueHedged(const std::vector<int>& ranked, const OpRef& op) {
+void KvService::IssueHedged(const std::vector<int>& ranked, OpTable::Id id) {
   const SimTime attempt_start = sim_.Now();
+  const uint64_t key = ops_.key[OpTable::RawSlot(id)];
   const int attempts_allowed = std::min(
       static_cast<int>(ranked.size()), 1 + std::max(params_.hedge.max_hedges, 0));
   std::vector<HedgedOp::Attempt> attempts;
   attempts.reserve(static_cast<size_t>(attempts_allowed));
   for (int i = 0; i < attempts_allowed; ++i) {
     const int node = ranked[static_cast<size_t>(i)];
-    attempts.push_back([this, node, attempt_start, op](IoCallback cb) {
+    attempts.push_back([this, node, attempt_start, id, key](IoCallback cb) {
       if (!admission_.TryAdmit(node)) {
         IoResult r;
         r.ok = false;
@@ -285,114 +456,89 @@ void KvService::IssueHedged(const std::vector<int>& ranked, const OpRef& op) {
         cb(r);
         return;
       }
-      op->admitted_any = true;
-      Dispatch(node, params_.read_work, attempt_start,
-               [this, node, op, cb = std::move(cb)](const IoResult& r) mutable {
-                 IoResult out = r;
-                 if (out.ok && IsMiss(node, op->key)) {
-                   ++read_misses_;
-                   out.ok = false;
-                 }
-                 cb(out);
-               });
+      // A hedge duplicate can launch after the op already reported (the
+      // delay timer raced the primary's answer), so the flag write is
+      // generation-checked.
+      const int64_t s = ops_.SlotOf(id);
+      if (s >= 0) {
+        ops_.flags[static_cast<size_t>(s)] |= OpTable::kAdmittedAny;
+      }
+      DispatchCb(node, params_.read_work, attempt_start,
+                 [this, node, key, cb = std::move(cb)](const IoResult& r) mutable {
+                   IoResult out = r;
+                   if (out.ok && IsMiss(node, key)) {
+                     ++read_misses_;
+                     out.ok = false;
+                   }
+                   cb(out);
+                 });
     });
   }
-  hedge_.Issue(std::move(attempts), [this, op](const IoResult& r) {
+  hedge_.Issue(std::move(attempts), [this, id](const IoResult& r) {
+    // HedgedOp fires this exactly once, and it is the op's sole terminal
+    // decision point, so the op is live here.
     if (r.ok) {
-      FinishOpFor(op, true);
+      FinishOp(id, true);
     } else {
-      AttemptFailed(op, false);  // admitted_any already recorded on op
+      AttemptFailed(id, false);  // admitted_any already recorded on the op
     }
   });
 }
 
 void KvService::Put(uint64_t key, IoCallback done) {
-  const SimTime t0 = sim_.Now();
-  ++writes_;
-  ++in_flight_;
-  slo_.RecordArrival();
-  if (params_.retry.enabled) {
-    retry_.OnArrival();
-  }
-  auto op = std::make_shared<OpState>();
-  op->key = key;
-  op->is_read = false;
-  op->t0 = t0;
-  op->trace_id = BeginTrace(t0);
-  op->version = next_version_++;
-  op->done = std::move(done);
-  StartWriteAttempt(op);
+  StartWriteAttempt(BeginOp(key, /*is_read=*/false, /*tagged=*/false, 0,
+                            std::move(done)));
 }
 
-void KvService::StartWriteAttempt(const OpRef& op) {
-  ++op->attempts;
+void KvService::PutTagged(uint64_t key, uint64_t tag) {
+  StartWriteAttempt(BeginOp(key, /*is_read=*/false, /*tagged=*/true, tag, {}));
+}
+
+void KvService::StartWriteAttempt(OpTable::Id id) {
+  const uint32_t slot = OpTable::RawSlot(id);
+  const int32_t attempt_no = ++ops_.attempts[slot];
   const SimTime attempt_start = sim_.Now();
-  const std::vector<int> replicas = shard_map_.ReplicasFor(op->key);
-  if (replicas.empty()) {
-    AttemptFailed(op, false);
+  const uint64_t key = ops_.key[slot];
+  const uint64_t version = ops_.version[slot];
+  shard_map_.ReplicasFor(key, replicas_scratch_);
+  if (replicas_scratch_.empty()) {
+    AttemptFailed(id, false);
     return;
   }
-  const int quorum =
-      std::clamp(params_.write_quorum, 1, static_cast<int>(replicas.size()));
+  ops_.wa_dispatched[slot] = 0;
+  ops_.wa_completed[slot] = 0;
+  ops_.wa_ok[slot] = 0;
+  ops_.wa_quorum[slot] = static_cast<int16_t>(std::clamp(
+      params_.write_quorum, 1, static_cast<int>(replicas_scratch_.size())));
+  ops_.flags[slot] &= static_cast<uint8_t>(~OpTable::kWaReported);
 
-  struct WriteAttempt {
-    int dispatched = 0;
-    int completed = 0;
-    int ok = 0;
-    int quorum = 0;
-    bool reported = false;
-  };
-  auto st = std::make_shared<WriteAttempt>();
-  st->quorum = quorum;
-
-  for (size_t i = 0; i < replicas.size(); ++i) {
-    const int node = replicas[i];
+  int16_t dispatched = 0;
+  for (size_t i = 0; i < replicas_scratch_.size(); ++i) {
+    const int node = replicas_scratch_[i];
     if (!admission_.TryAdmit(node)) {
       continue;
     }
-    ++st->dispatched;
+    ++dispatched;
     const bool mirror = i > 0;
     if (mirror) {
       ++mirror_backlog_;
       peak_mirror_backlog_ = std::max(peak_mirror_backlog_, mirror_backlog_);
     }
-    Dispatch(node, params_.write_work, attempt_start,
-             [this, st, op, node, mirror](const IoResult& r) {
-               if (mirror) {
-                 --mirror_backlog_;
-               }
-               if (data_plane() && r.ok &&
-                   !nodes_[static_cast<size_t>(node)]->has_failed()) {
-                 // A completion that raced a crash must not resurrect data
-                 // the crash wiped, hence the has_failed() guard.
-                 auto& slot = store_[static_cast<size_t>(node)][op->key];
-                 if (op->version > slot) {
-                   slot = op->version;
-                 }
-               }
-               ++st->completed;
-               if (r.ok) {
-                 ++st->ok;
-               }
-               if (!st->reported && st->ok >= st->quorum) {
-                 st->reported = true;
-                 if (data_plane()) {
-                   auto& v = acked_[op->key];
-                   if (op->version > v) {
-                     v = op->version;
-                   }
-                 }
-                 FinishOpFor(op, true);
-               } else if (!st->reported && st->completed == st->dispatched) {
-                 // Every admitted replica has answered and quorum is
-                 // unreachable.
-                 st->reported = true;
-                 AttemptFailed(op, true);
-               }
-             });
+    AttemptCtx ctx;
+    ctx.op_id = id;
+    ctx.key = key;
+    ctx.version = version;
+    ctx.attempt_no = attempt_no;
+    ctx.node = node;
+    ctx.kind = kCtxWrite;
+    ctx.mirror = mirror ? 1 : 0;
+    Dispatch(params_.write_work, attempt_start, ctx);
   }
-  if (st->dispatched == 0) {
-    AttemptFailed(op, false);
+  // Completions are all scheduled events, so none can observe
+  // wa_dispatched before this store.
+  ops_.wa_dispatched[slot] = dispatched;
+  if (dispatched == 0) {
+    AttemptFailed(id, false);
   }
 }
 
@@ -574,17 +720,12 @@ void KvService::RepairStep() {
         repair_cursor_ = key + 1;
         const double work =
             params_.write_work * params_.recovery.repair_work_factor;
-        Dispatch(target, work, sim_.Now(),
-                 [this, key, ver, target](const IoResult& r) {
-                   if (r.ok &&
-                       !nodes_[static_cast<size_t>(target)]->has_failed()) {
-                     auto& slot = store_[static_cast<size_t>(target)][key];
-                     if (ver > slot) {
-                       slot = ver;
-                     }
-                     ++keys_repaired_;
-                   }
-                 });
+        AttemptCtx ctx;
+        ctx.key = key;
+        ctx.version = ver;
+        ctx.node = target;
+        ctx.kind = kCtxRepair;
+        Dispatch(work, sim_.Now(), ctx);
         sim_.Schedule(interval, [this] { RepairStep(); });
         return;
       }

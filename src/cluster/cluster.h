@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "src/cluster/admission.h"
+#include "src/cluster/fleet/completion.h"
+#include "src/cluster/fleet/op_table.h"
 #include "src/cluster/retry.h"
 #include "src/cluster/selector.h"
 #include "src/cluster/shard_map.h"
@@ -119,6 +121,24 @@ class KvService {
   // write_quorum-th success (or with failure once no quorum is reachable).
   void Put(uint64_t key, IoCallback done);
 
+  // Columnar front-end variants: identical routing, retries, and event
+  // schedule as Get/Put, but the terminal outcome is appended to the
+  // completion ring (carrying `tag`, caller context such as a client id)
+  // instead of invoking a per-op callback, and SLO accounting is deferred
+  // to the next DrainCompletions() — zero per-op allocation end to end.
+  void GetTagged(uint64_t key, uint64_t tag);
+  void PutTagged(uint64_t key, uint64_t tag);
+
+  // Drains the completion ring in FIFO (= completion) order: feeds every
+  // record through SloTracker::RecordBatch, then hands the batch to the
+  // caller for its own tallies. The returned reference is valid until the
+  // next drain; the two backing buffers ping-pong without reallocating.
+  const std::vector<CompletionRecord>& DrainCompletions();
+  // Tagged ops whose terminal outcome has not been drained yet.
+  size_t pending_completions() const { return completions_.size(); }
+  // In-flight logical ops (arrived, not yet terminal).
+  size_t in_flight_ops() const { return ops_.live(); }
+
   // Arms the crash-recovery control loop (requires recovery.enabled):
   // heartbeat ticks run until `until`, each one probing liveness, declaring
   // timed-out nodes crashed, recovering restarted ones, and kicking the
@@ -171,37 +191,53 @@ class KvService {
   int64_t under_replicated_keys() const;
 
  private:
-  // Per-logical-op state threaded through retries: one OpState lives from
-  // arrival to terminal outcome no matter how many attempts it takes.
-  struct OpState {
+  // Attempt kinds for the enum-dispatched completion path.
+  enum : uint8_t { kCtxRead = 0, kCtxWrite = 1, kCtxRepair = 2 };
+
+  // Everything one service attempt's completion needs, carried by value
+  // through the dispatch chain (request -> compute -> response). A POD
+  // small enough that the whole chain stays inside InlineFunction's buffer:
+  // no per-attempt heap allocation, and late completions act purely on
+  // these captured values plus a generation-checked op-table lookup.
+  struct AttemptCtx {
+    OpTable::Id op_id = 0;   // 0 for repair (no logical op)
     uint64_t key = 0;
-    bool is_read = true;
-    int attempts = 0;
-    bool admitted_any = false;
-    SimTime t0;
-    uint64_t trace_id = 0;
-    uint64_t version = 0;  // writes: the version this op installs
-    IoCallback done;
+    uint64_t version = 0;    // writes/repair: version being installed
+    int32_t attempt_no = 0;  // writes: which attempt these results belong to
+    int32_t node = 0;
+    uint8_t kind = kCtxRead;
+    uint8_t mirror = 0;      // writes: non-primary replica
   };
-  using OpRef = std::shared_ptr<OpState>;
 
-  // Logical-op completion: SLO accounting + trace span close + user done.
-  void FinishOp(SimTime t0, uint64_t trace_id, bool admitted_any, bool ok,
-                const IoCallback& done, int attempts = 1);
+  // Arrival bookkeeping shared by Get/Put/GetTagged/PutTagged: counters,
+  // SLO arrival, retry token, trace span, and a freshly allocated op row.
+  OpTable::Id BeginOp(uint64_t key, bool is_read, bool tagged, uint64_t tag,
+                      IoCallback done);
 
-  // One admitted attempt against `node`: request over the switch, compute,
-  // response back, then registry observation + slot release. `cb` receives
-  // the attempt's IoResult (issued = t0).
-  void Dispatch(int node, double work, SimTime t0, IoCallback cb);
+  // Logical-op completion: SLO accounting (or ring append for tagged ops) +
+  // trace span close + slot free + user done. `id` must be live.
+  void FinishOp(OpTable::Id id, bool ok);
 
-  void IssueHedged(const std::vector<int>& ranked, const OpRef& op);
+  // One admitted attempt against ctx.node: request over the switch,
+  // compute, response back, then registry observation + admission release,
+  // ending in OnAttemptComplete(ctx, ...). The whole chain lives in
+  // InlineFunction buffers.
+  void Dispatch(double work, SimTime t0, const AttemptCtx& ctx);
+  // Callback-taking variant for the hedged path (HedgedOp reconciles the
+  // attempts itself, so its completions cannot be enum-dispatched).
+  void DispatchCb(int node, double work, SimTime t0, IoCallback cb);
+
+  // Enum-dispatched attempt completion: read miss/finish logic, write
+  // quorum accounting, repair store install.
+  void OnAttemptComplete(const AttemptCtx& ctx, bool ok);
+
+  void IssueHedged(const std::vector<int>& ranked, OpTable::Id id);
 
   // Retry loop: one service attempt per call; a failed attempt consults the
   // RetryPolicy and either backs off and re-enters or reports terminally.
-  void StartReadAttempt(const OpRef& op);
-  void StartWriteAttempt(const OpRef& op);
-  void AttemptFailed(const OpRef& op, bool admitted_this_attempt);
-  void FinishOpFor(const OpRef& op, bool ok);
+  void StartReadAttempt(OpTable::Id id);
+  void StartWriteAttempt(OpTable::Id id);
+  void AttemptFailed(OpTable::Id id, bool admitted_this_attempt);
 
   // Data plane (active when track_data or recovery.enabled): a read attempt
   // at `node` misses when the key is acked but absent from the node's
@@ -244,6 +280,20 @@ class KvService {
   SimTime telemetry_until_;
   RetryPolicy retry_;
   std::map<std::string, int> name_to_index_;
+
+  // Columnar op core: slab table of in-flight ops + completion ring for
+  // tagged (coalesced-delivery) ops.
+  OpTable ops_;
+  CompletionRing completions_;
+  std::vector<CompletionRecord> drained_;
+
+  // Hot-path caches: per-node registry channels (skip the name hash on
+  // every observation), one reusable DepthFn, and ranking scratch buffers
+  // (never reused across a call that can re-enter ranking).
+  std::vector<PerformanceStateRegistry::ObsChannel> channels_;
+  ReplicaSelector::DepthFn depth_fn_;
+  std::vector<int> replicas_scratch_;
+  std::vector<int> ranked_scratch_;
 
   int client_port_;
   int64_t reads_ = 0;

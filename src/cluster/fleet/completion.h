@@ -1,0 +1,42 @@
+// Coalesced completion delivery for the columnar serving front end.
+//
+// Instead of one SloTracker call + one std::function invocation per
+// finished op, tagged ops append a CompletionRecord to this ring and the
+// fleet drains it once per batch tick. Append order is completion order,
+// and the drain replays records FIFO through SloTracker::RecordBatch, so
+// every counter and the latency histogram's float accumulation are
+// bit-identical to the one-at-a-time path — coalescing changes *when* the
+// accounting happens, never *what* it says.
+#ifndef SRC_CLUSTER_FLEET_COMPLETION_H_
+#define SRC_CLUSTER_FLEET_COMPLETION_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/slo.h"
+
+namespace fst {
+
+class CompletionRing {
+ public:
+  void Append(const CompletionRecord& r) { pending_.push_back(r); }
+
+  // Moves every pending record into `out` (cleared first) and leaves the
+  // ring holding out's old buffer: two vectors ping-pong and neither
+  // reallocates once they reach the high-water mark.
+  void SwapDrain(std::vector<CompletionRecord>& out) {
+    out.clear();
+    std::swap(out, pending_);
+  }
+
+  size_t size() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+
+ private:
+  std::vector<CompletionRecord> pending_;
+};
+
+}  // namespace fst
+
+#endif  // SRC_CLUSTER_FLEET_COMPLETION_H_

@@ -27,7 +27,18 @@ void ReplicaSelector::SetWeight(int node, double weight) {
 
 std::vector<int> ReplicaSelector::Rank(const std::vector<int>& replicas,
                                        const DepthFn& depth) {
-  std::vector<std::pair<int, double>> scored;
+  std::vector<int> out;
+  RankInto(replicas, depth, out);
+  return out;
+}
+
+void ReplicaSelector::RankInto(const std::vector<int>& replicas,
+                               const DepthFn& depth, std::vector<int>& out) {
+  // The draw pattern (one UniformDouble per emitted position, including
+  // the final lone candidate, with order-preserving removal) is pinned:
+  // changing it would shift every downstream routing decision per seed.
+  std::vector<std::pair<int, double>>& scored = scored_scratch_;
+  scored.clear();
   scored.reserve(replicas.size());
   for (int node : replicas) {
     const double w = weights_[static_cast<size_t>(node)];
@@ -50,7 +61,7 @@ std::vector<int> ReplicaSelector::Rank(const std::vector<int>& replicas,
   }
   // Weighted sampling without replacement: each position is drawn with
   // probability proportional to score among the remaining candidates.
-  std::vector<int> out;
+  out.clear();
   out.reserve(scored.size());
   while (!scored.empty()) {
     double total = 0.0;
@@ -70,7 +81,6 @@ std::vector<int> ReplicaSelector::Rank(const std::vector<int>& replicas,
     out.push_back(scored[pick].first);
     scored.erase(scored.begin() + static_cast<long>(pick));
   }
-  return out;
 }
 
 }  // namespace fst

@@ -47,12 +47,20 @@ class ReplicaSelector {
   std::vector<int> Rank(const std::vector<int>& replicas,
                         const DepthFn& depth);
 
+  // Allocation-free variant: identical output and — critically — an
+  // identical RNG draw sequence to Rank(), written into `out`. Uses member
+  // scratch, so calls must not nest (the serving layer never re-enters
+  // ranking synchronously).
+  void RankInto(const std::vector<int>& replicas, const DepthFn& depth,
+                std::vector<int>& out);
+
   RouteMode mode() const { return mode_; }
 
  private:
   RouteMode mode_;
   std::vector<double> weights_;
   Rng rng_;
+  std::vector<std::pair<int, double>> scored_scratch_;
 };
 
 }  // namespace fst

@@ -38,8 +38,14 @@ ShardMap::ShardMap(int nodes, ShardMapParams params)
 
 std::vector<int> ShardMap::ReplicasFor(uint64_t key) const {
   std::vector<int> out;
+  ReplicasFor(key, out);
+  return out;
+}
+
+void ShardMap::ReplicasFor(uint64_t key, std::vector<int>& out) const {
+  out.clear();
   if (ring_.empty() || live_nodes_ == 0) {
-    return out;
+    return;
   }
   const int want = std::min(params_.replication, live_nodes_);
   out.reserve(static_cast<size_t>(want));
@@ -58,7 +64,6 @@ std::vector<int> ShardMap::ReplicasFor(uint64_t key) const {
       out.push_back(p.node);
     }
   }
-  return out;
 }
 
 void ShardMap::Eject(int node) {

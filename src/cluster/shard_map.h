@@ -39,6 +39,10 @@ class ShardMap {
   // nodes, primary first. Fewer (possibly zero) when too few nodes remain.
   std::vector<int> ReplicasFor(uint64_t key) const;
 
+  // Allocation-free variant for hot paths: clears and refills `out` with
+  // exactly the set the returning overload would produce.
+  void ReplicasFor(uint64_t key, std::vector<int>& out) const;
+
   // Explicit rebalance: removes/restores a node's ring ownership. Both are
   // idempotent and O(1); lookups skip ejected owners. Because lookups
   // derive everything from the immutable ring plus the ejected mask,

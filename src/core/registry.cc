@@ -40,6 +40,38 @@ void PerformanceStateRegistry::ObserveFailure(const std::string& component,
   PublishIfChanged(component, before, now);
 }
 
+PerformanceStateRegistry::ObsChannel PerformanceStateRegistry::Resolve(
+    const std::string& component) {
+  auto it = detectors_.find(component);
+  if (it == detectors_.end()) {
+    return {};
+  }
+  // Map nodes are pointer-stable, so the key and detector addresses stay
+  // valid for the registry's lifetime.
+  return ObsChannel(it->second.get(), &it->first);
+}
+
+void PerformanceStateRegistry::Observe(const ObsChannel& ch, SimTime now,
+                                       double units, Duration latency) {
+  if (ch.det_ == nullptr) {
+    return;
+  }
+  ++observations_;
+  const PerfState before = ch.det_->state();
+  ch.det_->Observe(now, units, latency);
+  PublishIfChanged(*ch.name_, before, now);
+}
+
+void PerformanceStateRegistry::ObserveFailure(const ObsChannel& ch,
+                                              SimTime now) {
+  if (ch.det_ == nullptr) {
+    return;
+  }
+  const PerfState before = ch.det_->state();
+  ch.det_->ObserveFailure(now);
+  PublishIfChanged(*ch.name_, before, now);
+}
+
 void PerformanceStateRegistry::RecordLiveness(const std::string& component,
                                               SimTime now) {
   if (!detectors_.contains(component)) {

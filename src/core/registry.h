@@ -37,6 +37,23 @@ class PerformanceStateRegistry {
  public:
   using Listener = std::function<void(const StateChange&)>;
 
+  // A resolved observation channel: stable handle to one component's
+  // detector so hot paths can feed observations without the per-call name
+  // lookup. Valid as long as the registry (and the component's
+  // registration) lives; detectors are never unregistered today.
+  class ObsChannel {
+   public:
+    ObsChannel() = default;
+    explicit operator bool() const { return det_ != nullptr; }
+
+   private:
+    friend class PerformanceStateRegistry;
+    ObsChannel(StutterDetector* det, const std::string* name)
+        : det_(det), name_(name) {}
+    StutterDetector* det_ = nullptr;
+    const std::string* name_ = nullptr;
+  };
+
   explicit PerformanceStateRegistry(DetectorParams detector_params = {})
       : detector_params_(detector_params) {}
 
@@ -51,6 +68,15 @@ class PerformanceStateRegistry {
 
   // Feeds an absolute failure; publishes kFailed.
   void ObserveFailure(const std::string& component, SimTime now);
+
+  // Resolves a component name once; the returned channel feeds the same
+  // Observe/ObserveFailure transitions with no map lookup per call. A
+  // never-registered name yields a null channel whose feeds are no-ops —
+  // matching the by-name overloads' behavior.
+  ObsChannel Resolve(const std::string& component);
+  void Observe(const ObsChannel& ch, SimTime now, double units,
+               Duration latency);
+  void ObserveFailure(const ObsChannel& ch, SimTime now);
 
   // -- Crash detection (missed heartbeat) and recovery state --
   //

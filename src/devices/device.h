@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/simcore/inline_callback.h"
 #include "src/simcore/time.h"
 
 namespace fst {
@@ -48,6 +49,12 @@ struct IoResult {
 };
 
 using IoCallback = std::function<void(const IoResult&)>;
+
+// Allocation-free completion sink for device-internal hot paths (Node
+// compute, Switch delivery). Copyable IoCallbacks convert implicitly, so
+// public APIs built on std::function keep working; per-op serving code
+// passes lambdas that stay inline.
+using IoSink = InlineFunction<void(const IoResult&)>;
 
 // Base class carrying the modulator set and fail-stop state machine.
 class FaultableDevice {

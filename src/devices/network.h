@@ -18,10 +18,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "src/obs/recorder.h"
+#include "src/simcore/inline_callback.h"
 #include "src/simcore/metrics.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/stats.h"
@@ -29,11 +29,13 @@
 
 namespace fst {
 
+// Move-only: `done` is an SBO callback, so enqueueing a message never heap
+// allocates for captures up to InlineFunction's inline budget.
 struct NetMessage {
   int src = 0;
   int dst = 0;
   int64_t bytes = 0;
-  std::function<void(SimTime delivered)> done;
+  InlineFunction<void(SimTime delivered)> done;
 };
 
 struct SwitchParams {

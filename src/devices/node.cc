@@ -19,7 +19,7 @@ Duration Node::EstimateComputeTime(double work_units, SimTime now) const {
   return Duration::Seconds(secs) * CompositeTimeFactor(now);
 }
 
-void Node::Compute(double work_units, IoCallback done) {
+void Node::Compute(double work_units, IoSink done) {
   const SimTime now = sim_.Now();
   if (failed_) {
     if (done) {
@@ -53,43 +53,51 @@ void Node::MaybeStart() {
 
 void Node::StartService(Task task) {
   const SimTime now = sim_.Now();
+  // Park the in-service task in current_ so scheduled events capture only
+  // [this] (+ a timestamp) and stay inside the event queue's inline budget.
+  current_ = std::move(task);
   if (auto off = CompositeOffline(now); off.has_value() && !off->IsZero()) {
-    sim_.Schedule(*off, [this, task = std::move(task)]() mutable {
+    sim_.Schedule(*off, [this]() {
       if (failed_) {
-        if (task.done) {
+        if (current_.done) {
           IoResult r;
           r.ok = false;
-          r.issued = task.issued;
+          r.issued = current_.issued;
           r.completed = sim_.Now();
-          task.done(r);
+          IoSink done = std::move(current_.done);
+          done(r);
         }
         busy_ = false;
         MaybeStart();
         return;
       }
-      StartService(std::move(task));
+      StartService(std::move(current_));
     });
     return;
   }
-  const Duration service = EstimateComputeTime(task.work_units, now);
-  if (recorder_ != nullptr && task.trace_id != 0) {
-    recorder_->RequestStart(now, trace_comp_, task.trace_id, -1,
-                            now - task.issued);
+  const Duration service = EstimateComputeTime(current_.work_units, now);
+  if (recorder_ != nullptr && current_.trace_id != 0) {
+    recorder_->RequestStart(now, trace_comp_, current_.trace_id, -1,
+                            now - current_.issued);
   }
-  sim_.Schedule(service, [this, task = std::move(task), started = now]() {
+  sim_.Schedule(service, [this, started = now]() {
     const SimTime done_at = sim_.Now();
     tasks_completed_ += 1.0;
-    latency_.AddDuration(done_at - task.issued);
-    if (recorder_ != nullptr && task.trace_id != 0) {
-      recorder_->RequestComplete(done_at, trace_comp_, task.trace_id, -1,
-                                 started - task.issued, done_at - started);
+    latency_.AddDuration(done_at - current_.issued);
+    if (recorder_ != nullptr && current_.trace_id != 0) {
+      recorder_->RequestComplete(done_at, trace_comp_, current_.trace_id, -1,
+                                 started - current_.issued, done_at - started);
     }
-    if (task.done) {
+    // Move the sink out before invoking; busy_ stays set until it returns,
+    // so a synchronous re-enqueue from the callback queues (preserving the
+    // original event order) instead of clobbering current_.
+    IoSink done = std::move(current_.done);
+    if (done) {
       IoResult r;
       r.ok = true;
-      r.issued = task.issued;
+      r.issued = current_.issued;
       r.completed = done_at;
-      task.done(r);
+      done(r);
     }
     busy_ = false;
     MaybeStart();

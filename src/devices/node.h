@@ -39,7 +39,9 @@ class Node : public FaultableDevice {
        EventRecorder* recorder = nullptr);
 
   // Enqueues `work_units` of computation; `done` fires on completion.
-  void Compute(double work_units, IoCallback done);
+  // IoSink is an SBO callback: lambdas (and copyable IoCallbacks) convert
+  // implicitly, and captures within the inline budget never allocate.
+  void Compute(double work_units, IoSink done);
 
   // Registers/releases resident working-set demand (e.g. an out-of-core
   // competitor arriving). Over-commit triggers the swap penalty.
@@ -66,7 +68,7 @@ class Node : public FaultableDevice {
  private:
   struct Task {
     double work_units;
-    IoCallback done;
+    IoSink done;
     SimTime issued;
     uint64_t trace_id = 0;  // joins this task's trace events
   };
@@ -79,6 +81,10 @@ class Node : public FaultableDevice {
   EventRecorder* recorder_ = nullptr;
   uint16_t trace_comp_ = 0;
   std::deque<Task> queue_;
+  // The in-service task parks here so scheduled completion events capture
+  // only [this] — keeping every compute event inside the event queue's
+  // inline callback budget regardless of the caller's capture size.
+  Task current_;
   bool busy_ = false;
   double reserved_mb_ = 0.0;
   double tasks_completed_ = 0.0;

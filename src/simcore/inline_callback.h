@@ -1,13 +1,18 @@
-// A small-buffer-optimized, move-only callable for the event hot path.
+// Small-buffer-optimized, move-only callables for the event hot path.
 //
 // Every scheduled event used to carry a std::function<void()>, which heap
 // allocates for any capture larger than the library's tiny inline buffer
 // (typically 16 bytes on libstdc++). The event core schedules millions of
 // callbacks per simulated second, so those allocations dominated the
-// schedule/fire path. InlineCallback stores captures up to kInlineBytes
+// schedule/fire path. InlineFunction stores captures up to kInlineBytes
 // (88 bytes — enough for every scheduling lambda in the tree, e.g. the
 // disk-service completion capturing a full DiskRequest) directly inside
 // the object and falls back to the heap only for oversized captures.
+//
+// InlineFunction<Sig> generalizes the original void() InlineCallback to
+// arbitrary signatures so the device completion paths (Switch delivery,
+// Node compute) can carry their callbacks allocation-free too; the serving
+// layer's per-op completion chains are the heavy consumer.
 //
 // Differences from std::function, all deliberate:
 //   * move-only: callbacks fire once and never need copying; this also
@@ -28,7 +33,11 @@
 
 namespace fst {
 
-class InlineCallback {
+template <typename Sig>
+class InlineFunction;  // primary template left undefined
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
   static constexpr std::size_t kInlineBytes = 88;
   static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
@@ -41,13 +50,14 @@ class InlineCallback {
            std::is_nothrow_move_constructible_v<D>;
   }
 
-  InlineCallback() = default;
-  InlineCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   template <typename F, typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
-                                        std::is_invocable_r_v<void, D&>>>
-  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     if constexpr (StoresInline<F>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       ops_ = &kInlineOps<D>;
@@ -57,9 +67,9 @@ class InlineCallback {
     }
   }
 
-  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
 
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       Reset();
       MoveFrom(other);
@@ -67,14 +77,14 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  ~InlineCallback() { Reset(); }
+  ~InlineFunction() { Reset(); }
 
-  void operator()() {
-    assert(ops_ != nullptr && "invoking a null InlineCallback");
-    ops_->invoke(buf_);
+  R operator()(Args... args) {
+    assert(ops_ != nullptr && "invoking a null InlineFunction");
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
   }
 
   explicit operator bool() const { return ops_ != nullptr; }
@@ -84,7 +94,7 @@ class InlineCallback {
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     // Move-construct *src into dst then destroy *src. Null means the
     // payload is trivially relocatable: memcpy the buffer instead.
     void (*relocate)(void* src, void* dst);
@@ -99,7 +109,9 @@ class InlineCallback {
 
   template <typename F>
   static constexpr Ops kInlineOps = {
-      [](void* buf) { (*Payload<F>(buf))(); },
+      [](void* buf, Args&&... args) -> R {
+        return (*Payload<F>(buf))(std::forward<Args>(args)...);
+      },
       std::is_trivially_copyable_v<F>
           ? nullptr
           : +[](void* src, void* dst) {
@@ -115,13 +127,15 @@ class InlineCallback {
 
   template <typename F>
   static constexpr Ops kHeapOps = {
-      [](void* buf) { (**Payload<F*>(buf))(); },
+      [](void* buf, Args&&... args) -> R {
+        return (**Payload<F*>(buf))(std::forward<Args>(args)...);
+      },
       nullptr,  // the owning pointer relocates by memcpy
       [](void* buf) { delete *Payload<F*>(buf); },
       true,
   };
 
-  void MoveFrom(InlineCallback& other) noexcept {
+  void MoveFrom(InlineFunction& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
       if (ops_->relocate == nullptr) {
@@ -145,6 +159,9 @@ class InlineCallback {
   alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+// The event core's callback type — the original name, now an alias.
+using InlineCallback = InlineFunction<void()>;
 
 static_assert(InlineCallback::kInlineBytes >= 48,
               "event callbacks must fit at least 48 bytes of capture inline");

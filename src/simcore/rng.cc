@@ -116,13 +116,36 @@ ZipfGenerator::ZipfGenerator(int64_t n, double s) {
   for (double& c : cdf_) {
     c /= total;
   }
+  // One guide bucket per rank gives an O(1)-expected bracket per draw at
+  // 4 bytes/rank. cdf_.back() == 1.0 exactly (total/total), so the cursor
+  // always terminates inside the array.
+  const size_t buckets = cdf_.size();
+  guide_.reserve(buckets + 1);
+  size_t cursor = 0;
+  for (size_t k = 0; k <= buckets; ++k) {
+    const double threshold =
+        static_cast<double>(k) / static_cast<double>(buckets);
+    while (cursor < cdf_.size() && cdf_[cursor] < threshold) {
+      ++cursor;
+    }
+    guide_.push_back(static_cast<uint32_t>(
+        cursor < cdf_.size() ? cursor : cdf_.size() - 1));
+  }
 }
 
 int64_t ZipfGenerator::Sample(Rng& rng) const {
   const double u = rng.UniformDouble();
-  // First index with cdf >= u.
-  size_t lo = 0;
-  size_t hi = cdf_.size() - 1;
+  // First index with cdf >= u, searched only within the guide bucket's
+  // bracket: the answer is monotone in u, so for u in [k/B, (k+1)/B) it
+  // lies in [guide_[k], guide_[k+1]]. Same predicate as a full binary
+  // search => bit-identical results, O(1) expected work.
+  const size_t buckets = guide_.size() - 1;
+  size_t k = static_cast<size_t>(u * static_cast<double>(buckets));
+  if (k >= buckets) {
+    k = buckets - 1;  // u*B can round up to B when B is large
+  }
+  size_t lo = guide_[k];
+  size_t hi = guide_[k + 1];
   while (lo < hi) {
     const size_t mid = (lo + hi) / 2;
     if (cdf_[mid] < u) {

@@ -66,7 +66,14 @@ class Rng {
 
 // Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s —
 // the classic skewed-popularity distribution for hotspot workloads.
-// Precomputes the CDF once; sampling is a binary search.
+//
+// Sampling is inverse-CDF accelerated by a guide table (cut points): one
+// uniform draw indexes a bucket whose precomputed [lo, hi] bracket confines
+// the "first index with cdf >= u" search to an O(1)-expected range. The
+// guide table narrows the *same* predicate the old full binary search
+// evaluated, so draw sequences are bit-identical to it on every seed —
+// unlike Walker's alias method, which is also O(1) but changes the u->rank
+// mapping and would silently shift every keyed workload in the tree.
 class ZipfGenerator {
  public:
   ZipfGenerator(int64_t n, double s);
@@ -78,6 +85,9 @@ class ZipfGenerator {
 
  private:
   std::vector<double> cdf_;
+  // guide_[k] = first index with cdf_[i] >= k/buckets (clamped to n-1),
+  // for k in [0, buckets]; a draw u searches [guide_[k], guide_[k+1]] only.
+  std::vector<uint32_t> guide_;
 };
 
 }  // namespace fst
