@@ -43,6 +43,7 @@ KvService::KvService(Simulator& sim, ClusterParams params,
     channels_.push_back(registry_.Resolve(nodes_[static_cast<size_t>(i)]->name()));
   }
   depth_fn_ = [this](int n) { return admission_.outstanding(n); };
+  seg_cache_.resize(std::max<size_t>(1, shard_map_.segments()));
   if (params_.live.enabled) {
     live_ = std::make_unique<LivePlane>(params_.nodes, params_.live);
   }
@@ -175,8 +176,17 @@ void KvService::FinishOp(OpTable::Id id, bool ok) {
     slo_.RecordError(attempts);
   }
   if (recorder_ != nullptr && trace_id != 0) {
-    recorder_->RequestComplete(now, trace_comp_, trace_id, -1,
-                               Duration::Zero(), now - t0);
+    if ((flags & OpTable::kTagged) != 0) {
+      // Coalesced delivery extends to tracing: the row is staged and
+      // rides the next drain's bulk append instead of paying a ring
+      // cursor round-trip per completion.
+      trace_scratch_.push_back(
+          TraceEvent{now, EventKind::kRequestComplete, trace_comp_, 0, -1,
+                     trace_id, 0.0, static_cast<double>((now - t0).nanos())});
+    } else {
+      recorder_->RequestComplete(now, trace_comp_, trace_id, -1,
+                                 Duration::Zero(), now - t0);
+    }
   }
   if (done) {
     IoResult r;
@@ -188,6 +198,10 @@ void KvService::FinishOp(OpTable::Id id, bool ok) {
 }
 
 const std::vector<CompletionRecord>& KvService::DrainCompletions() {
+  if (!trace_scratch_.empty()) {
+    recorder_->RecordN(trace_scratch_.data(), trace_scratch_.size());
+    trace_scratch_.clear();
+  }
   completions_.SwapDrain(drained_);
   slo_.RecordBatch(drained_.data(), drained_.size());
   return drained_;
@@ -214,6 +228,19 @@ void KvService::AttemptFailed(OpTable::Id id, bool admitted_this_attempt) {
       StartWriteAttempt(id);
     }
   });
+}
+
+KvService::SegmentCache& KvService::SegmentFor(uint64_t key) {
+  const size_t seg = shard_map_.SegmentOf(key);
+  SegmentCache& sc = seg_cache_[seg];
+  if (sc.map_epoch != shard_map_.epoch()) {
+    shard_map_.ReplicasForSegment(seg, sc.replicas);
+    sc.map_epoch = shard_map_.epoch();
+    // Replica membership may have changed, so the rank prefix (a filter
+    // over exactly this set) must rebuild even if weights did not move.
+    sc.rank.epoch = 0;
+  }
+  return sc;
 }
 
 bool KvService::IsMiss(int node, uint64_t key) const {
@@ -413,8 +440,8 @@ void KvService::StartReadAttempt(OpTable::Id id) {
   ++ops_.attempts[slot];
   const SimTime attempt_start = sim_.Now();
   const uint64_t key = ops_.key[slot];
-  shard_map_.ReplicasFor(key, replicas_scratch_);
-  selector_.RankInto(replicas_scratch_, depth_fn_, ranked_scratch_);
+  SegmentCache& sc = SegmentFor(key);
+  selector_.RankCachedInto(sc.rank, sc.replicas, depth_fn_, ranked_scratch_);
   if (ranked_scratch_.empty()) {
     AttemptFailed(id, false);
     return;
@@ -500,8 +527,10 @@ void KvService::StartWriteAttempt(OpTable::Id id) {
   const SimTime attempt_start = sim_.Now();
   const uint64_t key = ops_.key[slot];
   const uint64_t version = ops_.version[slot];
-  shard_map_.ReplicasFor(key, replicas_scratch_);
-  if (replicas_scratch_.empty()) {
+  // Cached segment walk; safe to hold across the loop — Dispatch only
+  // schedules events, nothing here re-enters the cache.
+  const std::vector<int>& replicas = SegmentFor(key).replicas;
+  if (replicas.empty()) {
     AttemptFailed(id, false);
     return;
   }
@@ -509,12 +538,12 @@ void KvService::StartWriteAttempt(OpTable::Id id) {
   ops_.wa_completed[slot] = 0;
   ops_.wa_ok[slot] = 0;
   ops_.wa_quorum[slot] = static_cast<int16_t>(std::clamp(
-      params_.write_quorum, 1, static_cast<int>(replicas_scratch_.size())));
+      params_.write_quorum, 1, static_cast<int>(replicas.size())));
   ops_.flags[slot] &= static_cast<uint8_t>(~OpTable::kWaReported);
 
   int16_t dispatched = 0;
-  for (size_t i = 0; i < replicas_scratch_.size(); ++i) {
-    const int node = replicas_scratch_[i];
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    const int node = replicas[i];
     if (!admission_.TryAdmit(node)) {
       continue;
     }

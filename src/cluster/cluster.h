@@ -129,6 +129,12 @@ class KvService {
   void GetTagged(uint64_t key, uint64_t tag);
   void PutTagged(uint64_t key, uint64_t tag);
 
+  // Pure prefetch: warms the shard-route lookup for `key` so an issue
+  // loop that knows its next key hides the miss behind the current op.
+  void PrefetchRoute(uint64_t key) const {
+    shard_map_.PrefetchSegmentOf(key);
+  }
+
   // Drains the completion ring in FIFO (= completion) order: feeds every
   // record through SloTracker::RecordBatch, then hands the batch to the
   // caller for its own tallies. The returned reference is valid until the
@@ -286,6 +292,10 @@ class KvService {
   OpTable ops_;
   CompletionRing completions_;
   std::vector<CompletionRecord> drained_;
+  // Tagged-op trace rows staged between drains and bulk-appended to the
+  // recorder ring in one RecordN call per tick (recorder-on runs only) —
+  // same events, one ring transaction instead of one per completion.
+  std::vector<TraceEvent> trace_scratch_;
 
   // Hot-path caches: per-node registry channels (skip the name hash on
   // every observation), one reusable DepthFn, and ranking scratch buffers
@@ -294,6 +304,25 @@ class KvService {
   ReplicaSelector::DepthFn depth_fn_;
   std::vector<int> replicas_scratch_;
   std::vector<int> ranked_scratch_;
+
+  // Epoch-cached routing state, one entry per consistent-hash ring
+  // segment: the segment's replica set stamped with the ShardMap epoch
+  // it was walked at, plus the selector's cached rank prefix for that
+  // set. Exploits the key temporal asymmetry of fail-stutter serving —
+  // ownership and weights change on registry transitions (rare), ops
+  // flow between them (millions) — while the per-op tie-break draws stay
+  // in SampleScored, so routing is bit-identical to the uncached path.
+  // Memory bound: segments * (replication ints + filtered pairs), ~60 B
+  // per segment at replication 3.
+  struct SegmentCache {
+    uint64_t map_epoch = 0;  // 0 never matches a live epoch: lazy build
+    std::vector<int> replicas;
+    ReplicaSelector::RankCache rank;
+  };
+  // Returns the current-epoch cache entry for `key`'s segment,
+  // (re)walking the ring only when a rebalance happened since last use.
+  SegmentCache& SegmentFor(uint64_t key);
+  std::vector<SegmentCache> seg_cache_;
 
   int client_port_;
   int64_t reads_ = 0;

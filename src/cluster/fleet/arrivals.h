@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "src/cluster/client.h"
+#include "src/simcore/arena.h"
 #include "src/simcore/rng.h"
+#include "src/simcore/rng_block.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/time.h"
 
@@ -71,6 +73,11 @@ class ArrivalGenerator {
   // may still hold a final partial window, but later calls yield nothing.
   bool FillWindow(ArrivalBatch& batch, size_t max, SimTime horizon);
 
+  // Optional per-tick arena backing FillWindow's draw scratch. The owner
+  // must Reset() it before each FillWindow (the BatchSequencer does);
+  // nothing allocated from it escapes the call.
+  void AttachArena(TickArena* arena) { arena_ = arena; }
+
   SimTime cursor() const { return cursor_; }
 
  private:
@@ -78,11 +85,16 @@ class ArrivalGenerator {
   ArrivalMode mode_;
   std::vector<MmppPhase> phases_;
   uint32_t num_clients_;
-  Rng arrival_rng_;
-  Rng key_rng_;
-  Rng client_rng_;
+  // Blockwise wrappers over the forked streams: identical draw sequences
+  // to the scalar Rng they own, amortised refills. Each stream is private
+  // to one draw site, so buffering cannot reorder anything observable.
+  RngBlock arrival_rng_;
+  RngBlock key_rng_;
+  RngBlock client_rng_;
   ZipfGenerator zipf_;
   SimTime cursor_;
+  TickArena* arena_ = nullptr;
+  std::vector<double> u_scratch_;  // fallback when no arena is attached
   size_t phase_ = 0;
   bool exhausted_ = false;
 };

@@ -40,6 +40,8 @@ ColumnarFleet::ColumnarFleet(Simulator& sim, ColumnarFleetParams params)
   if (params_.num_clients > 0) {
     tallies_.resize(params_.num_clients);
   }
+  gen_.AttachArena(&arena_);
+  seq_.AttachArena(&arena_);
 }
 
 void ColumnarFleet::Run(KvService& service,
@@ -70,7 +72,19 @@ void ColumnarFleet::IssueAt(size_t i) {
   const uint64_t key = batch_.key[i];
   const uint64_t tag = batch_.client[i];
   if (!tallies_.empty()) {
+    // A million-client tally array is a guaranteed cache miss per op; the
+    // next window entries' client ids are already columnar, so start their
+    // tally lines toward the core while this op dispatches.
+    if (i + 1 < batch_.client.size()) {
+      __builtin_prefetch(&tallies_[batch_.client[i + 1]], 1);
+    }
+    if (i + 2 < batch_.client.size()) {
+      __builtin_prefetch(&tallies_[batch_.client[i + 2]], 1);
+    }
     ++tallies_[tag].issued;
+  }
+  if (i + 1 < batch_.key.size()) {
+    service_->PrefetchRoute(batch_.key[i + 1]);
   }
   if (batch_.is_read[i] != 0) {
     ++result_.reads_issued;
@@ -83,7 +97,13 @@ void ColumnarFleet::IssueAt(size_t i) {
 
 void ColumnarFleet::DrainTick() {
   const std::vector<CompletionRecord>& recs = service_->DrainCompletions();
-  for (const CompletionRecord& r : recs) {
+  for (size_t j = 0; j < recs.size(); ++j) {
+    const CompletionRecord& r = recs[j];
+    if (!tallies_.empty() && j + 8 < recs.size()) {
+      // Same trick as IssueAt: completion tags are random client ids, so
+      // walk 8 records ahead of the tally updates.
+      __builtin_prefetch(&tallies_[recs[j + 8].tag], 1);
+    }
     const bool ok = r.outcome == SloOutcome::kAck;
     if (ok) {
       ++result_.ops_ok;

@@ -33,6 +33,7 @@
 #include "src/cluster/client.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/fleet/arrivals.h"
+#include "src/simcore/arena.h"
 #include "src/simcore/batch_sequencer.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/time.h"
@@ -89,6 +90,10 @@ class ColumnarFleet {
   ColumnarFleetParams params_;
   ArrivalGenerator gen_;
   BatchSequencer seq_;
+  // Tick-scoped scratch arena: the sequencer resets it at every refill
+  // boundary, the generator carves its per-window draw buffers from it.
+  // Nothing arena-backed survives past the tick that allocated it.
+  TickArena arena_;
   ArrivalBatch batch_;
 
   KvService* service_ = nullptr;

@@ -30,6 +30,7 @@
 #include <cstdint>
 
 #include "src/simcore/rng.h"
+#include "src/simcore/rng_block.h"
 #include "src/simcore/time.h"
 
 namespace fst {
@@ -65,7 +66,7 @@ class RetryPolicy {
   };
 
   RetryPolicy(RetryParams params, Rng rng)
-      : params_(params), rng_(rng), tokens_(params.budget_cap) {}
+      : params_(params), rng_(RngBlock(rng)), tokens_(params.budget_cap) {}
 
   // Earns budget tokens; call once per client arrival.
   void OnArrival() {
@@ -88,7 +89,9 @@ class RetryPolicy {
   Duration BackoffFor(int attempts_made);
 
   RetryParams params_;
-  Rng rng_;
+  // Blockwise wrapper over the policy's private jitter stream: identical
+  // draw sequence to the scalar Rng, amortised refills under retry storms.
+  RngBlock rng_;
   double tokens_;
   Stats stats_;
 };

@@ -19,10 +19,15 @@ const char* RouteModeName(RouteMode m) {
 
 ReplicaSelector::ReplicaSelector(RouteMode mode, int nodes, Rng rng)
     : mode_(mode), weights_(static_cast<size_t>(nodes), 1.0),
-      rng_(std::move(rng)) {}
+      rng_(RngBlock(std::move(rng))) {}
 
 void ReplicaSelector::SetWeight(int node, double weight) {
-  weights_[static_cast<size_t>(node)] = std::clamp(weight, 0.0, 1.0);
+  double& slot = weights_[static_cast<size_t>(node)];
+  const double clamped = std::clamp(weight, 0.0, 1.0);
+  if (slot != clamped) {
+    slot = clamped;
+    ++epoch_;
+  }
 }
 
 std::vector<int> ReplicaSelector::Rank(const std::vector<int>& replicas,
@@ -34,9 +39,6 @@ std::vector<int> ReplicaSelector::Rank(const std::vector<int>& replicas,
 
 void ReplicaSelector::RankInto(const std::vector<int>& replicas,
                                const DepthFn& depth, std::vector<int>& out) {
-  // The draw pattern (one UniformDouble per emitted position, including
-  // the final lone candidate, with order-preserving removal) is pinned:
-  // changing it would shift every downstream routing decision per seed.
   std::vector<std::pair<int, double>>& scored = scored_scratch_;
   scored.clear();
   scored.reserve(replicas.size());
@@ -59,8 +61,56 @@ void ReplicaSelector::RankInto(const std::vector<int>& replicas,
     }
     scored.emplace_back(node, score);
   }
+  SampleScored(scored, out);
+  MaybeShrinkScratch();
+}
+
+void ReplicaSelector::RankCachedInto(RankCache& cache,
+                                     const std::vector<int>& replicas,
+                                     const DepthFn& depth,
+                                     std::vector<int>& out) {
+  if (cache.epoch != epoch_) {
+    // Rebuild the filtered candidate list exactly as RankInto's filter
+    // pass would: same order, same w <= 0 drop.
+    cache.scored.clear();
+    cache.scored.reserve(replicas.size());
+    for (int node : replicas) {
+      const double w = weights_[static_cast<size_t>(node)];
+      if (w > 0.0) {
+        cache.scored.emplace_back(node, w);
+      }
+    }
+    cache.epoch = epoch_;
+  }
+  // Per-op scoring over the cached candidates into the mutable scratch
+  // (the sampling loop consumes it destructively).
+  std::vector<std::pair<int, double>>& scored = scored_scratch_;
+  scored.assign(cache.scored.begin(), cache.scored.end());
+  switch (mode_) {
+    case RouteMode::kUniform:
+      for (auto& [node, score] : scored) {
+        score = 1.0;
+      }
+      break;
+    case RouteMode::kWeighted:
+      break;  // cached weights are the scores
+    case RouteMode::kQueueWeighted:
+      for (auto& [node, score] : scored) {
+        score /= 1.0 + static_cast<double>(depth ? depth(node) : 0);
+      }
+      break;
+  }
+  SampleScored(scored, out);
+  MaybeShrinkScratch();
+}
+
+void ReplicaSelector::SampleScored(std::vector<std::pair<int, double>>& scored,
+                                   std::vector<int>& out) {
   // Weighted sampling without replacement: each position is drawn with
-  // probability proportional to score among the remaining candidates.
+  // probability proportional to score among the remaining candidates. The
+  // draw pattern (one UniformDouble per emitted position, including the
+  // final lone candidate, with order-preserving removal) is pinned:
+  // changing it would shift every downstream routing decision per seed.
   out.clear();
   out.reserve(scored.size());
   while (!scored.empty()) {
@@ -80,6 +130,14 @@ void ReplicaSelector::RankInto(const std::vector<int>& replicas,
     }
     out.push_back(scored[pick].first);
     scored.erase(scored.begin() + static_cast<long>(pick));
+  }
+}
+
+void ReplicaSelector::MaybeShrinkScratch() {
+  if (scored_scratch_.capacity() > kScratchRetainCap) {
+    // Swap with a fresh vector: `= {}` resolves to the initializer_list
+    // overload, which clears elements but *keeps* the allocation.
+    std::vector<std::pair<int, double>>().swap(scored_scratch_);
   }
 }
 

@@ -34,6 +34,62 @@ ShardMap::ShardMap(int nodes, ShardMapParams params)
     }
   }
   std::sort(ring_.begin(), ring_.end());
+  // Guide table over the hash space: ring points are Mix64 outputs, so
+  // ~uniform; with 2x oversampled buckets the confined lower_bound in
+  // SegmentOf inspects one point in expectation.
+  if (!ring_.empty()) {
+    int bits = 1;
+    while ((size_t{1} << bits) < 2 * ring_.size()) {
+      ++bits;
+    }
+    const size_t buckets = size_t{1} << bits;
+    lookup_shift_ = 64 - bits;
+    lookup_.resize(buckets + 1);
+    size_t cursor = 0;
+    for (size_t k = 0; k < buckets; ++k) {
+      const uint64_t threshold = static_cast<uint64_t>(k) << lookup_shift_;
+      while (cursor < ring_.size() && ring_[cursor].where < threshold) {
+        ++cursor;
+      }
+      lookup_[k] = static_cast<uint32_t>(cursor);
+    }
+    lookup_[buckets] = static_cast<uint32_t>(ring_.size());
+  }
+}
+
+size_t ShardMap::SegmentOf(uint64_t key) const {
+  if (ring_.empty()) {
+    return 0;
+  }
+  const uint64_t h = HashKey(key);
+  const size_t k = static_cast<size_t>(h >> lookup_shift_);
+  // Successor of h on the ring, confined to the guide bucket's bracket:
+  // identical predicate (and result) as a full lower_bound.
+  const auto first = ring_.begin() + lookup_[k];
+  const auto last = ring_.begin() + lookup_[k + 1];
+  const size_t start =
+      static_cast<size_t>(std::lower_bound(first, last, Point{h, -1}) -
+                          ring_.begin());
+  return start == ring_.size() ? 0 : start;  // wrap, canonical in [0, size)
+}
+
+void ShardMap::ReplicasForSegment(size_t seg, std::vector<int>& out) const {
+  out.clear();
+  if (ring_.empty() || live_nodes_ == 0) {
+    return;
+  }
+  const int want = std::min(params_.replication, live_nodes_);
+  out.reserve(static_cast<size_t>(want));
+  for (size_t step = 0;
+       step < ring_.size() && static_cast<int>(out.size()) < want; ++step) {
+    const Point& p = ring_[(seg + step) % ring_.size()];
+    if (ejected_[static_cast<size_t>(p.node)]) {
+      continue;
+    }
+    if (std::find(out.begin(), out.end(), p.node) == out.end()) {
+      out.push_back(p.node);
+    }
+  }
 }
 
 std::vector<int> ShardMap::ReplicasFor(uint64_t key) const {
@@ -47,23 +103,7 @@ void ShardMap::ReplicasFor(uint64_t key, std::vector<int>& out) const {
   if (ring_.empty() || live_nodes_ == 0) {
     return;
   }
-  const int want = std::min(params_.replication, live_nodes_);
-  out.reserve(static_cast<size_t>(want));
-  const uint64_t h = HashKey(key);
-  // Successor of h on the ring (wrapping).
-  size_t start = static_cast<size_t>(
-      std::lower_bound(ring_.begin(), ring_.end(), Point{h, -1}) -
-      ring_.begin());
-  for (size_t step = 0; step < ring_.size() && static_cast<int>(out.size()) < want;
-       ++step) {
-    const Point& p = ring_[(start + step) % ring_.size()];
-    if (ejected_[static_cast<size_t>(p.node)]) {
-      continue;
-    }
-    if (std::find(out.begin(), out.end(), p.node) == out.end()) {
-      out.push_back(p.node);
-    }
-  }
+  ReplicasForSegment(SegmentOf(key), out);
 }
 
 void ShardMap::Eject(int node) {
@@ -73,6 +113,7 @@ void ShardMap::Eject(int node) {
   ejected_[static_cast<size_t>(node)] = true;
   --live_nodes_;
   ++rebalances_;
+  ++epoch_;
 }
 
 void ShardMap::Uneject(int node) {
@@ -82,6 +123,7 @@ void ShardMap::Uneject(int node) {
   ejected_[static_cast<size_t>(node)] = false;
   ++live_nodes_;
   ++rebalances_;
+  ++epoch_;
 }
 
 uint64_t ShardMap::OwnershipDigest(int samples) const {

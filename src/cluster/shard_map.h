@@ -43,6 +43,38 @@ class ShardMap {
   // exactly the set the returning overload would produce.
   void ReplicasFor(uint64_t key, std::vector<int>& out) const;
 
+  // -- Segment API (epoch-cached lookups) --
+  //
+  // A *segment* is one arc of the ring: every key hashing into the arc
+  // ending at ring point i maps to segment i and shares one replica set.
+  // Replica sets are a pure function of (segment, ejected mask), so a
+  // caller may cache ReplicasForSegment results keyed by (segment,
+  // epoch()) and skip the ring walk entirely between rebalances.
+
+  // Segment index for `key` in [0, segments()); O(1) via a guide table
+  // over the (uniform) ring point distribution. Identical to the start
+  // position the ReplicasFor walk uses.
+  size_t SegmentOf(uint64_t key) const;
+
+  // Pure prefetch of the guide-table line SegmentOf(key) will touch:
+  // callers that know upcoming keys (the columnar issue loop) hide the
+  // lookup miss behind the current op. No observable effect.
+  void PrefetchSegmentOf(uint64_t key) const {
+    if (!lookup_.empty()) {
+      __builtin_prefetch(&lookup_[HashKey(key) >> lookup_shift_]);
+    }
+  }
+  size_t segments() const { return ring_.size(); }
+
+  // The replica set shared by every key in `seg` — exactly what
+  // ReplicasFor produces for those keys.
+  void ReplicasForSegment(size_t seg, std::vector<int>& out) const;
+
+  // Monotone rebalance epoch: bumped by every effective Eject/Uneject.
+  // Cached (segment -> replicas) entries stamped with a matching epoch
+  // are proven current; a bump is an O(1) fleet-wide invalidation.
+  uint64_t epoch() const { return epoch_; }
+
   // Explicit rebalance: removes/restores a node's ring ownership. Both are
   // idempotent and O(1); lookups skip ejected owners. Because lookups
   // derive everything from the immutable ring plus the ejected mask,
@@ -80,9 +112,16 @@ class ShardMap {
   int nodes_;
   ShardMapParams params_;
   std::vector<Point> ring_;     // sorted by `where`
+  // lookup_[k] = first ring index whose point falls at or after bucket
+  // k's start (buckets partition the 64-bit hash space uniformly): the
+  // lower_bound for hash h is confined to [lookup_[h>>shift],
+  // lookup_[(h>>shift)+1]] — same predicate, O(1) expected work.
+  std::vector<uint32_t> lookup_;
+  int lookup_shift_ = 64;
   std::vector<bool> ejected_;
   int live_nodes_;
   int rebalances_ = 0;
+  uint64_t epoch_ = 1;
 };
 
 }  // namespace fst

@@ -59,7 +59,7 @@ void PerformanceStateRegistry::Observe(const ObsChannel& ch, SimTime now,
   ++observations_;
   const PerfState before = ch.det_->state();
   ch.det_->Observe(now, units, latency);
-  PublishIfChanged(*ch.name_, before, now);
+  PublishIfChanged(*ch.name_, *ch.det_, before, now);
 }
 
 void PerformanceStateRegistry::ObserveFailure(const ObsChannel& ch,
@@ -69,7 +69,7 @@ void PerformanceStateRegistry::ObserveFailure(const ObsChannel& ch,
   }
   const PerfState before = ch.det_->state();
   ch.det_->ObserveFailure(now);
-  PublishIfChanged(*ch.name_, before, now);
+  PublishIfChanged(*ch.name_, *ch.det_, before, now);
 }
 
 void PerformanceStateRegistry::RecordLiveness(const std::string& component,
@@ -117,10 +117,16 @@ void PerformanceStateRegistry::MarkRecovered(const std::string& component,
 
 void PerformanceStateRegistry::PublishIfChanged(const std::string& component,
                                                 PerfState before, SimTime now) {
-  const auto& det = *detectors_.at(component);
+  PublishIfChanged(component, *detectors_.at(component), before, now);
+}
+
+void PerformanceStateRegistry::PublishIfChanged(const std::string& component,
+                                                const StutterDetector& det,
+                                                PerfState before, SimTime now) {
   if (det.state() == before) {
     return;
   }
+  ++epoch_;
   StateChange change;
   change.when = now;
   change.component = component;

@@ -115,8 +115,19 @@ class PerformanceStateRegistry {
   uint64_t notifications_sent() const { return notifications_sent_; }
   const std::vector<StateChange>& history() const { return history_; }
 
+  // Monotone score epoch: bumped once per published state transition.
+  // Consumers caching anything derived from registry state (selector
+  // weights, shard ownership, rank orders) can compare epochs instead of
+  // subscribing; equality proves no transition happened in between.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   void PublishIfChanged(const std::string& component, PerfState before,
+                        SimTime now);
+  // Channel-path variant: the caller already resolved the detector, so the
+  // per-observation detectors_.at() name lookup is skipped.
+  void PublishIfChanged(const std::string& component,
+                        const StutterDetector& det, PerfState before,
                         SimTime now);
 
   DetectorParams detector_params_;
@@ -127,6 +138,7 @@ class PerformanceStateRegistry {
   std::vector<StateChange> history_;
   uint64_t observations_ = 0;
   uint64_t notifications_sent_ = 0;
+  uint64_t epoch_ = 1;
 };
 
 }  // namespace fst

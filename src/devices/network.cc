@@ -53,13 +53,16 @@ int64_t Switch::total_delivered_bytes() const {
 
 void Switch::Send(NetMessage msg) {
   const int src = msg.src;
-  Pending p{std::move(msg), sim_.Now(), SimTime(), 0};
+  const SimTime now = sim_.Now();
+  uint64_t trace_id = 0;
   if (recorder_ != nullptr && recorder_->enabled()) {
-    p.trace_id = recorder_->NextRequestId();
-    recorder_->RequestEnqueue(p.enqueued, trace_comp_, p.trace_id, src,
+    trace_id = recorder_->NextRequestId();
+    recorder_->RequestEnqueue(now, trace_comp_, trace_id, src,
                               static_cast<double>(send_queues_[src].size() + 1));
   }
-  send_queues_[src].push_back(std::move(p));
+  // One relocation: the message moves straight into the ring slot instead
+  // of staging through a local Pending.
+  send_queues_[src].push_back(Pending{std::move(msg), now, SimTime(), trace_id});
   MaybeStartSend(src);
 }
 
@@ -77,24 +80,28 @@ void Switch::MaybeStartSend(int port) {
 }
 
 void Switch::FinishSend(int port) {
-  Pending p = std::move(send_queues_[port].front());
-  send_queues_[port].pop_front();
-  if (fabric_occupancy_ + p.msg.bytes <= params_.fabric_buffer_bytes) {
-    fabric_occupancy_ += p.msg.bytes;
-    p.admitted = sim_.Now();
-    if (recorder_ != nullptr && p.trace_id != 0) {
-      recorder_->RequestStart(p.admitted, trace_comp_, p.trace_id, port,
-                              p.admitted - p.enqueued);
+  Pending& head = send_queues_[port].front();
+  if (fabric_occupancy_ + head.msg.bytes <= params_.fabric_buffer_bytes) {
+    fabric_occupancy_ += head.msg.bytes;
+    head.admitted = sim_.Now();
+    if (recorder_ != nullptr && head.trace_id != 0) {
+      recorder_->RequestStart(head.admitted, trace_comp_, head.trace_id, port,
+                              head.admitted - head.enqueued);
     }
-    const int dst = p.msg.dst;
-    recv_queues_[dst].push_back(std::move(p));
+    // Move straight from the send FIFO into the receive FIFO — the
+    // common path shuffles no intermediate Pending.
+    const int dst = head.msg.dst;
+    recv_queues_[dst].push_back(std::move(head));
+    send_queues_[port].pop_front();
     send_busy_[port] = false;
     MaybeStartSend(port);
     MaybeStartReceive(dst);
   } else {
     // Fabric full: the link blocks (backpressure). The message parks and
     // this port's send server stays busy until space frees.
-    awaiting_admission_[port].push_back(std::move(p));
+    awaiting_admission_[port].push_back(std::move(head));
+    send_queues_[port].pop_front();
+    ++awaiting_total_;
   }
 }
 
@@ -113,6 +120,7 @@ void Switch::AdmitToFabric(int port) {
     const int dst = head.msg.dst;
     recv_queues_[dst].push_back(std::move(head));
     awaiting_admission_[port].pop_front();
+    --awaiting_total_;
     send_busy_[port] = false;
     MaybeStartSend(port);
     MaybeStartReceive(dst);
@@ -151,9 +159,12 @@ void Switch::FinishReceive(int port) {
   if (p.msg.done) {
     p.msg.done(now);
   }
-  // Space freed: admit parked messages round-robin across ports.
-  for (int i = 0; i < params_.ports; ++i) {
-    AdmitToFabric(i);
+  // Space freed: admit parked messages round-robin across ports. With
+  // nothing parked anywhere the sweep is provably a no-op and is skipped.
+  if (awaiting_total_ > 0) {
+    for (int i = 0; i < params_.ports; ++i) {
+      AdmitToFabric(i);
+    }
   }
   recv_busy_[port] = false;
   MaybeStartReceive(port);

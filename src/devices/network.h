@@ -17,12 +17,13 @@
 #define SRC_DEVICES_NETWORK_H_
 
 #include <cstdint>
-#include <deque>
+#include <utility>
 #include <vector>
 
 #include "src/obs/recorder.h"
 #include "src/simcore/inline_callback.h"
 #include "src/simcore/metrics.h"
+#include "src/simcore/ring_fifo.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/stats.h"
 #include "src/simcore/time.h"
@@ -80,6 +81,8 @@ class Switch {
     uint64_t trace_id = 0;  // joins this message's trace events
   };
 
+  using PendingRing = FifoRing<Pending>;
+
   // Returns how long until a stall window ends (zero if not stalled).
   Duration StallRemaining() const;
 
@@ -95,11 +98,15 @@ class Switch {
   EventRecorder* recorder_;
   uint16_t trace_comp_ = 0;
 
-  std::vector<std::deque<Pending>> send_queues_;
+  std::vector<PendingRing> send_queues_;
   std::vector<bool> send_busy_;
   // Sent but not yet admitted to the fabric (waiting for buffer space).
-  std::vector<std::deque<Pending>> awaiting_admission_;
-  std::vector<std::deque<Pending>> recv_queues_;
+  std::vector<PendingRing> awaiting_admission_;
+  // Total parked messages across all ports: lets a delivery skip the
+  // admission sweep entirely in the (overwhelmingly common) uncongested
+  // case instead of probing every port's empty queue.
+  int64_t awaiting_total_ = 0;
+  std::vector<PendingRing> recv_queues_;
   std::vector<bool> recv_busy_;
   std::vector<double> recv_speed_;
   std::vector<double> src_weight_;

@@ -37,6 +37,13 @@ void Node::Compute(double work_units, IoSink done) {
     recorder_->RequestEnqueue(now, trace_comp_, task.trace_id, -1,
                               static_cast<double>(queue_depth() + 1));
   }
+  // Idle server: skip the queue round-trip (two ~100-byte Task moves) and
+  // start service directly. Identical to push-then-MaybeStart.
+  if (!busy_ && queue_.empty()) {
+    busy_ = true;
+    StartService(std::move(task));
+    return;
+  }
   queue_.push_back(std::move(task));
   MaybeStart();
 }
@@ -119,9 +126,11 @@ void Node::FailStop() {
   }
   failed_ = true;
   const SimTime now = sim_.Now();
-  std::deque<Task> doomed;
-  doomed.swap(queue_);
-  for (auto& task : doomed) {
+  FifoRing<Task> doomed = std::move(queue_);
+  queue_ = FifoRing<Task>();
+  while (!doomed.empty()) {
+    Task task = std::move(doomed.front());
+    doomed.pop_front();
     if (task.done) {
       IoResult r;
       r.ok = false;

@@ -13,12 +13,12 @@
 #define SRC_DEVICES_NODE_H_
 
 #include <algorithm>
-#include <deque>
 #include <functional>
 #include <string>
 
 #include "src/devices/device.h"
 #include "src/obs/recorder.h"
+#include "src/simcore/ring_fifo.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/stats.h"
 #include "src/simcore/time.h"
@@ -80,7 +80,7 @@ class Node : public FaultableDevice {
   NodeParams params_;
   EventRecorder* recorder_ = nullptr;
   uint16_t trace_comp_ = 0;
-  std::deque<Task> queue_;
+  FifoRing<Task> queue_;
   // The in-service task parks here so scheduled completion events capture
   // only [this] — keeping every compute event inside the event queue's
   // inline callback budget regardless of the caller's capture size.

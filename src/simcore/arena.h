@@ -1,0 +1,118 @@
+// TickArena: a bump allocator for transient per-tick scratch.
+//
+// The columnar serving loop produces short-lived scratch every batch tick
+// (draw buffers, attribution staging). Individually heap-allocating or
+// keeping per-callsite high-water vectors scatters that scratch across the
+// heap; the arena packs one tick's scratch contiguously and frees it all
+// with a pointer reset at the next tick boundary.
+//
+// Lifetime rules (see DESIGN.md "Epoch caching & memory discipline"):
+//   * nothing arena-backed may escape the tick that allocated it — Reset()
+//     invalidates every outstanding pointer;
+//   * only trivially-destructible types may live in the arena (Reset runs
+//     no destructors);
+//   * Reset() retains capacity, so a steady-state tick performs zero heap
+//     allocations once the first few ticks size the chunks.
+#ifndef SRC_SIMCORE_ARENA_H_
+#define SRC_SIMCORE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace fst {
+
+class TickArena {
+ public:
+  explicit TickArena(size_t chunk_bytes = size_t{1} << 16)
+      : chunk_bytes_(chunk_bytes < kMinChunk ? kMinChunk : chunk_bytes) {}
+
+  // Aligned raw allocation (align must be a power of two). An oversized
+  // request grows the chunk size geometrically.
+  void* Allocate(size_t bytes, size_t align) {
+    for (;;) {
+      if (cur_ < chunks_.size()) {
+        const auto base =
+            reinterpret_cast<uintptr_t>(chunks_[cur_].data.get());
+        const uintptr_t p =
+            (base + offset_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+        const size_t end = static_cast<size_t>(p - base) + bytes;
+        if (end <= chunks_[cur_].size) {
+          offset_ = end;
+          in_use_ = in_use_ > end ? in_use_ : end;
+          return reinterpret_cast<void*>(p);
+        }
+      }
+      NextChunk(bytes + align);
+    }
+  }
+
+  // n default-initialized Ts. T must be trivially destructible: Reset()
+  // runs no destructors.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "TickArena never runs destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // O(1)-amortized rewind to empty; every chunk's capacity is retained.
+  // Invalidates all pointers handed out since the previous Reset.
+  void Reset() {
+    cur_ = 0;
+    offset_ = 0;
+    ++resets_;
+  }
+
+  // Capacity currently held (bytes across all chunks).
+  size_t capacity() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) {
+      total += c.size;
+    }
+    return total;
+  }
+  // High-water bytes bump-allocated within a single chunk generation.
+  size_t high_water() const { return in_use_; }
+  uint64_t resets() const { return resets_; }
+
+ private:
+  static constexpr size_t kMinChunk = 1024;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  void NextChunk(size_t need) {
+    if (!chunks_.empty()) {
+      ++cur_;
+    }
+    if (cur_ < chunks_.size() && chunks_[cur_].size >= need) {
+      offset_ = 0;
+      return;
+    }
+    size_t size = chunk_bytes_;
+    while (size < need) {
+      size *= 2;
+    }
+    Chunk c;
+    c.data = std::make_unique<std::byte[]>(size);
+    c.size = size;
+    chunks_.insert(chunks_.begin() + static_cast<long>(cur_), std::move(c));
+    offset_ = 0;
+  }
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t cur_ = 0;
+  size_t offset_ = 0;
+  size_t in_use_ = 0;
+  uint64_t resets_ = 0;
+};
+
+}  // namespace fst
+
+#endif  // SRC_SIMCORE_ARENA_H_

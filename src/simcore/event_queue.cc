@@ -20,12 +20,13 @@ uint32_t EventQueue::AllocSlot() {
     return index;
   }
   slots_.emplace_back();
+  cbs_.emplace_back();
   return static_cast<uint32_t>(slots_.size() - 1);
 }
 
 void EventQueue::FreeSlot(uint32_t index) {
   Slot& s = slots_[index];
-  s.cb = Callback();
+  cbs_[index] = Callback();
   s.where = Where::kFree;
   // Generation 0 is reserved so a forged EventId{small} can never validate.
   if (++s.gen == 0) {
@@ -37,7 +38,7 @@ void EventQueue::FreeSlot(uint32_t index) {
 
 EventId EventQueue::Push(SimTime when, Callback cb) {
   const uint32_t index = AllocSlot();
-  slots_[index].cb = std::move(cb);
+  cbs_[index] = std::move(cb);
   const uint64_t seq = next_seq_++;
   PlaceRef(Ref{when, seq, index});
   ++live_;
@@ -63,6 +64,9 @@ void EventQueue::PlaceRef(const Ref& ref) {
         s.pos = static_cast<uint32_t>(vec.size());
         vec.push_back(ref);
         occupied_[level] |= uint64_t{1} << bucket;
+        if (w < wheel_min_hint_) {
+          wheel_min_hint_ = w;
+        }
         return;
       }
     }
@@ -150,6 +154,10 @@ bool EventQueue::Cancel(EventId id) {
   }
   if (s.where == Where::kHeap) {
     HeapRemoveAt(s.pos);
+  } else if (s.where == Where::kDue) {
+    // Tombstone in place: the ring must stay sorted, so the entry is
+    // marked dead and skipped at pop time instead of being compacted.
+    due_[s.pos].slot = kNoFreeSlot;
   } else {
     auto& vec = wheel_[s.level][s.bucket];
     const uint32_t pos = s.pos;
@@ -200,10 +208,24 @@ void EventQueue::DrainBucket(const Candidate& c) {
     // The window is due: no live wheel entry precedes its end (earlier
     // level-0 buckets are empty and wider levels start no earlier than
     // the window end, per the candidate tie-break), so the base can hop
-    // past it before the entries merge into the heap.
+    // past it and the entries move straight to the due ring. Windows
+    // drain in increasing order, so sorting each window by (time, seq)
+    // keeps the whole ring in final pop order.
     wheel_base_ = c.start + kGranularity;
+    for (size_t i = 1; i < vec.size(); ++i) {  // tiny n: insertion sort
+      Ref moving = vec[i];
+      size_t j = i;
+      while (j > 0 && Before(moving, vec[j - 1])) {
+        vec[j] = vec[j - 1];
+        --j;
+      }
+      vec[j] = moving;
+    }
     for (const Ref& ref : vec) {
-      HeapPush(ref);
+      Slot& s = slots_[ref.slot];
+      s.where = Where::kDue;
+      s.pos = static_cast<uint32_t>(due_.size());
+      due_.push_back(ref);
     }
   } else {
     // Redistribute a wide bucket into finer levels. Advancing the base to
@@ -218,31 +240,86 @@ void EventQueue::DrainBucket(const Candidate& c) {
 }
 
 void EventQueue::FlushDue() {
+  // Fast paths: a live due entry precedes every wheel entry by
+  // construction, and a heap root under the watermark precedes the wheel
+  // too — either way the wheel cannot hold the next pop.
+  if (due_head_ < due_.size()) {
+    return;
+  }
+  if (!heap_.empty() && heap_[0].when.nanos() < wheel_min_hint_) {
+    return;
+  }
   Candidate c;
   while (FindWheelCandidate(&c)) {
-    if (!heap_.empty() && heap_[0].when.nanos() < c.start) {
-      return;  // heap root precedes every wheel entry
+    if (due_head_ < due_.size() ||
+        (!heap_.empty() && heap_[0].when.nanos() < c.start)) {
+      // Every wheel entry is at or after its level's candidate start, so
+      // the earliest start is a valid wheel-wide bound.
+      wheel_min_hint_ = c.start;
+      return;  // the next pop provably precedes every wheel entry
     }
     DrainBucket(c);
+    if (due_head_ < due_.size()) {
+      // A level-0 drain just delivered the next pops; the rescan would
+      // only rediscover that the due ring now wins. The watermark stays
+      // stale-low, which at worst costs one scan after the ring drains.
+      return;
+    }
   }
+  wheel_min_hint_ = INT64_MAX;  // wheel drained empty
 }
 
 std::optional<EventQueue::Fired> EventQueue::Pop() {
   return PopDue(SimTime::Max());
 }
 
+void EventQueue::SkipDeadDue() {
+  while (due_head_ < due_.size() && due_[due_head_].slot == kNoFreeSlot) {
+    ++due_head_;
+  }
+  if (due_head_ == due_.size() && due_head_ != 0) {
+    due_.clear();
+    due_head_ = 0;
+  }
+}
+
 std::optional<EventQueue::Fired> EventQueue::PopDue(SimTime deadline) {
   if (live_ == 0) {
     return std::nullopt;
   }
+  SkipDeadDue();
+  if (due_head_ < due_.size()) {
+    // Start the likely winner's callback payload toward the core while the
+    // ordering checks run; purely speculative.
+    __builtin_prefetch(&cbs_[due_[due_head_].slot]);
+  } else if (!heap_.empty()) {
+    __builtin_prefetch(&cbs_[heap_[0].slot]);
+  }
   FlushDue();
-  const Ref root = heap_.front();
-  if (root.when > deadline) {
+  SkipDeadDue();
+  // Merge front: the due ring precedes the whole wheel, so the next event
+  // is the (time, seq) smaller of due-front and heap-root.
+  bool from_due = due_head_ < due_.size();
+  const Ref* root = from_due ? &due_[due_head_] : nullptr;
+  if (!heap_.empty() && (root == nullptr || Before(heap_[0], *root))) {
+    root = &heap_[0];
+    from_due = false;
+  }
+  if (root->when > deadline) {
     return std::nullopt;
   }
-  Fired fired{root.when, root.seq, std::move(slots_[root.slot].cb)};
-  HeapRemoveAt(0);
-  FreeSlot(root.slot);
+  const uint32_t slot = root->slot;
+  Fired fired{root->when, root->seq, std::move(cbs_[slot])};
+  if (from_due) {
+    ++due_head_;
+    if (due_head_ == due_.size()) {
+      due_.clear();
+      due_head_ = 0;
+    }
+  } else {
+    HeapRemoveAt(0);
+  }
+  FreeSlot(slot);
   --live_;
   return fired;
 }
@@ -252,7 +329,13 @@ std::optional<SimTime> EventQueue::PeekTime() const {
     return std::nullopt;
   }
   std::optional<SimTime> best;
-  if (!heap_.empty()) {
+  for (size_t i = due_head_; i < due_.size(); ++i) {
+    if (due_[i].slot != kNoFreeSlot) {
+      best = due_[i].when;  // ring is sorted: first live entry is its min
+      break;
+    }
+  }
+  if (!heap_.empty() && (!best.has_value() || heap_.front().when < *best)) {
     best = heap_.front().when;
   }
   // Within one level the first occupied bucket holds that level's minimum

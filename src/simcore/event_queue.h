@@ -81,7 +81,7 @@ class EventQueue {
   static constexpr int kWheelLevels = 4;
   static constexpr int kSlotBits = 6;  // 64 buckets per level
   static constexpr int kSlots = 1 << kSlotBits;
-  static constexpr int kGranularityShift = 10;  // level-0 bucket ~1.02 us
+  static constexpr int kGranularityShift = 12;  // level-0 bucket ~4.1 us
   static constexpr int64_t kGranularity = int64_t{1} << kGranularityShift;
   static constexpr uint32_t kNoFreeSlot = 0xffffffffu;
 
@@ -97,10 +97,13 @@ class EventQueue {
     uint32_t slot = 0;
   };
 
-  enum class Where : uint8_t { kFree = 0, kHeap, kWheel };
+  enum class Where : uint8_t { kFree = 0, kHeap, kWheel, kDue };
 
+  // Slot metadata and callbacks live in parallel slabs: heap sifts, wheel
+  // placement, and cancellation touch only this 12-byte record (5 per
+  // cache line), while the 96-byte callback line is pulled exactly twice
+  // per event — once to store it, once to fire it.
   struct Slot {
-    Callback cb;
     uint32_t gen = 1;
     Where where = Where::kFree;
     uint8_t level = 0;
@@ -124,6 +127,10 @@ class EventQueue {
   uint32_t AllocSlot();
   void FreeSlot(uint32_t index);
 
+  // Advances past cancelled (tombstoned) due-ring entries and reclaims
+  // the ring's storage once fully consumed.
+  void SkipDeadDue();
+
   void PlaceRef(const Ref& ref);
   void HeapPush(const Ref& ref);
   void HeapSiftUp(size_t i);
@@ -140,13 +147,29 @@ class EventQueue {
   void FlushDue();
 
   std::vector<Slot> slots_;
+  std::vector<Callback> cbs_;  // parallel to slots_
   uint32_t free_head_ = kNoFreeSlot;
   std::vector<Ref> heap_;
+  // Drained level-0 windows, already in final (time, seq) order: window
+  // drains happen in increasing window order and each window is sorted,
+  // so a due entry never reorders against another. Every due entry also
+  // precedes every wheel entry (its window ended before wheel_base_
+  // advanced past it), so pops only merge due-front against heap-root —
+  // no heap round-trip, no sift traffic for the dense short-delay flow.
+  // Cancelled entries are tombstoned (slot = kNoFreeSlot) and skipped.
+  std::vector<Ref> due_;
+  size_t due_head_ = 0;
   std::vector<Ref> wheel_[kWheelLevels][kSlots];
   uint64_t occupied_[kWheelLevels] = {};
   // Lower bound (multiple of kGranularity) on the time of any wheel entry;
   // all earlier windows have drained into the heap.
   int64_t wheel_base_ = 0;
+  // Tighter lower bound on the timestamp of every live wheel entry
+  // (INT64_MAX when the wheel is empty): lets FlushDue() skip the
+  // per-level candidate scan whenever the heap root provably precedes
+  // the whole wheel. Only ever conservative — a stale-low hint costs one
+  // redundant scan, never a wrong pop order.
+  int64_t wheel_min_hint_ = INT64_MAX;
   uint64_t next_seq_ = 0;
   size_t live_ = 0;
 };

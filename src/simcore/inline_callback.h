@@ -96,9 +96,13 @@ class InlineFunction<R(Args...)> {
   struct Ops {
     R (*invoke)(void*, Args&&...);
     // Move-construct *src into dst then destroy *src. Null means the
-    // payload is trivially relocatable: memcpy the buffer instead.
+    // payload is trivially relocatable: memcpy `size` bytes instead.
     void (*relocate)(void* src, void* dst);
     void (*destroy)(void*);  // null => trivially destructible
+    // Payload size: trivial relocation copies only these bytes, not the
+    // whole inline buffer — queue entries move several times per event,
+    // and most captures are a fraction of kInlineBytes.
+    std::size_t size;
     bool on_heap;
   };
 
@@ -122,6 +126,7 @@ class InlineFunction<R(Args...)> {
       std::is_trivially_destructible_v<F>
           ? nullptr
           : +[](void* buf) { Payload<F>(buf)->~F(); },
+      sizeof(F),
       false,
   };
 
@@ -132,6 +137,7 @@ class InlineFunction<R(Args...)> {
       },
       nullptr,  // the owning pointer relocates by memcpy
       [](void* buf) { delete *Payload<F*>(buf); },
+      sizeof(F*),
       true,
   };
 
@@ -139,7 +145,7 @@ class InlineFunction<R(Args...)> {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
       if (ops_->relocate == nullptr) {
-        std::memcpy(buf_, other.buf_, kInlineBytes);
+        std::memcpy(buf_, other.buf_, ops_->size);
       } else {
         ops_->relocate(other.buf_, buf_);
       }

@@ -133,8 +133,7 @@ ZipfGenerator::ZipfGenerator(int64_t n, double s) {
   }
 }
 
-int64_t ZipfGenerator::Sample(Rng& rng) const {
-  const double u = rng.UniformDouble();
+int64_t ZipfGenerator::SampleAt(double u) const {
   // First index with cdf >= u, searched only within the guide bucket's
   // bracket: the answer is monotone in u, so for u in [k/B, (k+1)/B) it
   // lies in [guide_[k], guide_[k+1]]. Same predicate as a full binary
@@ -155,6 +154,26 @@ int64_t ZipfGenerator::Sample(Rng& rng) const {
     }
   }
   return static_cast<int64_t>(lo);
+}
+
+void ZipfGenerator::PrefetchFar(double u) const {
+  const size_t buckets = guide_.size() - 1;
+  size_t k = static_cast<size_t>(u * static_cast<double>(buckets));
+  if (k >= buckets) {
+    k = buckets - 1;
+  }
+  __builtin_prefetch(&guide_[k]);
+}
+
+void ZipfGenerator::PrefetchNear(double u) const {
+  const size_t buckets = guide_.size() - 1;
+  size_t k = static_cast<size_t>(u * static_cast<double>(buckets));
+  if (k >= buckets) {
+    k = buckets - 1;
+  }
+  const size_t lo = guide_[k];
+  const size_t hi = guide_[k + 1];
+  __builtin_prefetch(&cdf_[(lo + hi) / 2]);
 }
 
 double ZipfGenerator::ProbabilityOf(int64_t rank) const {

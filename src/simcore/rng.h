@@ -78,7 +78,21 @@ class ZipfGenerator {
  public:
   ZipfGenerator(int64_t n, double s);
 
-  int64_t Sample(Rng& rng) const;
+  int64_t Sample(Rng& rng) const { return SampleAt(rng.UniformDouble()); }
+
+  // Inverse CDF at a caller-supplied uniform draw u in [0, 1): the exact
+  // mapping Sample() applies after drawing u. Blockwise consumers draw
+  // their uniforms in bulk and feed them through here, which keeps the
+  // u -> rank mapping (and therefore every keyed workload) bit-identical
+  // to the scalar path.
+  int64_t SampleAt(double u) const;
+
+  // Software-pipelining hints for batched sampling: Far touches the guide
+  // bucket for a draw ~2 pipeline stages ahead; Near reads the (by then
+  // cached) bracket and touches the first cdf probe for a draw one stage
+  // ahead. Pure prefetches — no observable effect on results.
+  void PrefetchFar(double u) const;
+  void PrefetchNear(double u) const;
 
   // P(rank) for tests.
   double ProbabilityOf(int64_t rank) const;

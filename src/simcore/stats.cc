@@ -63,21 +63,6 @@ Histogram::Histogram(int sub_bucket_bits)
   buckets_.assign(64 * sub_buckets_, 0);
 }
 
-size_t Histogram::BucketIndex(double value) const {
-  if (value < 0.0) {
-    value = 0.0;
-  }
-  const uint64_t v = static_cast<uint64_t>(value);
-  if (v < sub_buckets_) {
-    return static_cast<size_t>(v);  // exact for small values
-  }
-  const int msb = 63 - __builtin_clzll(v);
-  const int shift = msb - sub_bucket_bits_;
-  const size_t sub = static_cast<size_t>(v >> shift) - sub_buckets_;
-  const size_t range = static_cast<size_t>(msb - sub_bucket_bits_ + 1);
-  return range * sub_buckets_ + sub;
-}
-
 double Histogram::BucketUpperBound(size_t index) const {
   if (index < sub_buckets_) {
     return static_cast<double>(index);
@@ -88,22 +73,6 @@ double Histogram::BucketUpperBound(size_t index) const {
   const uint64_t base = (sub_buckets_ + sub) << shift;
   const uint64_t width = static_cast<uint64_t>(1) << shift;
   return static_cast<double>(base + width - 1);
-}
-
-void Histogram::Add(double value) {
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
-  ++count_;
-  sum_ += value;
-  size_t idx = BucketIndex(value);
-  if (idx >= buckets_.size()) {
-    idx = buckets_.size() - 1;
-  }
-  ++buckets_[idx];
 }
 
 void Histogram::RecordN(double value, uint64_t n) {

@@ -4,6 +4,7 @@
 #ifndef SRC_SIMCORE_STATS_H_
 #define SRC_SIMCORE_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -46,7 +47,24 @@ class Histogram {
  public:
   explicit Histogram(int sub_bucket_bits = 5);
 
-  void Add(double value);
+  // Defined inline: every device server records one latency per completion,
+  // so the Add path runs millions of times per simulated second and must
+  // not pay a cross-TU call.
+  void Add(double value) {
+    if (count_ == 0) {
+      min_ = max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    size_t idx = BucketIndex(value);
+    if (idx >= buckets_.size()) {
+      idx = buckets_.size() - 1;
+    }
+    ++buckets_[idx];
+  }
   void AddDuration(Duration d) { Add(static_cast<double>(d.nanos())); }
   // Records `n` observations of `value` in O(1): one bucket increment and
   // sum_ += value * n. Counts, buckets, min/max, and quantiles match n
@@ -81,7 +99,20 @@ class Histogram {
   std::string Summary() const;
 
  private:
-  size_t BucketIndex(double value) const;
+  size_t BucketIndex(double value) const {
+    if (value < 0.0) {
+      value = 0.0;
+    }
+    const uint64_t v = static_cast<uint64_t>(value);
+    if (v < sub_buckets_) {
+      return static_cast<size_t>(v);  // exact for small values
+    }
+    const int msb = 63 - __builtin_clzll(v);
+    const int shift = msb - sub_bucket_bits_;
+    const size_t sub = static_cast<size_t>(v >> shift) - sub_buckets_;
+    const size_t range = static_cast<size_t>(msb - sub_bucket_bits_ + 1);
+    return range * sub_buckets_ + sub;
+  }
   double BucketUpperBound(size_t index) const;
 
   int sub_bucket_bits_;

@@ -16,6 +16,7 @@
 
 #include "src/cluster/client.h"
 #include "src/cluster/cluster.h"
+#include "src/cluster/selector.h"
 #include "src/devices/modulators.h"
 #include "src/faults/catalog.h"
 #include "src/harness/sweep.h"
@@ -675,6 +676,37 @@ TEST(ClusterDdsParityTest, ParityHoldsUnderTheGcFault) {
   EXPECT_GT(cluster.issued, 0);
   EXPECT_EQ(cluster.acked, cluster.issued);
   EXPECT_EQ(dds.acked, dds.issued);
+}
+
+// Regression for the ranking-scratch retention bug: a single rank over a
+// huge replica set (full-fleet probe) used to pin the scratch vector's
+// high-water capacity forever. The shrink policy must release it and keep
+// steady replication-factor-sized ranks bounded.
+TEST(ReplicaSelectorTest, ScratchCapacityReleasedAfterHugeRank) {
+  constexpr int kNodes = 512;
+  ReplicaSelector sel(RouteMode::kQueueWeighted, kNodes, Rng(11));
+  const ReplicaSelector::DepthFn depth = [](int node) { return node % 5; };
+
+  std::vector<int> out;
+  std::vector<int> small{1, 2, 3};
+  for (int i = 0; i < 100; ++i) {
+    sel.RankInto(small, depth, out);
+  }
+  EXPECT_LE(sel.scratch_capacity(), ReplicaSelector::kScratchRetainCap);
+
+  std::vector<int> huge(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    huge[i] = i;
+  }
+  sel.RankInto(huge, depth, out);
+  EXPECT_EQ(out.size(), huge.size());
+  // The one-off probe must not pin ~kNodes capacity for the campaign.
+  EXPECT_LE(sel.scratch_capacity(), ReplicaSelector::kScratchRetainCap);
+
+  for (int i = 0; i < 100; ++i) {
+    sel.RankInto(small, depth, out);
+    ASSERT_LE(sel.scratch_capacity(), ReplicaSelector::kScratchRetainCap);
+  }
 }
 
 }  // namespace

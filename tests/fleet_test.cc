@@ -161,6 +161,84 @@ TEST(RecordBatchTest, MatchesInlineStreamByteForByte) {
             batch_t.ReportJson(Duration::Seconds(10)));
 }
 
+// A deliberately mixed batch — first-try acks, retried acks, exhausted
+// sheds/errors, and first-try failures interleaved — must split the
+// attempt accounting exactly as the scalar calls do, field by field.
+TEST(RecordBatchTest, MixedOutcomeBatchSplitsAttemptAccounting) {
+  SloTracker inline_t(Duration::Millis(100));
+  SloTracker batch_t(Duration::Millis(100));
+  // (attempts, outcome, latency_ms): cycle through every accounting class,
+  // including a late ack (150 ms > 100 ms deadline).
+  struct Row {
+    int attempts;
+    SloOutcome outcome;
+    int64_t latency_ms;
+  };
+  const std::vector<Row> rows = {
+      {1, SloOutcome::kAck, 5},     // first-try ack, in deadline
+      {3, SloOutcome::kAck, 40},    // retried ack
+      {4, SloOutcome::kShed, 0},    // exhausted shed
+      {1, SloOutcome::kShed, 0},    // first-try shed (not exhausted)
+      {2, SloOutcome::kError, 0},   // exhausted error
+      {1, SloOutcome::kAck, 150},   // first-try ack, late
+      {2, SloOutcome::kAck, 150},   // retried ack, late
+      {1, SloOutcome::kError, 0},   // first-try error (not exhausted)
+  };
+  std::vector<CompletionRecord> recs;
+  SimTime t = SimTime::Zero();
+  for (const Row& row : rows) {
+    for (int rep = 0; rep < 7; ++rep) {
+      t = t + Duration::Millis(1);
+      CompletionRecord r;
+      r.issued = t;
+      r.completed = t + Duration::Millis(row.latency_ms);
+      r.attempts = row.attempts;
+      r.outcome = row.outcome;
+      recs.push_back(r);
+      inline_t.RecordArrival();
+      batch_t.RecordArrival();
+    }
+  }
+  for (const CompletionRecord& r : recs) {
+    switch (r.outcome) {
+      case SloOutcome::kAck:
+        inline_t.RecordAck(r.completed - r.issued, r.attempts);
+        break;
+      case SloOutcome::kShed:
+        inline_t.RecordShed(r.attempts);
+        break;
+      case SloOutcome::kError:
+        inline_t.RecordError(r.attempts);
+        break;
+    }
+  }
+  batch_t.RecordBatch(recs.data(), recs.size());
+
+  const SloSnapshot a = inline_t.Snapshot();
+  const SloSnapshot b = batch_t.Snapshot();
+  EXPECT_EQ(b.arrivals, a.arrivals);
+  EXPECT_EQ(b.acks, a.acks);
+  EXPECT_EQ(b.goodput, a.goodput);
+  EXPECT_EQ(b.late, a.late);
+  EXPECT_EQ(b.shed, a.shed);
+  EXPECT_EQ(b.errors, a.errors);
+  EXPECT_EQ(b.first_try_acks, a.first_try_acks);
+  EXPECT_EQ(b.retried_acks, a.retried_acks);
+  EXPECT_EQ(b.exhausted, a.exhausted);
+  EXPECT_EQ(b.retries, a.retries);
+  EXPECT_EQ(b.ack_attempts, a.ack_attempts);
+  EXPECT_EQ(b.shed_attempts, a.shed_attempts);
+  EXPECT_EQ(b.error_attempts, a.error_attempts);
+  // Sanity against hand counts: 7 of each row class.
+  EXPECT_EQ(b.first_try_acks, 14);  // rows 0 and 5
+  EXPECT_EQ(b.retried_acks, 14);    // rows 1 and 6
+  EXPECT_EQ(b.exhausted, 14);       // rows 2 and 4
+  EXPECT_EQ(b.late, 14);            // rows 5 and 6
+  EXPECT_EQ(b.retries, 7 * (2 + 3 + 1 + 1));
+  EXPECT_EQ(b.p50_ms, a.p50_ms);
+  EXPECT_EQ(b.p99_ms, a.p99_ms);
+}
+
 // ---------------------------------------------------------------------------
 // FleetParams validation + run_for == 0 edges
 // ---------------------------------------------------------------------------
@@ -498,6 +576,58 @@ TEST(ColumnarParityTest, ColumnarRunIsBitIdenticalAndPinned) {
       << "columnar event order changed; if intentional, re-pin with the new "
          "digest: 0x"
       << std::hex << a.digest;
+}
+
+// ---------------------------------------------------------------------------
+// Tagged-op trace staging: recorder-on fleet runs flush per drain
+// ---------------------------------------------------------------------------
+
+// With a recorder attached, every tagged op's completion trace is staged
+// in scratch and bulk-appended at the next drain. The ring must end up
+// with exactly one kRequestComplete per issued op, each joinable to its
+// kRequestEnqueue by request_id — same pairing the unstaged path gave.
+TEST(TraceStagingTest, TaggedCompletionsLandOncePerOpViaBulkAppend) {
+  Simulator sim(23);
+  EventRecorder recorder(1 << 16);
+  ClusterParams cp;
+  cp.nodes = 4;
+  KvService svc(sim, cp, MakePolicy(2), &recorder);
+  ColumnarFleetParams cfp;
+  cfp.base.run_for = Duration::Seconds(5.0);
+  cfp.base.arrivals_per_sec = 400.0;
+  ColumnarFleet fleet(sim, cfp);
+  bool finished = false;
+  FleetResult result;
+  fleet.Run(svc, [&](const FleetResult& r) {
+    result = r;
+    finished = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(finished);
+  ASSERT_GT(result.ops_issued, 1000);
+
+  // The switch and nodes trace into the same ring under their own
+  // components; only the service-level "cluster" stream is per-op.
+  const uint16_t cluster_comp = recorder.Intern("cluster");
+  std::map<uint64_t, int> enqueues;
+  std::map<uint64_t, int> completes;
+  for (const TraceEvent& e : recorder.Events()) {
+    if (e.component != cluster_comp) {
+      continue;
+    }
+    if (e.kind == EventKind::kRequestEnqueue) {
+      ++enqueues[e.request_id];
+    } else if (e.kind == EventKind::kRequestComplete) {
+      ++completes[e.request_id];
+    }
+  }
+  EXPECT_EQ(completes.size(), static_cast<size_t>(result.ops_issued));
+  EXPECT_EQ(recorder.dropped(), 0u);
+  for (const auto& [id, n] : completes) {
+    ASSERT_EQ(n, 1) << "request " << id << " completed more than once";
+    ASSERT_EQ(enqueues.count(id), 1u)
+        << "completion without matching enqueue: " << id;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -678,5 +678,78 @@ TEST(TelemetryCampaignTest, TelemetrySeedIsSelfDeterministic) {
   EXPECT_EQ(a.gray_spans, b.gray_spans);
 }
 
+// ---------------------------------------------------------------- AddN
+
+TEST(QuantileSketchTest, AddNMatchesSequentialAddsExactly) {
+  QuantileSketch bulk;
+  QuantileSketch seq;
+  Rng rng(31);
+  for (int round = 0; round < 200; ++round) {
+    // Integer values (latency nanos), so value*n is exact and the sums
+    // match bit-for-bit, not just the counts and buckets.
+    const double v = static_cast<double>(rng.UniformInt(1, 5'000'000));
+    const uint64_t n = static_cast<uint64_t>(rng.UniformInt(0, 40));
+    bulk.AddN(v, n);
+    for (uint64_t i = 0; i < n; ++i) {
+      seq.Add(v);
+    }
+  }
+  EXPECT_EQ(bulk.count(), seq.count());
+  EXPECT_EQ(bulk.sum(), seq.sum());
+  EXPECT_EQ(bulk.min(), seq.min());
+  EXPECT_EQ(bulk.max(), seq.max());
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(bulk.ValueAtQuantile(q), seq.ValueAtQuantile(q)) << q;
+  }
+}
+
+TEST(QuantileSketchTest, AddNZeroIsNoOp) {
+  QuantileSketch s;
+  s.AddN(42.0, 0);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+// ------------------------------------------- buffered plane equivalence
+
+// The buffered plane (observations staged between ticks, flushed in bulk)
+// must be indistinguishable from a tracker fed directly: identical series
+// export, because the flush replays the exact arrival-order call stream
+// before any window closes.
+TEST(LivePlaneTest, BufferedIngestionMatchesDirectTracker) {
+  LivePlaneParams params;
+  params.enabled = true;
+  params.window = Duration::Millis(100);
+  constexpr int kNodes = 4;
+  LivePlane plane(kNodes, params);
+
+  ExpectationParams ep = params.expectation;
+  ep.window = params.window;
+  ExpectationTracker direct(kNodes, ep);
+
+  Rng rng(77);
+  SimTime now = SimTime::Zero();
+  OutcomeCounts cum;
+  for (int tick = 0; tick < 40; ++tick) {
+    const int burst = static_cast<int>(rng.UniformInt(0, 50));
+    for (int i = 0; i < burst; ++i) {
+      now = now + Duration::Micros(rng.UniformInt(100, 2000));
+      const int node = static_cast<int>(rng.UniformInt(0, kNodes - 1));
+      const double units = rng.UniformDouble(0.5, 2.0);
+      const Duration lat = Duration::Micros(rng.UniformInt(200, 30'000));
+      plane.ObserveNode(node, now, units, lat);
+      direct.Observe(node, now, units, lat);
+    }
+    EXPECT_EQ(plane.pending_observations(), static_cast<size_t>(burst));
+    const SimTime tick_at = SimTime::Zero() + Duration::Millis(100) * (tick + 1.0);
+    now = tick_at;
+    plane.Tick(tick_at, cum);
+    direct.AdvanceTo(tick_at);
+    EXPECT_EQ(plane.pending_observations(), 0u);
+  }
+  EXPECT_EQ(plane.expectation().SeriesJson(), direct.SeriesJson());
+}
+
 }  // namespace
 }  // namespace fst

@@ -6,10 +6,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/simcore/arena.h"
 #include "src/simcore/event_queue.h"
 #include "src/simcore/inline_callback.h"
 #include "src/simcore/metrics.h"
 #include "src/simcore/rng.h"
+#include "src/simcore/rng_block.h"
 #include "src/simcore/simulator.h"
 #include "src/simcore/stats.h"
 #include "src/simcore/time.h"
@@ -1023,6 +1025,138 @@ TEST(HistogramTest, P999TracksExtremeTail) {
   h.Add(1e9);
   EXPECT_LT(h.P99(), 2e6);
   EXPECT_GT(h.P999(), 0.9e9);
+}
+
+// ---------------------------------------------------------------- rng_block
+
+TEST(RngBlockTest, MatchesScalarRngAcrossInterleavedDrawKinds) {
+  Rng scalar(424242);
+  RngBlock block(Rng(424242));
+  Rng pick(7);
+  for (int i = 0; i < 5000; ++i) {
+    switch (pick.UniformInt(0, 4)) {
+      case 0:
+        ASSERT_EQ(block.NextU64(), scalar.NextU64()) << i;
+        break;
+      case 1:
+        ASSERT_EQ(block.UniformDouble(), scalar.UniformDouble()) << i;
+        break;
+      case 2:
+        ASSERT_EQ(block.UniformInt(-3, 1000), scalar.UniformInt(-3, 1000))
+            << i;
+        break;
+      case 3:
+        ASSERT_EQ(block.Bernoulli(0.37), scalar.Bernoulli(0.37)) << i;
+        break;
+      default:
+        ASSERT_EQ(block.Exponential(0.02), scalar.Exponential(0.02)) << i;
+        break;
+    }
+  }
+}
+
+TEST(RngBlockTest, FillUniformMatchesSequentialDraws) {
+  Rng scalar(99);
+  RngBlock block(Rng(99));
+  // Sizes straddle the refill boundary (kWords raw u64s per refill).
+  for (const size_t n : {1ul, 7ul, 255ul, 256ul, 257ul, 1000ul}) {
+    std::vector<double> bulk(n);
+    block.FillUniform(bulk.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bulk[i], scalar.UniformDouble()) << n << ":" << i;
+    }
+  }
+}
+
+TEST(RngBlockTest, FillExponentialMatchesSequentialDraws) {
+  Rng scalar(123);
+  RngBlock block(Rng(123));
+  std::vector<double> bulk(700);
+  block.FillExponential(2.5, bulk.data(), bulk.size());
+  for (size_t i = 0; i < bulk.size(); ++i) {
+    ASSERT_EQ(bulk[i], scalar.Exponential(2.5)) << i;
+  }
+}
+
+// ---------------------------------------------------------------- arena
+
+TEST(TickArenaTest, AllocationsAreAlignedAndDisjoint) {
+  TickArena arena(256);
+  auto* a = arena.AllocateArray<double>(10);
+  auto* b = arena.AllocateArray<uint8_t>(3);
+  auto* c = arena.AllocateArray<uint64_t>(5);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % alignof(uint64_t), 0u);
+  // Write patterns; no overlap means none clobbers another.
+  for (int i = 0; i < 10; ++i) a[i] = 1.5;
+  for (int i = 0; i < 3; ++i) b[i] = 7;
+  for (int i = 0; i < 5; ++i) c[i] = 42;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a[i], 1.5);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(b[i], 7);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(c[i], 42u);
+}
+
+TEST(TickArenaTest, ResetRetainsCapacityAndReusesChunks) {
+  TickArena arena(1 << 10);
+  for (int tick = 0; tick < 50; ++tick) {
+    arena.Reset();
+    (void)arena.AllocateArray<double>(200);  // > one 1 KiB chunk
+    (void)arena.AllocateArray<double>(100);
+  }
+  const size_t cap = arena.capacity();
+  EXPECT_GT(cap, 0u);
+  // Steady state: more ticks at the same demand never grow capacity.
+  for (int tick = 0; tick < 50; ++tick) {
+    arena.Reset();
+    (void)arena.AllocateArray<double>(200);
+    (void)arena.AllocateArray<double>(100);
+  }
+  EXPECT_EQ(arena.capacity(), cap);
+  EXPECT_EQ(arena.resets(), 100u);
+}
+
+TEST(TickArenaTest, OversizedRequestGetsItsOwnChunk) {
+  TickArena arena(64);
+  auto* big = arena.AllocateArray<double>(1000);  // far beyond chunk size
+  for (int i = 0; i < 1000; ++i) big[i] = static_cast<double>(i);
+  EXPECT_EQ(big[999], 999.0);
+  EXPECT_GE(arena.high_water(), 8000u);
+}
+
+// ------------------------------------------------- event queue due ring
+
+TEST(EventQueueDueRingTest, CancelInDueRingIsSkippedWithoutReordering) {
+  Simulator sim;
+  std::vector<int> fired;
+  // Three events inside one level-0 wheel window, plus one later event.
+  // Popping the first drains the whole window into the due ring; the
+  // middle entry is then cancelled *while in the ring* and must be
+  // skipped without disturbing the order of its neighbors.
+  sim.Schedule(Duration::Micros(50), [&] { fired.push_back(1); });
+  EventId doomed =
+      sim.Schedule(Duration::Micros(50), [&] { fired.push_back(2); });
+  sim.Schedule(Duration::Micros(50), [&] { fired.push_back(3); });
+  sim.Schedule(Duration::Micros(300), [&] { fired.push_back(4); });
+  sim.RunSteps(1);
+  ASSERT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_TRUE(sim.Cancel(doomed));
+  EXPECT_FALSE(sim.Cancel(doomed));  // stale handle
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(EventQueueDueRingTest, ZeroDelayPushBeatsDueEntryAtLaterTime) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.Schedule(Duration::Micros(20), [&] {
+    fired.push_back(1);
+    // Scheduled mid-run at now+0: must fire before the 25 us event even
+    // though that one is already staged in the due ring.
+    sim.Schedule(Duration::Zero(), [&] { fired.push_back(2); });
+  });
+  sim.Schedule(Duration::Micros(25), [&] { fired.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
 }  // namespace
