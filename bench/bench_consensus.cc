@@ -1,0 +1,143 @@
+// Consensus control-plane benchmarks — what a replicated metadata quorum
+// costs under the clock, and what a stuttering leader does to it.
+//
+// Three questions:
+//   1. How fast does a fresh quorum elect (BM_ElectionLatency)? The
+//      counter reports the simulated leaderless window from cold start to
+//      first win, swept over quorum size.
+//   2. What does replicating the control stream cost (BM_Replication)?
+//      A burst of weight changes is proposed through the window-of-one
+//      client; counters report committed entries and the propose ->
+//      feed-applied latency the serving layer actually experiences.
+//   3. What does a leader fault do to reconfiguration (BM_LeaderFault)?
+//      The same proposal stream runs while the leader is slowed, gc-paused,
+//      or healthy; counters report reconfiguration latency, elections, and
+//      false failovers — E28's cost-of-stutter numbers.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/consensus/log.h"
+#include "src/consensus/raft.h"
+#include "src/faults/injector.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/time.h"
+
+namespace fst {
+namespace {
+
+SimTime At(double seconds) {
+  return SimTime::Zero() + Duration::Seconds(seconds);
+}
+
+void BM_ElectionLatency(benchmark::State& state) {
+  const int replicas = static_cast<int>(state.range(0));
+  double leaderless_s = 0.0;
+  int elections = 0;
+  for (auto _ : state) {
+    Simulator sim(41);
+    ConsensusParams params;
+    params.replicas = replicas;
+    ConsensusGroup group(sim, params);
+    group.Start(At(5.0));
+    sim.Run();
+    // No faults: the only leaderless span is cold start -> first win.
+    leaderless_s = group.max_leaderless_seconds();
+    elections = group.elections_started();
+    benchmark::DoNotOptimize(group.leader());
+  }
+  state.counters["election_latency_ms"] = leaderless_s * 1e3;
+  state.counters["elections"] = elections;
+}
+BENCHMARK(BM_ElectionLatency)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_Replication(benchmark::State& state) {
+  const int proposals = static_cast<int>(state.range(0));
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  int64_t committed = 0;
+  for (auto _ : state) {
+    Simulator sim(42);
+    ConsensusGroup group(sim, ConsensusParams{});
+    // One burst at t=1s: the window-of-one client drains it as fast as
+    // commit round-trips allow, so mean latency includes queueing.
+    sim.ScheduleAt(At(1.0), [&group, proposals] {
+      for (int k = 0; k < proposals; ++k) {
+        ConfigChange c;
+        c.kind = ConfigChangeKind::kSetWeight;
+        c.node = k % 4;
+        c.weight = (k % 2 == 0) ? 0.5 : 1.0;
+        group.Propose(c);
+      }
+    });
+    group.Start(At(20.0));
+    sim.Run();
+    mean_ms = group.reconfig_mean_ms();
+    max_ms = group.reconfig_max_ms();
+    committed = static_cast<int64_t>(group.max_commit());
+    benchmark::DoNotOptimize(committed);
+  }
+  state.counters["entries_committed"] = static_cast<double>(committed);
+  state.counters["reconfig_mean_ms"] = mean_ms;
+  state.counters["reconfig_max_ms"] = max_ms;
+}
+BENCHMARK(BM_Replication)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// Arg: 0 = healthy leader, 1 = leader slowed x6 for 3s, 2 = leader
+// gc-paused 400ms every 800ms for 3s.
+void BM_LeaderFault(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  int elections = 0;
+  int false_failovers = 0;
+  for (auto _ : state) {
+    Simulator sim(43);
+    ConsensusGroup group(sim, ConsensusParams{});
+    FaultInjector injector(sim);
+    if (mode != 0) {
+      sim.ScheduleAt(At(2.0), [&sim, &group, &injector, mode] {
+        FaultableDevice& leader = group.LeaderDeviceOrFallback();
+        if (mode == 1) {
+          injector.InjectStepChange(
+              leader,
+              {{sim.Now(), 6.0}, {sim.Now() + Duration::Seconds(3.0), 1.0}});
+        } else {
+          std::vector<std::pair<SimTime, Duration>> windows;
+          for (int w = 0; w < 4; ++w) {
+            windows.emplace_back(sim.Now() + Duration::Millis(800 * w),
+                                 Duration::Millis(400));
+          }
+          injector.InjectOfflineWindows(leader, windows, "chaos-gc");
+        }
+      });
+    }
+    // Steady proposal stream across the fault window.
+    for (int k = 0; k < 40; ++k) {
+      sim.ScheduleAt(At(1.0 + 0.1 * k), [&group, k] {
+        ConfigChange c;
+        c.kind = ConfigChangeKind::kSetWeight;
+        c.node = k % 4;
+        c.weight = (k % 2 == 0) ? 0.5 : 1.0;
+        group.Propose(c);
+      });
+    }
+    group.Start(At(12.0));
+    sim.Run();
+    mean_ms = group.reconfig_mean_ms();
+    max_ms = group.reconfig_max_ms();
+    elections = group.elections_started();
+    false_failovers = group.false_failovers();
+    benchmark::DoNotOptimize(group.max_commit());
+  }
+  state.counters["reconfig_mean_ms"] = mean_ms;
+  state.counters["reconfig_max_ms"] = max_ms;
+  state.counters["elections"] = elections;
+  state.counters["false_failovers"] = false_failovers;
+}
+BENCHMARK(BM_LeaderFault)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+FST_BENCH_MAIN(consensus);

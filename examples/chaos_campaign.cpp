@@ -22,6 +22,14 @@
 //          additionally writes chaos_bundle.json (unified telemetry
 //          bundle) and chaos_report.html (self-contained viewer) to
 //          out_dir — both byte-identical at any thread count.
+//          The literal string "control" instead arms the consensus-backed
+//          control plane: every seed routes shard-map mutations through a
+//          replicated metadata quorum, scenarios add leader-targeted
+//          stutter faults (node=leader), and the consensus invariants —
+//          one leader per term, no committed-entry loss, replica
+//          agreement, bounded unavailability — are checked on top of the
+//          robustness ones. The summary line reports election count,
+//          false-failover rate, and reconfiguration latency (E28).
 //
 // Exit status: 0 when every seed holds every invariant, 2 otherwise (the
 // offending seeds print their scenario DSL and fault timeline, which is
@@ -47,6 +55,10 @@ int main(int argc, char** argv) {
     // Two gray stutters per seed: the sub-enter_deficit slowdowns the
     // legacy detectors are blind to and the live plane exists to score.
     params.scenario.gray_faults = 2;
+  }
+  if (argc > 4 && std::string(argv[4]) == "control") {
+    params.control_plane = true;
+    params.name = "chaos_control";
   }
 
   std::printf("chaos campaign: %d seeds, %d nodes, %.0fs serving + %.0fs "
@@ -76,6 +88,38 @@ int main(int argc, char** argv) {
         result.scorecard.faults, result.scorecard.gray_faults,
         result.scorecard.precision(), result.scorecard.recall(),
         result.scorecard.gray_legacy_missed, result.scorecard.gray_live_scored);
+  }
+  if (params.control_plane) {
+    // The E28 aggregates: how often a stuttering-but-alive leader was
+    // deposed, and what reconfiguration latency the quorum imposed.
+    int elections = 0;
+    int false_failovers = 0;
+    double reconfig_mean_sum = 0.0;
+    double reconfig_max = 0.0;
+    double max_leaderless = 0.0;
+    int seeds_with_reconfigs = 0;
+    for (const fst::SeedOutcome& o : result.outcomes) {
+      elections += o.elections;
+      false_failovers += o.false_failovers;
+      if (o.reconfigs > 0) {
+        reconfig_mean_sum += o.reconfig_mean_ms;
+        ++seeds_with_reconfigs;
+      }
+      if (o.reconfig_max_ms > reconfig_max) {
+        reconfig_max = o.reconfig_max_ms;
+      }
+      if (o.max_leaderless_s > max_leaderless) {
+        max_leaderless = o.max_leaderless_s;
+      }
+    }
+    std::printf(
+        "control plane: %d elections, %d false failovers (%.3f/seed), "
+        "reconfig mean %.2fms max %.2fms, max leaderless %.3fs\n",
+        elections, false_failovers,
+        static_cast<double>(false_failovers) / params.seeds,
+        seeds_with_reconfigs > 0 ? reconfig_mean_sum / seeds_with_reconfigs
+                                 : 0.0,
+        reconfig_max, max_leaderless);
   }
   for (const fst::SeedOutcome& o : result.outcomes) {
     if (o.ok) {

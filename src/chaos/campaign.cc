@@ -42,6 +42,20 @@ SeedOutcome RunChaosSeed(const CampaignParams& p, uint64_t seed) {
   KvService svc(sim, cluster, std::make_unique<ProportionalSharePolicy>(),
                 p.telemetry ? &recorder : nullptr);
 
+  // The consensus group forks its RNG streams off the simulator root at
+  // construction, so it must be built only on the control-plane path —
+  // otherwise legacy seeds would see a shifted stream and lose their
+  // pinned digests.
+  std::unique_ptr<ConsensusGroup> group;
+  if (p.control_plane) {
+    ConsensusParams cp = p.consensus;
+    cp.data_nodes = p.nodes;
+    cp.shard = cluster.shard;
+    group = std::make_unique<ConsensusGroup>(sim, cp,
+                                             p.telemetry ? &recorder : nullptr);
+    BindControlPlane(*group, svc);
+  }
+
   FaultInjector injector(sim);
   if (p.telemetry) {
     injector.set_recorder(&recorder);
@@ -49,12 +63,26 @@ SeedOutcome RunChaosSeed(const CampaignParams& p, uint64_t seed) {
   RandomScenarioParams sp = p.scenario;
   sp.nodes = p.nodes;
   sp.horizon = p.run_for;
+  if (p.control_plane) {
+    sp.leader_faults = p.leader_faults;
+  }
   const ChaosSchedule schedule = RandomScenario(seed, sp);
-  ApplySchedule(sim, svc, schedule, injector);
+  if (p.control_plane) {
+    ConsensusGroup* g = group.get();
+    ApplySchedule(sim, svc, schedule, injector,
+                  [g]() -> FaultableDevice* {
+                    return &g->LeaderDeviceOrFallback();
+                  });
+  } else {
+    ApplySchedule(sim, svc, schedule, injector);
+  }
 
   const SimTime end_of_run = SimTime::Zero() + p.run_for + p.settle;
   svc.StartRecovery(end_of_run);
   svc.StartTelemetry(end_of_run);
+  if (group) {
+    group->Start(end_of_run);
+  }
   fleet.Run(svc, [](const FleetResult&) {});
   sim.Run();
 
@@ -117,6 +145,46 @@ SeedOutcome RunChaosSeed(const CampaignParams& p, uint64_t seed) {
                       f.injected_at.ToSeconds());
         out.violations.push_back(buf);
       }
+    }
+  }
+
+  if (p.control_plane) {
+    out.control_plane = true;
+    out.elections = group->elections_started();
+    out.elections_won = group->elections_won();
+    out.false_failovers = group->false_failovers();
+    out.entries_committed = static_cast<int64_t>(group->max_commit());
+    out.snapshots = group->snapshots_taken() + group->snapshots_installed();
+    out.reconfigs = group->reconfigs_applied();
+    out.reconfig_mean_ms = group->reconfig_mean_ms();
+    out.reconfig_max_ms = group->reconfig_max_ms();
+    out.leaderless_s = group->leaderless_seconds();
+    out.max_leaderless_s = group->max_leaderless_seconds();
+    for (std::string& v : group->CheckInvariants(p.unavailability_bound)) {
+      out.violations.push_back(std::move(v));
+    }
+    // No split-brain ownership: at quiesce the serving map and weights
+    // must equal the feed replica's applied state bit-for-bit — the
+    // service holds no ownership fact the quorum never committed.
+    const ControlState& feed = group->replica(0).state();
+    if (svc.shard_map().OwnershipDigest() !=
+        feed.map().OwnershipDigest()) {
+      out.violations.push_back(
+          "serving shard map diverged from feed replica applied state");
+    }
+    for (int i = 0; i < p.nodes; ++i) {
+      if (svc.selector().WeightOf(i) != feed.weight(i)) {
+        char buf[112];
+        std::snprintf(buf, sizeof(buf),
+                      "node%d serving weight %.6f != committed %.6f", i,
+                      svc.selector().WeightOf(i), feed.weight(i));
+        out.violations.push_back(buf);
+      }
+    }
+    if (group->pending_proposals() != 0) {
+      out.violations.push_back(
+          std::to_string(group->pending_proposals()) +
+          " control proposals never committed by end of run");
     }
   }
 
@@ -304,6 +372,21 @@ std::string CampaignResult::ReportJson() const {
         static_cast<long long>(o.lost_acked),
         static_cast<long long>(o.under_replicated));
     out += buf;
+    if (o.control_plane) {
+      char cbuf[320];
+      std::snprintf(
+          cbuf, sizeof(cbuf),
+          ", \"elections\": %d, \"elections_won\": %d, "
+          "\"false_failovers\": %d, \"entries_committed\": %lld, "
+          "\"snapshots\": %d, \"reconfigs\": %d, "
+          "\"reconfig_mean_ms\": %.3f, \"reconfig_max_ms\": %.3f, "
+          "\"leaderless_s\": %.3f, \"max_leaderless_s\": %.3f",
+          o.elections, o.elections_won, o.false_failovers,
+          static_cast<long long>(o.entries_committed), o.snapshots,
+          o.reconfigs, o.reconfig_mean_ms, o.reconfig_max_ms, o.leaderless_s,
+          o.max_leaderless_s);
+      out += cbuf;
+    }
     if (!o.ok) {
       out += ", \"violations\": [";
       for (size_t v = 0; v < o.violations.size(); ++v) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/chaos/scenario.h"
+#include "src/consensus/raft.h"
 #include "src/obs/live/live_plane.h"
 #include "src/obs/live/scorecard.h"
 #include "src/simcore/time.h"
@@ -57,6 +58,18 @@ struct CampaignParams {
   bool telemetry = false;
   LivePlaneParams live;         // live.enabled is implied by `telemetry`
   ScorecardParams scorecard;
+  // Consensus-backed control plane: each seed additionally builds a
+  // metadata quorum, routes every eject / uneject / weight mutation
+  // through its committed log (BindControlPlane), appends `leader_faults`
+  // leader-targeted chaos events to the schedule, and checks the consensus
+  // invariants (one leader per term, no committed-entry truncation,
+  // replica-state agreement, leaderless spans <= unavailability_bound) on
+  // top of the robustness ones. Off by default: the omniscient legacy
+  // path, bit-identical to the seed digests.
+  bool control_plane = false;
+  ConsensusParams consensus;   // data_nodes/shard overwritten per run
+  int leader_faults = 2;
+  Duration unavailability_bound = Duration::Seconds(3.0);
 };
 
 struct SeedOutcome {
@@ -87,6 +100,19 @@ struct SeedOutcome {
   double max_stutter_score = 0.0;  // highest window score on any node
   std::string live_json;    // LivePlane::Json() for this seed
   std::string slo_json;     // SloTracker::ReportJson(run_for)
+
+  // -- Control-plane campaigns only (params.control_plane) --
+  bool control_plane = false;  // the fields below are populated
+  int elections = 0;           // election attempts across the run
+  int elections_won = 0;
+  int false_failovers = 0;     // elections while the old leader was up
+  int64_t entries_committed = 0;
+  int snapshots = 0;           // taken + installed across the quorum
+  int reconfigs = 0;           // config changes applied by the feed
+  double reconfig_mean_ms = 0.0;  // propose -> feed-applied latency
+  double reconfig_max_ms = 0.0;
+  double leaderless_s = 0.0;      // total time without a live leader
+  double max_leaderless_s = 0.0;  // worst single outage window
 };
 
 struct CampaignResult {

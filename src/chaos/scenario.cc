@@ -131,7 +131,7 @@ ChaosEvent ParseStatement(const std::string& stmt) {
     const std::string key = tok.substr(0, eq);
     const std::string val = tok.substr(eq + 1);
     if (key == "node") {
-      e.node = ParseInt(val, stmt);
+      e.node = (val == "leader") ? kLeaderNode : ParseInt(val, stmt);
     } else if (key == "at") {
       e.at = ParseDur(val, stmt);
     } else if (key == "for" &&
@@ -165,7 +165,8 @@ std::string ChaosSchedule::ToDsl() const {
   std::string out;
   for (const ChaosEvent& e : events) {
     out += ChaosKindName(e.kind);
-    out += " node=" + std::to_string(e.node);
+    out += " node=";
+    out += (e.node == kLeaderNode) ? "leader" : std::to_string(e.node);
     out += " at=" + DurToken(e.at);
     switch (e.kind) {
       case ChaosKind::kSlow:
@@ -294,57 +295,117 @@ ChaosSchedule RandomScenario(uint64_t seed, const RandomScenarioParams& p) {
     e.magnitude = rng.UniformDouble(p.gray_min_factor, p.gray_max_factor);
     s.events.push_back(e);
   }
+
+  // Leader faults last (again: appending keeps leader_faults == 0 seeds
+  // bit-identical). The mix is deliberately stutter-heavy — the point is a
+  // coordinator that limps, not one that dies: gc pauses are drawn longer
+  // than a heartbeat interval so followers' election timers can expire
+  // while the leader is merely paused, the false-failover shape.
+  for (int k = 0; k < p.leader_faults; ++k) {
+    ChaosEvent e;
+    e.node = kLeaderNode;
+    e.at = Duration::Seconds(rng.UniformDouble(h * 0.10, h * 0.65));
+    const double draw = rng.UniformDouble(0.0, 1.0);
+    if (draw < 0.4) {
+      e.kind = ChaosKind::kSlow;
+      e.duration = Duration::Seconds(rng.UniformDouble(1.5, 4.0));
+      e.magnitude = rng.UniformDouble(3.0, 8.0);
+    } else if (draw < 0.8) {
+      e.kind = ChaosKind::kGc;
+      e.duration = Duration::Seconds(rng.UniformDouble(1.5, 4.0));
+      e.pause = Duration::Seconds(rng.UniformDouble(0.15, 0.45));
+      e.period = Duration::Seconds(rng.UniformDouble(0.6, 1.2));
+    } else {
+      e.kind = ChaosKind::kCrash;
+      e.duration = Duration::Seconds(rng.UniformDouble(1.2, 2.0));
+    }
+    s.events.push_back(e);
+  }
   return s;
 }
 
+namespace {
+
+// Arms one event's fault processes against a concrete device, with the
+// event's episode starting at `at`. Fixed-node events pass their absolute
+// offset; leader events pass the resolution instant, so the episode's
+// internal timing (gc windows, flap cycles) is relative to whoever was
+// elected when the fault fired.
+void InjectEvent(FaultInjector& injector, FaultableDevice& dev,
+                 const ChaosEvent& e, SimTime at) {
+  switch (e.kind) {
+    case ChaosKind::kSlow:
+      injector.InjectStepChange(dev,
+                                {{at, e.magnitude}, {at + e.duration, 1.0}});
+      break;
+    case ChaosKind::kGc: {
+      std::vector<std::pair<SimTime, Duration>> windows;
+      const Duration period =
+          e.period.IsZero() ? Duration::Seconds(1.0) : e.period;
+      for (Duration off = Duration::Zero(); off < e.duration; off += period) {
+        windows.emplace_back(at + off, e.pause);
+      }
+      injector.InjectOfflineWindows(dev, windows, "chaos-gc");
+      break;
+    }
+    case ChaosKind::kCrash: {
+      CrashRestartFault f;
+      f.at = at;
+      f.down_for = e.duration;
+      f.warmup_factor = e.magnitude;
+      f.warmup_for = e.warmup;
+      injector.ScheduleCrashRestart(dev, f);
+      break;
+    }
+    case ChaosKind::kFlap: {
+      const Duration period =
+          e.period.IsZero() ? e.duration + Duration::Seconds(1.0) : e.period;
+      for (int k = 0; k < std::max(1, e.count); ++k) {
+        CrashRestartFault f;
+        f.at = at + period * static_cast<double>(k);
+        f.down_for = e.duration;
+        injector.ScheduleCrashRestart(dev, f);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
 void ApplySchedule(Simulator& sim, KvService& service,
-                   const ChaosSchedule& schedule, FaultInjector& injector) {
-  (void)sim;  // scheduling flows through the injector's simulator binding
+                   const ChaosSchedule& schedule, FaultInjector& injector,
+                   const LeaderResolver& leader_of) {
   for (const ChaosEvent& e : schedule.events) {
+    if (e.node == kLeaderNode) {
+      if (!leader_of) {
+        throw std::invalid_argument(
+            "chaos schedule: node=leader event but no leader resolver bound");
+      }
+      // Leader identity is a runtime property — resolve when the fault
+      // fires, not when the schedule is applied. A dead or not-yet-elected
+      // leader skips the event (there is nothing to stutter).
+      sim.ScheduleAt(SimTime::Zero() + e.at,
+                     [&sim, &injector, resolve = leader_of, e]() {
+                       FaultableDevice* dev = resolve();
+                       if (dev == nullptr || dev->has_failed()) {
+                         return;
+                       }
+                       InjectEvent(injector, *dev, e, sim.Now());
+                     });
+      continue;
+    }
     if (e.node < 0 || e.node >= service.params().nodes) {
       throw std::invalid_argument("chaos schedule: node " +
                                   std::to_string(e.node) + " out of range");
     }
-    Node& dev = *service.node(e.node);
-    const SimTime at = SimTime::Zero() + e.at;
-    switch (e.kind) {
-      case ChaosKind::kSlow:
-        injector.InjectStepChange(
-            dev, {{at, e.magnitude}, {at + e.duration, 1.0}});
-        break;
-      case ChaosKind::kGc: {
-        std::vector<std::pair<SimTime, Duration>> windows;
-        const Duration period =
-            e.period.IsZero() ? Duration::Seconds(1.0) : e.period;
-        for (Duration off = Duration::Zero(); off < e.duration;
-             off += period) {
-          windows.emplace_back(at + off, e.pause);
-        }
-        injector.InjectOfflineWindows(dev, windows, "chaos-gc");
-        break;
-      }
-      case ChaosKind::kCrash: {
-        CrashRestartFault f;
-        f.at = at;
-        f.down_for = e.duration;
-        f.warmup_factor = e.magnitude;
-        f.warmup_for = e.warmup;
-        injector.ScheduleCrashRestart(dev, f);
-        break;
-      }
-      case ChaosKind::kFlap: {
-        const Duration period =
-            e.period.IsZero() ? e.duration + Duration::Seconds(1.0) : e.period;
-        for (int k = 0; k < std::max(1, e.count); ++k) {
-          CrashRestartFault f;
-          f.at = at + period * static_cast<double>(k);
-          f.down_for = e.duration;
-          injector.ScheduleCrashRestart(dev, f);
-        }
-        break;
-      }
-    }
+    InjectEvent(injector, *service.node(e.node), e, SimTime::Zero() + e.at);
   }
+}
+
+void ApplySchedule(Simulator& sim, KvService& service,
+                   const ChaosSchedule& schedule, FaultInjector& injector) {
+  ApplySchedule(sim, service, schedule, injector, LeaderResolver());
 }
 
 }  // namespace fst

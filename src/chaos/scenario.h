@@ -16,10 +16,18 @@
 //   flap  node=<i> at=<dur> down=<dur> period=<dur> n=<count>
 // Durations take a unit suffix: ns, us, ms, or s (e.g. at=5s, pause=120ms).
 // ParseDsl throws std::invalid_argument on malformed input.
+//
+// Besides a fixed index, `node=` accepts the selector `leader`: the event
+// binds to *whoever leads the consensus group at fire time*, resolved by
+// the LeaderResolver passed to ApplySchedule. "gc-pause whichever replica
+// currently leads" is the paper's stuttering-coordinator scenario, and it
+// is inexpressible with a fixed index because elections move the target.
+// `node=leader` round-trips through ToDsl()/ParseDsl() exactly.
 #ifndef SRC_CHAOS_SCENARIO_H_
 #define SRC_CHAOS_SCENARIO_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,9 +47,13 @@ enum class ChaosKind {
 
 const char* ChaosKindName(ChaosKind k);
 
+// ChaosEvent::node value meaning "the current consensus leader at fire
+// time" (serialized as `node=leader`).
+inline constexpr int kLeaderNode = -1;
+
 struct ChaosEvent {
   ChaosKind kind = ChaosKind::kSlow;
-  int node = 0;
+  int node = 0;  // data-plane index, or kLeaderNode for the live leader
   Duration at;                      // offset from simulation start
   Duration duration;                // slow/gc: episode length; crash/flap: down time
   double magnitude = 1.0;           // slow factor / crash warm-up factor
@@ -84,15 +96,31 @@ struct RandomScenarioParams {
   int gray_faults = 0;
   double gray_min_factor = 1.25;
   double gray_max_factor = 1.45;
+  // Leader-targeted faults (node=leader): slowdowns, gc storms with
+  // pauses long enough to breach election timeouts, and outright crashes
+  // aimed at whoever leads the metadata quorum when the fault fires.
+  // Drawn after every other class, so zero (the default) keeps all
+  // pre-existing schedules bit-identical.
+  int leader_faults = 0;
 };
 
 // Seeded scenario generator: same seed, same schedule, bit-for-bit. Crash
 // entries never overlap and always restart well before the horizon.
 ChaosSchedule RandomScenario(uint64_t seed, const RandomScenarioParams& params);
 
+// Resolves `node=leader` events to a device at fire time. Returning
+// nullptr skips the event (no target exists).
+using LeaderResolver = std::function<FaultableDevice*()>;
+
 // Binds every entry of `schedule` to the service's nodes through the fault
 // injector (ground truth recorded per entry). Entries naming nodes outside
-// [0, service.params().nodes) throw std::invalid_argument.
+// [0, service.params().nodes) throw std::invalid_argument, as do
+// `node=leader` entries when no resolver is supplied. Leader events
+// schedule a resolution point at `at`; the fault's timing then runs
+// relative to that instant against whichever device leads.
+void ApplySchedule(Simulator& sim, KvService& service,
+                   const ChaosSchedule& schedule, FaultInjector& injector,
+                   const LeaderResolver& leader_of);
 void ApplySchedule(Simulator& sim, KvService& service,
                    const ChaosSchedule& schedule, FaultInjector& injector);
 

@@ -75,29 +75,50 @@ void KvService::OnStateChange(const StateChange& change) {
   switch (reaction.kind) {
     case ReactionKind::kNone:
       if (change.to == PerfState::kHealthy) {
-        selector_.SetWeight(idx, 1.0);
-        if (shard_map_.IsEjected(idx)) {
-          shard_map_.Uneject(idx);
-        }
+        SubmitControl({ControlCommand::Kind::kSetWeight, idx, 1.0});
+        SubmitControl({ControlCommand::Kind::kUneject, idx, 0.0});
       }
       break;
     case ReactionKind::kReweight:
       ++reweights_;
-      selector_.SetWeight(idx, reaction.share);
-      if (reaction.share > 0.0 && shard_map_.IsEjected(idx)) {
-        shard_map_.Uneject(idx);
+      SubmitControl({ControlCommand::Kind::kSetWeight, idx, reaction.share});
+      if (reaction.share > 0.0) {
+        SubmitControl({ControlCommand::Kind::kUneject, idx, 0.0});
       }
       break;
     case ReactionKind::kEject:
       ++ejections_;
-      selector_.SetWeight(idx, 0.0);
-      shard_map_.Eject(idx);
+      SubmitControl({ControlCommand::Kind::kEject, idx, 0.0});
       break;
   }
   if (recorder_ != nullptr && recorder_->enabled()) {
     recorder_->PolicyAction(change.when, trace_comp_,
                             static_cast<uint16_t>(reaction.kind),
                             reaction.share);
+  }
+}
+
+void KvService::SubmitControl(const ControlCommand& cmd) {
+  if (control_route_ && control_route_(cmd)) {
+    return;  // claimed: the route applies it back once committed
+  }
+  ApplyControl(cmd);
+}
+
+void KvService::ApplyControl(const ControlCommand& cmd) {
+  switch (cmd.kind) {
+    case ControlCommand::Kind::kEject:
+      selector_.SetWeight(cmd.node, 0.0);
+      shard_map_.Eject(cmd.node);
+      break;
+    case ControlCommand::Kind::kUneject:
+      if (shard_map_.IsEjected(cmd.node)) {
+        shard_map_.Uneject(cmd.node);
+      }
+      break;
+    case ControlCommand::Kind::kSetWeight:
+      selector_.SetWeight(cmd.node, cmd.weight);
+      break;
   }
 }
 
@@ -659,9 +680,10 @@ void KvService::RecoverNode(int node) {
   ++recoveries_;
   const SimTime now = sim_.Now();
   registry_.MarkRecovered(nodes_[static_cast<size_t>(node)]->name(), now);
-  if (shard_map_.IsEjected(node)) {
-    shard_map_.Uneject(node);
-  }
+  // Unconditional submit: under a routed control plane the eject this
+  // undoes may itself still be in flight, so the decision can't hinge on
+  // the local (possibly stale) map — ApplyControl re-checks membership.
+  SubmitControl({ControlCommand::Kind::kUneject, node, 0.0});
   ArmCrashHandler(node);  // re-arm for the next crash (flapping)
   BeginWeightRamp(node);
   KickRepair();
@@ -672,7 +694,7 @@ void KvService::BeginWeightRamp(int node) {
   const RecoveryParams& rp = params_.recovery;
   const int steps = std::max(1, rp.ramp_steps);
   const double w0 = std::clamp(rp.ramp_initial, 0.0, 1.0);
-  selector_.SetWeight(node, w0);
+  SubmitControl({ControlCommand::Kind::kSetWeight, node, w0});
   for (int k = 1; k <= steps; ++k) {
     const double frac = static_cast<double>(k) / static_cast<double>(steps);
     // Final step pinned to exactly 1.0 (float addition may land epsilon off).
@@ -681,7 +703,7 @@ void KvService::BeginWeightRamp(int node) {
       if (ramp_gen_[static_cast<size_t>(node)] != gen) {
         return;  // the node crashed again; this ramp is stale
       }
-      selector_.SetWeight(node, w);
+      SubmitControl({ControlCommand::Kind::kSetWeight, node, w});
     });
   }
 }

@@ -28,6 +28,7 @@
 #define SRC_CLUSTER_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -107,6 +108,21 @@ struct ClusterParams {
   LivePlaneParams live;
 };
 
+// One control-plane mutation of the serving state: the unit the
+// consensus-backed control plane replicates. Every structural reaction the
+// service takes — eject, uneject, weight step — is expressed as one of
+// these and funneled through a single seam (SubmitControl), so an external
+// control plane can intercept the stream, commit it to a replicated log,
+// and apply it back in commit order. Application is idempotent: kUneject
+// re-checks ring membership and kEject/kSetWeight write absolute values,
+// so a committed duplicate converges instead of corrupting.
+struct ControlCommand {
+  enum class Kind : uint8_t { kEject, kUneject, kSetWeight };
+  Kind kind = Kind::kSetWeight;
+  int node = 0;
+  double weight = 0.0;  // kSetWeight only
+};
+
 class KvService {
  public:
   KvService(Simulator& sim, ClusterParams params,
@@ -170,6 +186,22 @@ class KvService {
   const LivePlane* live() const { return live_.get(); }
   const HedgeStats& hedge_stats() const { return hedge_.stats(); }
   const ClusterParams& params() const { return params_; }
+
+  // -- Control-plane seam --
+  //
+  // With no route installed (the default), SubmitControl applies commands
+  // inline — byte-identical to the historical direct-mutation path. A
+  // route (e.g. BindControlPlane in src/consensus) returns true to claim
+  // the command; the serving state then mutates only when the routed
+  // command is applied back via ApplyControl, paying whatever latency the
+  // external control plane imposes.
+  using ControlRoute = std::function<bool(const ControlCommand&)>;
+  void set_control_route(ControlRoute route) {
+    control_route_ = std::move(route);
+  }
+  // Applies a command to the serving shard map / selector. Public so a
+  // replicated control plane can apply committed entries; idempotent.
+  void ApplyControl(const ControlCommand& cmd);
 
   int ejections() const { return ejections_; }
   int reweights() const { return reweights_; }
@@ -264,6 +296,10 @@ class KvService {
 
   void OnStateChange(const StateChange& change);
 
+  // Routes a command through control_route_ when installed, else applies
+  // it inline (the legacy omniscient path).
+  void SubmitControl(const ControlCommand& cmd);
+
   void TelemetryTick();
 
   uint64_t BeginTrace(SimTime now);
@@ -286,6 +322,7 @@ class KvService {
   SimTime telemetry_until_;
   RetryPolicy retry_;
   std::map<std::string, int> name_to_index_;
+  ControlRoute control_route_;
 
   // Columnar op core: slab table of in-flight ops + completion ring for
   // tagged (coalesced-delivery) ops.

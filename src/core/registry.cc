@@ -86,6 +86,21 @@ SimTime PerformanceStateRegistry::LastLiveness(
   return it != last_liveness_.end() ? it->second : SimTime::Zero();
 }
 
+void PerformanceStateRegistry::SetLivenessDeadline(
+    const std::string& component, Duration deadline) {
+  if (deadline.IsZero()) {
+    liveness_deadline_.erase(component);
+  } else {
+    liveness_deadline_[component] = deadline;
+  }
+}
+
+Duration PerformanceStateRegistry::LivenessDeadlineFor(
+    const std::string& component, Duration fallback) const {
+  auto it = liveness_deadline_.find(component);
+  return it != liveness_deadline_.end() ? it->second : fallback;
+}
+
 std::vector<std::string> PerformanceStateRegistry::CheckLiveness(
     SimTime now, Duration deadline) {
   std::vector<std::string> newly_failed;
@@ -93,7 +108,7 @@ std::vector<std::string> PerformanceStateRegistry::CheckLiveness(
     if (det->state() == PerfState::kFailed) {
       continue;
     }
-    if (now - LastLiveness(name) < deadline) {
+    if (now - LastLiveness(name) < LivenessDeadlineFor(name, deadline)) {
       continue;
     }
     const PerfState before = det->state();

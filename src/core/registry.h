@@ -90,8 +90,19 @@ class PerformanceStateRegistry {
   SimTime LastLiveness(const std::string& component) const;
 
   // Fails every component silent for longer than `deadline`; returns the
-  // names newly declared failed, in registration (map) order.
+  // names newly declared failed, in registration (map) order. A component
+  // with a SetLivenessDeadline override is judged against its own
+  // deadline instead of `deadline`.
   std::vector<std::string> CheckLiveness(SimTime now, Duration deadline);
+
+  // Per-component deadline override: one registry instance can mix
+  // control-plane components on a tight miss deadline with data-plane
+  // components probed at the default. A zero duration clears the
+  // override.
+  void SetLivenessDeadline(const std::string& component, Duration deadline);
+  // The deadline CheckLiveness would apply to `component` given `fallback`.
+  Duration LivenessDeadlineFor(const std::string& component,
+                               Duration fallback) const;
 
   // Crash recovery: un-fails a component that has proven it serves again
   // (detector resets to kHealthy, transition published, liveness renewed).
@@ -134,6 +145,7 @@ class PerformanceStateRegistry {
   EventRecorder* recorder_ = nullptr;
   std::map<std::string, std::unique_ptr<StutterDetector>> detectors_;
   std::map<std::string, SimTime> last_liveness_;
+  std::map<std::string, Duration> liveness_deadline_;
   std::vector<Listener> listeners_;
   std::vector<StateChange> history_;
   uint64_t observations_ = 0;

@@ -192,6 +192,88 @@ TEST(ChaosScenarioTest, ApplyScheduleRejectsOutOfRangeNode) {
 }
 
 // ---------------------------------------------------------------------------
+// Leader selector: node=leader resolves at fault-fire time
+
+TEST(ChaosDslTest, LeaderSelectorRoundTripsExactly) {
+  ChaosSchedule s;
+  ChaosEvent e;
+  e.kind = ChaosKind::kGc;
+  e.node = kLeaderNode;
+  e.at = Duration(3141592653);
+  e.duration = Duration::Seconds(2.0);
+  e.pause = Duration::Millis(400);
+  e.period = Duration(800000001);
+  s.events.push_back(e);
+
+  const std::string dsl = s.ToDsl();
+  EXPECT_NE(dsl.find("node=leader"), std::string::npos) << dsl;
+  const ChaosSchedule back = ParseDsl(dsl);
+  ASSERT_EQ(back.events.size(), 1u);
+  EXPECT_EQ(back.events[0].node, kLeaderNode);
+  EXPECT_EQ(back.events[0].at.nanos(), e.at.nanos());
+  EXPECT_EQ(back.events[0].period.nanos(), e.period.nanos());
+  EXPECT_EQ(back.ToDsl(), dsl);
+
+  const ChaosSchedule human =
+      ParseDsl("slow node=leader at=2s for=1s x4\n");
+  ASSERT_EQ(human.events.size(), 1u);
+  EXPECT_EQ(human.events[0].node, kLeaderNode);
+}
+
+TEST(ChaosScenarioTest, LeaderFaultsAppendAfterAllOtherDraws) {
+  RandomScenarioParams base;
+  RandomScenarioParams with_leader = base;
+  with_leader.leader_faults = 2;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosSchedule a = RandomScenario(seed, base);
+    const ChaosSchedule b = RandomScenario(seed, with_leader);
+    // The pre-existing draws are bit-identical; leader events are a pure
+    // suffix targeting the leader selector.
+    ASSERT_EQ(b.events.size(), a.events.size() + 2) << "seed " << seed;
+    const std::string a_dsl = a.ToDsl();
+    EXPECT_EQ(b.ToDsl().substr(0, a_dsl.size()), a_dsl) << "seed " << seed;
+    for (size_t i = a.events.size(); i < b.events.size(); ++i) {
+      EXPECT_EQ(b.events[i].node, kLeaderNode) << "seed " << seed;
+    }
+    EXPECT_EQ(RandomScenario(seed, with_leader).ToDsl(), b.ToDsl());
+  }
+}
+
+TEST(ChaosScenarioTest, ApplyScheduleRequiresResolverForLeaderEvents) {
+  Simulator sim(1);
+  ClusterParams params;
+  params.nodes = 4;
+  KvService svc(sim, params, std::make_unique<EjectOnStutterPolicy>());
+  FaultInjector injector(sim);
+  const ChaosSchedule s = ParseDsl("slow node=leader at=1s for=1s x4");
+  EXPECT_THROW(ApplySchedule(sim, svc, s, injector), std::invalid_argument);
+  EXPECT_THROW(ApplySchedule(sim, svc, s, injector, LeaderResolver()),
+               std::invalid_argument);
+}
+
+TEST(ChaosScenarioTest, LeaderEventBindsToFireTimeLeader) {
+  Simulator sim(2);
+  ClusterParams params;
+  params.nodes = 4;
+  KvService svc(sim, params, std::make_unique<EjectOnStutterPolicy>());
+  FaultInjector injector(sim);
+
+  // The "leader" moves from node1 to node2 at t=1.5s, before the event
+  // fires at t=2s: the injected ground truth must name node2 — binding at
+  // apply time would have hit node1.
+  Node* leader = svc.node(1);
+  sim.ScheduleAt(At(1.5), [&] { leader = svc.node(2); });
+  const ChaosSchedule s = ParseDsl("slow node=leader at=2s for=1s x4");
+  ApplySchedule(sim, svc, s, injector,
+                [&leader]() -> FaultableDevice* { return leader; });
+  sim.Run();
+
+  ASSERT_EQ(injector.injected().size(), 1u);
+  EXPECT_EQ(injector.injected()[0].component, "node2");
+  EXPECT_NEAR(injector.injected()[0].when.ToSeconds(), 2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
 // Crash-restart fault at the device layer
 
 TEST(CrashRestartTest, NodeFailsRestartsAndWarmsUp) {
