@@ -1,0 +1,78 @@
+// Resilience-pattern benchmarks — what the policies cost under the clock.
+//
+// Three questions:
+//   1. What does one resilience cell cost? BM_ResilienceCell times a single
+//      scenario x pattern serving run end-to-end (schedule derivation, the
+//      full fleet run with retries + recovery + live telemetry, pattern
+//      ticks, invariant checks) for the interesting corners of the grid.
+//   2. What is the simulator-time price of each pattern in a clean cell?
+//      The per-pattern goodput counters on BM_ResilienceCell expose the
+//      no-fault overhead: rejuvenation/eviction/nmr cells should match the
+//      budget cell's goodput when nothing is wrong.
+//   3. What do checkpoints cost the batch path? BM_CheckpointCell times the
+//      full proof cell (baseline + checkpointed + crash-at-every-boundary
+//      replays) and reports the measured overhead and rollback gain.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/resilience/campaign.h"
+
+namespace fst {
+namespace {
+
+ResilienceCampaignParams SmallParams() {
+  ResilienceCampaignParams p;
+  p.run_for = Duration::Seconds(12.0);
+  p.settle = Duration::Seconds(6.0);
+  p.threads = 1;  // timing benchmark: keep the work on the measured thread
+  return p;
+}
+
+void BM_ResilienceCell(benchmark::State& state) {
+  const ResilienceCampaignParams p = SmallParams();
+  const auto scenario = static_cast<ResilienceScenario>(state.range(0));
+  const auto pattern = static_cast<ResiliencePattern>(state.range(1));
+  ResilienceCellOutcome out;
+  for (auto _ : state) {
+    out = RunResilienceCell(p, scenario, pattern, 1);
+    benchmark::DoNotOptimize(out.fire_digest);
+  }
+  state.SetLabel(std::string(ResilienceScenarioName(scenario)) + "/" +
+                 ResiliencePatternName(pattern));
+  state.counters["goodput_per_sec"] = out.goodput_per_sec;
+  state.counters["retries"] = static_cast<double>(out.retries);
+  state.counters["denied_budget"] = static_cast<double>(out.denied_budget);
+  state.counters["gray_exposure_s"] = out.gray_exposure_s;
+  state.counters["actions"] =
+      static_cast<double>(out.rejuvenations + out.evictions + out.nmr_reads);
+  state.counters["violations"] = static_cast<double>(out.violations.size());
+}
+BENCHMARK(BM_ResilienceCell)
+    ->Args({0, 1})  // clean/budget: the no-fault baseline
+    ->Args({1, 3})  // gray/eviction: predictive weight-down in the blind band
+    ->Args({1, 2})  // gray/rejuvenation: proactive restarts
+    ->Args({3, 0})  // retrystorm/none: metastable collapse (worst case)
+    ->Args({3, 1})  // retrystorm/budget: the brake engaged
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointCell(benchmark::State& state) {
+  ResilienceCampaignParams p = SmallParams();
+  const int workload = static_cast<int>(state.range(0));
+  CheckpointCellOutcome out;
+  for (auto _ : state) {
+    out = RunCheckpointCell(p, workload, 1);
+    benchmark::DoNotOptimize(out.digest_ckpt);
+  }
+  state.SetLabel(workload == 0 ? "sort" : "transpose");
+  state.counters["overhead_pct"] = out.overhead_pct;
+  state.counters["crashed_ckpt_s"] = out.crashed_ckpt_s;
+  state.counters["crashed_plain_s"] = out.crashed_plain_s;
+  state.counters["boundaries"] = static_cast<double>(out.boundaries_tested);
+  state.counters["violations"] = static_cast<double>(out.violations.size());
+}
+BENCHMARK(BM_CheckpointCell)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fst
+
+FST_BENCH_MAIN(resilience);

@@ -20,6 +20,12 @@ const char* ChaosKindName(ChaosKind k) {
       return "crash";
     case ChaosKind::kFlap:
       return "flap";
+    case ChaosKind::kGray:
+      return "gray";
+    case ChaosKind::kCorrelated:
+      return "correlated";
+    case ChaosKind::kRetryStorm:
+      return "retrystorm";
   }
   return "?";
 }
@@ -90,6 +96,31 @@ double ParseFactor(const std::string& tok, const std::string& stmt) {
   }
 }
 
+// Parses a comma-separated member list (`nodes=0,1,2`). Empty segments and
+// an empty list are malformed: a shared-fate domain with no members is a
+// script bug, not a no-op.
+std::vector<int> ParseMembers(const std::string& tok, const std::string& stmt) {
+  std::vector<int> out;
+  std::string seg;
+  const auto flush = [&out, &seg, &stmt]() {
+    if (seg.empty()) {
+      throw std::invalid_argument("chaos dsl: empty member in nodes= list in '" +
+                                  stmt + "'");
+    }
+    out.push_back(ParseInt(seg, stmt));
+    seg.clear();
+  };
+  for (char c : tok) {
+    if (c == ',') {
+      flush();
+    } else {
+      seg += c;
+    }
+  }
+  flush();
+  return out;
+}
+
 std::vector<std::string> Tokenize(const std::string& stmt) {
   std::vector<std::string> out;
   std::istringstream in(stmt);
@@ -112,6 +143,12 @@ ChaosEvent ParseStatement(const std::string& stmt) {
     e.kind = ChaosKind::kCrash;
   } else if (kind == "flap") {
     e.kind = ChaosKind::kFlap;
+  } else if (kind == "gray") {
+    e.kind = ChaosKind::kGray;
+  } else if (kind == "correlated") {
+    e.kind = ChaosKind::kCorrelated;
+  } else if (kind == "retrystorm") {
+    e.kind = ChaosKind::kRetryStorm;
   } else {
     throw std::invalid_argument("chaos dsl: unknown kind '" + kind + "' in '" +
                                 stmt + "'");
@@ -130,16 +167,34 @@ ChaosEvent ParseStatement(const std::string& stmt) {
     }
     const std::string key = tok.substr(0, eq);
     const std::string val = tok.substr(eq + 1);
-    if (key == "node") {
+    if (key == "node" && e.kind != ChaosKind::kCorrelated &&
+        e.kind != ChaosKind::kRetryStorm) {
       e.node = (val == "leader") ? kLeaderNode : ParseInt(val, stmt);
+    } else if (key == "nodes" && e.kind == ChaosKind::kCorrelated) {
+      e.members = ParseMembers(val, stmt);
+    } else if (key == "mode" && e.kind == ChaosKind::kCorrelated) {
+      if (val == "slow") {
+        e.inner = ChaosKind::kSlow;
+      } else if (val == "crash") {
+        e.inner = ChaosKind::kCrash;
+      } else {
+        throw std::invalid_argument("chaos dsl: bad mode '" + val +
+                                    "' (want slow|crash) in '" + stmt + "'");
+      }
     } else if (key == "at") {
       e.at = ParseDur(val, stmt);
     } else if (key == "for" &&
-               (e.kind == ChaosKind::kSlow || e.kind == ChaosKind::kGc)) {
+               (e.kind == ChaosKind::kSlow || e.kind == ChaosKind::kGc ||
+                e.kind == ChaosKind::kGray ||
+                e.kind == ChaosKind::kCorrelated ||
+                e.kind == ChaosKind::kRetryStorm)) {
       e.duration = ParseDur(val, stmt);
     } else if (key == "down" &&
-               (e.kind == ChaosKind::kCrash || e.kind == ChaosKind::kFlap)) {
+               (e.kind == ChaosKind::kCrash || e.kind == ChaosKind::kFlap ||
+                e.kind == ChaosKind::kCorrelated)) {
       e.duration = ParseDur(val, stmt);
+    } else if (key == "surge" && e.kind == ChaosKind::kRetryStorm) {
+      e.surge = ParseFactor(val, stmt);
     } else if (key == "pause" && e.kind == ChaosKind::kGc) {
       e.pause = ParseDur(val, stmt);
     } else if (key == "every" && e.kind == ChaosKind::kGc) {
@@ -156,6 +211,10 @@ ChaosEvent ParseStatement(const std::string& stmt) {
                                   "'");
     }
   }
+  if (e.kind == ChaosKind::kCorrelated && e.members.empty()) {
+    throw std::invalid_argument(
+        "chaos dsl: correlated needs a nodes= member list in '" + stmt + "'");
+  }
   return e;
 }
 
@@ -165,11 +224,22 @@ std::string ChaosSchedule::ToDsl() const {
   std::string out;
   for (const ChaosEvent& e : events) {
     out += ChaosKindName(e.kind);
-    out += " node=";
-    out += (e.node == kLeaderNode) ? "leader" : std::to_string(e.node);
+    if (e.kind == ChaosKind::kCorrelated) {
+      out += " nodes=";
+      for (size_t i = 0; i < e.members.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += std::to_string(e.members[i]);
+      }
+    } else if (e.kind != ChaosKind::kRetryStorm) {
+      out += " node=";
+      out += (e.node == kLeaderNode) ? "leader" : std::to_string(e.node);
+    }
     out += " at=" + DurToken(e.at);
     switch (e.kind) {
       case ChaosKind::kSlow:
+      case ChaosKind::kGray:
         out += " for=" + DurToken(e.duration);
         out += " " + FactorToken(e.magnitude);
         break;
@@ -190,6 +260,22 @@ std::string ChaosSchedule::ToDsl() const {
         out += " period=" + DurToken(e.period);
         out += " n=" + std::to_string(e.count);
         break;
+      case ChaosKind::kCorrelated:
+        if (e.inner == ChaosKind::kSlow) {
+          out += " mode=slow for=" + DurToken(e.duration);
+          out += " " + FactorToken(e.magnitude);
+        } else {
+          out += " mode=crash down=" + DurToken(e.duration);
+        }
+        break;
+      case ChaosKind::kRetryStorm: {
+        out += " for=" + DurToken(e.duration);
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), " surge=%.17g", e.surge);
+        out += buf;
+        out += " " + FactorToken(e.magnitude);
+        break;
+      }
     }
     out += "\n";
   }
@@ -321,6 +407,62 @@ ChaosSchedule RandomScenario(uint64_t seed, const RandomScenarioParams& p) {
     }
     s.events.push_back(e);
   }
+
+  // Correlated shared-fate domains (appended after leader faults, so
+  // correlated_faults == 0 keeps old schedules exact). Each domain picks a
+  // contiguous member window — racks are contiguous in the node numbering —
+  // and fans one episode out to every member at the same instant.
+  for (int k = 0; k < p.correlated_faults; ++k) {
+    ChaosEvent e;
+    e.kind = ChaosKind::kCorrelated;
+    const int span = std::min(p.nodes, std::max(2, p.correlated_domain));
+    const int first =
+        static_cast<int>(rng.UniformInt(0, std::max(0, p.nodes - span)));
+    for (int m = 0; m < span; ++m) {
+      e.members.push_back(first + m);
+    }
+    e.at = Duration::Seconds(rng.UniformDouble(h * 0.15, h * 0.55));
+    if (rng.Bernoulli(p.correlated_crash_prob)) {
+      e.inner = ChaosKind::kCrash;
+      e.duration = Duration::Seconds(rng.UniformDouble(1.2, 2.0));
+    } else {
+      e.inner = ChaosKind::kSlow;
+      e.duration = Duration::Seconds(rng.UniformDouble(1.5, 4.0));
+      e.magnitude =
+          rng.UniformDouble(2.0, std::max(2.5, p.correlated_slow_factor));
+    }
+    s.events.push_back(e);
+  }
+
+  // First-class gray events: same shallow-and-long shape as the legacy
+  // gray_faults loop, but carried as kGray so campaigns can attribute
+  // gray-span exposure to the primitive.
+  for (int k = 0; k < p.gray_events; ++k) {
+    ChaosEvent e;
+    e.kind = ChaosKind::kGray;
+    e.node = static_cast<int>(rng.UniformInt(0, p.nodes - 1));
+    e.at = Duration::Seconds(rng.UniformDouble(h * 0.15, h * 0.55));
+    e.duration = Duration::Seconds(rng.UniformDouble(2.0, 5.0));
+    e.magnitude = rng.UniformDouble(p.gray_min_factor, p.gray_max_factor);
+    s.events.push_back(e);
+  }
+
+  // Retry storms last. The trigger window sits mid-run so there is a clean
+  // pre-trigger baseline and several multiples of the window after it
+  // clears — metastability is defined by what happens *after* the trigger
+  // is gone, so the tail must be observable.
+  for (int k = 0; k < p.retry_storms; ++k) {
+    ChaosEvent e;
+    e.kind = ChaosKind::kRetryStorm;
+    e.at = Duration::Seconds(rng.UniformDouble(h * 0.25, h * 0.35));
+    e.duration = Duration::Seconds(rng.UniformDouble(1.5, 2.5));
+    e.surge =
+        rng.UniformDouble(p.retry_storm_min_surge, p.retry_storm_max_surge);
+    e.magnitude = rng.UniformDouble(
+        std::max(1.5, p.retry_storm_slow_factor * 0.8),
+        std::max(2.0, p.retry_storm_slow_factor * 1.2));
+    s.events.push_back(e);
+  }
   return s;
 }
 
@@ -335,6 +477,7 @@ void InjectEvent(FaultInjector& injector, FaultableDevice& dev,
                  const ChaosEvent& e, SimTime at) {
   switch (e.kind) {
     case ChaosKind::kSlow:
+    case ChaosKind::kGray:
       injector.InjectStepChange(dev,
                                 {{at, e.magnitude}, {at + e.duration, 1.0}});
       break;
@@ -368,6 +511,11 @@ void InjectEvent(FaultInjector& injector, FaultableDevice& dev,
       }
       break;
     }
+    case ChaosKind::kCorrelated:
+    case ChaosKind::kRetryStorm:
+      // Fan-out kinds never reach the single-device injector: ApplySchedule
+      // expands them into per-member / per-node sub-events first.
+      break;
   }
 }
 
@@ -377,6 +525,38 @@ void ApplySchedule(Simulator& sim, KvService& service,
                    const ChaosSchedule& schedule, FaultInjector& injector,
                    const LeaderResolver& leader_of) {
   for (const ChaosEvent& e : schedule.events) {
+    if (e.kind == ChaosKind::kCorrelated) {
+      // One draw, every member: the same episode fires on each domain
+      // member at the same instant. Expansion happens here (not in the
+      // generator) so the DSL entry stays one statement — the shared fate
+      // is visible in the script, not smeared into per-node lines.
+      for (int member : e.members) {
+        if (member < 0 || member >= service.params().nodes) {
+          throw std::invalid_argument("chaos schedule: node " +
+                                      std::to_string(member) +
+                                      " out of range");
+        }
+        ChaosEvent sub = e;
+        sub.kind = e.inner;
+        sub.node = member;
+        sub.members.clear();
+        InjectEvent(injector, *service.node(member), sub,
+                    SimTime::Zero() + e.at);
+      }
+      continue;
+    }
+    if (e.kind == ChaosKind::kRetryStorm) {
+      // Service-side half only: every node slows by `magnitude` for the
+      // window. The arrival surge is the client fleet's job — see
+      // SurgeWindows().
+      ChaosEvent sub = e;
+      sub.kind = ChaosKind::kSlow;
+      for (int n = 0; n < service.params().nodes; ++n) {
+        sub.node = n;
+        InjectEvent(injector, *service.node(n), sub, SimTime::Zero() + e.at);
+      }
+      continue;
+    }
     if (e.node == kLeaderNode) {
       if (!leader_of) {
         throw std::invalid_argument(
@@ -406,6 +586,16 @@ void ApplySchedule(Simulator& sim, KvService& service,
 void ApplySchedule(Simulator& sim, KvService& service,
                    const ChaosSchedule& schedule, FaultInjector& injector) {
   ApplySchedule(sim, service, schedule, injector, LeaderResolver());
+}
+
+std::vector<SurgeWindow> SurgeWindows(const ChaosSchedule& schedule) {
+  std::vector<SurgeWindow> out;
+  for (const ChaosEvent& e : schedule.events) {
+    if (e.kind == ChaosKind::kRetryStorm) {
+      out.push_back(SurgeWindow{e.at, e.duration, e.surge});
+    }
+  }
+  return out;
 }
 
 }  // namespace fst

@@ -10,12 +10,30 @@
 // the same event sequence on every run, platform, and sweep thread count.
 //
 // DSL grammar — one statement per line or ';', '#' starts a comment:
-//   slow  node=<i> at=<dur> for=<dur> x<factor>
-//   gc    node=<i> at=<dur> for=<dur> pause=<dur> every=<dur>
-//   crash node=<i> at=<dur> down=<dur> [warmup=<dur> x<factor>]
-//   flap  node=<i> at=<dur> down=<dur> period=<dur> n=<count>
+//   slow       node=<i> at=<dur> for=<dur> x<factor>
+//   gc         node=<i> at=<dur> for=<dur> pause=<dur> every=<dur>
+//   crash      node=<i> at=<dur> down=<dur> [warmup=<dur> x<factor>]
+//   flap       node=<i> at=<dur> down=<dur> period=<dur> n=<count>
+//   gray       node=<i> at=<dur> for=<dur> x<factor>
+//   correlated nodes=<i,j,...> at=<dur> mode=slow for=<dur> x<factor>
+//   correlated nodes=<i,j,...> at=<dur> mode=crash down=<dur>
+//   retrystorm at=<dur> for=<dur> surge=<factor> x<factor>
 // Durations take a unit suffix: ns, us, ms, or s (e.g. at=5s, pause=120ms).
 // ParseDsl throws std::invalid_argument on malformed input.
+//
+// The three shapes that defeat naive policies each get a first-class kind:
+//   * `gray` is mechanically a step slowdown, but names the calibrated
+//     band below the hysteresis detectors' enter_deficit (1.5) and above
+//     the ExpectationTracker's score_threshold (1.2) — visible to the live
+//     plane, invisible to the legacy state machine.
+//   * `correlated` is a shared-fate domain (one rack PDU, one SCSI chain):
+//     a single draw fans the same episode out to every member at the same
+//     instant, the failure shape that breaks independent-failure math.
+//   * `retrystorm` is fleet-wide: every node slows by x<factor> while the
+//     open-loop arrival rate surges by `surge` for the window — the
+//     overload trigger for retry-driven metastable collapse. The slowdown
+//     half is injected by ApplySchedule; the arrival half is returned by
+//     SurgeWindows() for the workload driver to hand its ClientFleet.
 //
 // Besides a fixed index, `node=` accepts the selector `leader`: the event
 // binds to *whoever leads the consensus group at fire time*, resolved by
@@ -39,10 +57,13 @@
 namespace fst {
 
 enum class ChaosKind {
-  kSlow,   // step slowdown: x`magnitude` for `duration`
-  kGc,     // repeated offline pauses of `pause` every `period` for `duration`
-  kCrash,  // crash, down `duration`, optional warm-up stutter on restart
-  kFlap,   // `count` crash/restart cycles, one every `period`
+  kSlow,        // step slowdown: x`magnitude` for `duration`
+  kGc,          // repeated offline pauses of `pause` every `period` for `duration`
+  kCrash,       // crash, down `duration`, optional warm-up stutter on restart
+  kFlap,        // `count` crash/restart cycles, one every `period`
+  kGray,        // sub-threshold step slowdown (detector-invisible band)
+  kCorrelated,  // shared-fate domain: `inner` episode on every member at once
+  kRetryStorm,  // fleet-wide slowdown + arrival surge (metastable trigger)
 };
 
 const char* ChaosKindName(ChaosKind k);
@@ -61,6 +82,15 @@ struct ChaosEvent {
   Duration pause;                   // gc: single pause length
   Duration warmup;                  // crash: warm-up length after restart
   int count = 1;                    // flap: number of cycles
+  // Correlated shared-fate domain: the member nodes and the episode shape
+  // fanned out to each of them (kSlow → simultaneous slowdown by
+  // `magnitude` for `duration`; kCrash → simultaneous crash, down
+  // `duration`). Only meaningful when kind == kCorrelated.
+  std::vector<int> members;
+  ChaosKind inner = ChaosKind::kCrash;
+  // Retry-storm arrival multiplier over [at, at + duration). Only
+  // meaningful when kind == kRetryStorm.
+  double surge = 1.0;
 };
 
 struct ChaosSchedule {
@@ -102,6 +132,27 @@ struct RandomScenarioParams {
   // Drawn after every other class, so zero (the default) keeps all
   // pre-existing schedules bit-identical.
   int leader_faults = 0;
+  // Correlated shared-fate domains: each draws a 2..max(2, domain) member
+  // set and fans one episode out to all of them. Crash-mode domains with
+  // replication 2 can legitimately lose acked writes, so campaigns that
+  // assert durability set correlated_crash_prob = 0 to keep domains in
+  // slow mode. Drawn after leader faults; zero keeps old schedules exact.
+  int correlated_faults = 0;
+  int correlated_domain = 2;
+  double correlated_crash_prob = 0.0;
+  double correlated_slow_factor = 3.0;
+  // First-class gray events (kind kGray). Distinct from the legacy
+  // `gray_faults` knob above, which predates the primitive and emits
+  // kSlow entries — that loop is kept as-is so historical schedules stay
+  // bit-identical. Drawn after correlated faults.
+  int gray_events = 0;
+  // Metastable retry-storm triggers: fleet-wide slowdown of roughly
+  // retry_storm_slow_factor plus an arrival surge in
+  // [retry_storm_min_surge, retry_storm_max_surge). Drawn last.
+  int retry_storms = 0;
+  double retry_storm_slow_factor = 3.0;
+  double retry_storm_min_surge = 3.0;
+  double retry_storm_max_surge = 5.0;
 };
 
 // Seeded scenario generator: same seed, same schedule, bit-for-bit. Crash
@@ -123,6 +174,18 @@ void ApplySchedule(Simulator& sim, KvService& service,
                    const LeaderResolver& leader_of);
 void ApplySchedule(Simulator& sim, KvService& service,
                    const ChaosSchedule& schedule, FaultInjector& injector);
+
+// The arrival half of every kRetryStorm entry in the schedule, in schedule
+// order: the open-loop client fleet multiplies its arrival rate by
+// `factor` over [at, at + duration). ApplySchedule injects only the
+// service-side slowdown; the workload driver passes these windows to its
+// ClientFleet (FleetParams::surges) before the run starts.
+struct SurgeWindow {
+  Duration at;
+  Duration duration;
+  double factor = 1.0;
+};
+std::vector<SurgeWindow> SurgeWindows(const ChaosSchedule& schedule);
 
 }  // namespace fst
 

@@ -25,6 +25,15 @@ void ValidateFleetParams(const FleetParams& params) {
   if (!std::isfinite(params.zipf_s)) {
     throw std::invalid_argument("FleetParams.zipf_s must be finite");
   }
+  for (const ArrivalSurge& s : params.surges) {
+    if (!(s.factor > 0.0) || !std::isfinite(s.factor)) {
+      throw std::invalid_argument(
+          "ArrivalSurge.factor must be positive and finite");
+    }
+    if (s.at < Duration::Zero() || s.duration < Duration::Zero()) {
+      throw std::invalid_argument("ArrivalSurge times must be >= 0");
+    }
+  }
 }
 
 ClientFleet::ClientFleet(Simulator& sim, FleetParams params)
@@ -36,13 +45,34 @@ void ClientFleet::Run(KvService& service,
                       std::function<void(const FleetResult&)> done) {
   service_ = &service;
   done_ = std::move(done);
+  start_ = sim_.Now();
   horizon_ = sim_.Now() + params_.run_for;
   ScheduleNextArrival();
 }
 
+double ClientFleet::RateAt(SimTime now) const {
+  // Piecewise-constant offered rate: the last surge window covering `now`
+  // wins. Rate is sampled at the scheduling instant (a standard
+  // piecewise-thinning-free approximation); windows are short relative to
+  // the run, so the edge error is one inter-arrival gap.
+  double factor = 1.0;
+  const Duration since_start = now - start_;
+  for (const ArrivalSurge& s : params_.surges) {
+    if (since_start >= s.at && since_start < s.at + s.duration) {
+      factor = s.factor;
+    }
+  }
+  return params_.arrivals_per_sec * factor;
+}
+
 void ClientFleet::ScheduleNextArrival() {
-  const Duration gap = Duration::Seconds(
-      arrival_rng_.Exponential(1.0 / params_.arrivals_per_sec));
+  // Keep the empty-surges draw exactly as it always was: same expression,
+  // same single Exponential per arrival, bit-identical stream.
+  const Duration gap =
+      params_.surges.empty()
+          ? Duration::Seconds(
+                arrival_rng_.Exponential(1.0 / params_.arrivals_per_sec))
+          : Duration::Seconds(arrival_rng_.Exponential(1.0 / RateAt(sim_.Now())));
   const SimTime at = sim_.Now() + gap;
   if (at > horizon_) {
     arrivals_done_ = true;

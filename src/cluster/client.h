@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/simcore/rng.h"
@@ -25,6 +26,15 @@
 #include "src/simcore/time.h"
 
 namespace fst {
+
+// A transient arrival-rate multiplier: over [at, at + duration) from the
+// fleet's Run() instant, the offered rate is arrivals_per_sec * factor.
+// This is the client half of a retry-storm trigger (chaos SurgeWindows).
+struct ArrivalSurge {
+  Duration at;
+  Duration duration;
+  double factor = 1.0;
+};
 
 struct FleetParams {
   double arrivals_per_sec = 300.0;
@@ -34,6 +44,10 @@ struct FleetParams {
   int64_t key_space = 10000;
   // Zipf skew; <= 0 selects uniform key popularity.
   double zipf_s = 1.1;
+  // Arrival surges. Empty (the default) takes a code path textually
+  // identical to the pre-surge fleet, so existing runs draw bit-identical
+  // arrival times.
+  std::vector<ArrivalSurge> surges;
 };
 
 // Throws std::invalid_argument for parameters the arrival process cannot
@@ -65,6 +79,7 @@ class ClientFleet {
 
  private:
   void ScheduleNextArrival();
+  double RateAt(SimTime now) const;
   void IssueOp();
   void MaybeFinish();
 
@@ -75,6 +90,7 @@ class ClientFleet {
   ZipfGenerator zipf_;
 
   KvService* service_ = nullptr;
+  SimTime start_;
   SimTime horizon_;
   bool arrivals_done_ = false;
   int64_t pending_ = 0;

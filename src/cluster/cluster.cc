@@ -444,6 +444,40 @@ void KvService::OnAttemptComplete(const AttemptCtx& ctx, bool ok) {
       }
       return;
     }
+    case kCtxNmrRead: {
+      // Per-replica miss handling first (a healthy node without the key is
+      // a failed vote, not a failed node), then write-style quorum
+      // accounting: the op acks at the quorum-th agreeing success and
+      // fails over only when every issued replica has answered.
+      bool read_ok = ok;
+      if (read_ok && IsMiss(ctx.node, ctx.key)) {
+        ++read_misses_;
+        read_ok = false;
+      }
+      const int64_t s = ops_.SlotOf(ctx.op_id);
+      if (s < 0) {
+        return;  // op already reported and was freed: stale vote
+      }
+      const auto slot = static_cast<size_t>(s);
+      if (ops_.attempts[slot] != ctx.attempt_no) {
+        return;
+      }
+      ++ops_.wa_completed[slot];
+      if (read_ok) {
+        ++ops_.wa_ok[slot];
+      }
+      const bool reported = (ops_.flags[slot] & OpTable::kWaReported) != 0;
+      if (!reported && ops_.wa_ok[slot] >= ops_.wa_quorum[slot]) {
+        ops_.flags[slot] |= OpTable::kWaReported;
+        ++nmr_acks_;
+        FinishOp(ctx.op_id, true);
+      } else if (!reported &&
+                 ops_.wa_completed[slot] == ops_.wa_dispatched[slot]) {
+        ops_.flags[slot] |= OpTable::kWaReported;
+        AttemptFailed(ctx.op_id, true);
+      }
+      return;
+    }
   }
 }
 
@@ -467,6 +501,16 @@ void KvService::StartReadAttempt(OpTable::Id id) {
     AttemptFailed(id, false);
     return;
   }
+  if (params_.nmr.enabled) {
+    const uint64_t stride =
+        params_.nmr.key_stride == 0 ? 1 : params_.nmr.key_stride;
+    if (key % stride == 0) {
+      if (!StartNmrFanout(id)) {
+        AttemptFailed(id, false);
+      }
+      return;
+    }
+  }
   if (params_.hedge_reads && ranked_scratch_.size() > 1) {
     IssueHedged(ranked_scratch_, id);
     return;
@@ -484,6 +528,48 @@ void KvService::StartReadAttempt(OpTable::Id id) {
     return;
   }
   AttemptFailed(id, false);
+}
+
+bool KvService::StartNmrFanout(OpTable::Id id) {
+  // Caller (StartReadAttempt) has already bumped the attempt counter and
+  // filled ranked_scratch_ with the admissible ranking for this key.
+  const uint32_t slot = OpTable::RawSlot(id);
+  const int32_t attempt_no = ops_.attempts[slot];
+  const SimTime attempt_start = sim_.Now();
+  const uint64_t key = ops_.key[slot];
+  ops_.wa_dispatched[slot] = 0;
+  ops_.wa_completed[slot] = 0;
+  ops_.wa_ok[slot] = 0;
+  ops_.flags[slot] &= static_cast<uint8_t>(~OpTable::kWaReported);
+  const int want = std::max(1, params_.nmr.issue);
+  int16_t dispatched = 0;
+  for (int node : ranked_scratch_) {
+    if (dispatched >= want) {
+      break;
+    }
+    if (!admission_.TryAdmit(node)) {
+      continue;
+    }
+    ++dispatched;
+    AttemptCtx ctx;
+    ctx.op_id = id;
+    ctx.key = key;
+    ctx.attempt_no = attempt_no;
+    ctx.node = node;
+    ctx.kind = kCtxNmrRead;
+    Dispatch(params_.read_work, attempt_start, ctx);
+  }
+  if (dispatched == 0) {
+    return false;
+  }
+  // Quorum can never exceed what was actually issued, or the op would hang
+  // waiting for votes that cannot arrive. Completions are all scheduled
+  // events, so none can observe these stores early.
+  ops_.wa_quorum[slot] = static_cast<int16_t>(
+      std::clamp(params_.nmr.quorum, 1, static_cast<int>(dispatched)));
+  ops_.wa_dispatched[slot] = dispatched;
+  ++nmr_reads_;
+  return true;
 }
 
 void KvService::IssueHedged(const std::vector<int>& ranked, OpTable::Id id) {

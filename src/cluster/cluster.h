@@ -78,6 +78,22 @@ struct RecoveryParams {
   double ramp_initial = 0.25;
 };
 
+// N-modular-redundancy read issue: designated read classes are issued to
+// `issue` replicas at once and complete at the `quorum`-th agreeing
+// success — the classic NMR pattern applied to reads, trading replica work
+// for immunity to a single stuttering or failed replica. Default-off: the
+// read path is untouched and historical digests unchanged.
+struct NmrParams {
+  bool enabled = false;
+  // Replicas to issue to (clamped to the admissible replica set).
+  int issue = 2;
+  // Agreeing successes required before the op acks.
+  int quorum = 1;
+  // A read is designated for NMR when key % key_stride == 0; stride 1
+  // applies it to every read.
+  uint64_t key_stride = 4;
+};
+
 struct ClusterParams {
   int nodes = 4;
   ShardMapParams shard;           // replication + virtual nodes
@@ -102,6 +118,7 @@ struct ClusterParams {
   bool track_data = false;
   RetryParams retry;
   RecoveryParams recovery;
+  NmrParams nmr;
   // Online telemetry plane (expectation tracking + SLO burn alerting).
   // Disabled by default: no plane is allocated, the hot path sees one
   // null-pointer test, and no telemetry ticks are scheduled.
@@ -203,12 +220,32 @@ class KvService {
   // replicated control plane can apply committed entries; idempotent.
   void ApplyControl(const ControlCommand& cmd);
 
+  // Routes a command through control_route_ when installed, else applies
+  // it inline (the legacy omniscient path). Public so resilience policies
+  // (src/resilience) issue their actions through the same seam the
+  // reaction policy uses — consensus-committed when a route is bound.
+  void SubmitControl(const ControlCommand& cmd);
+
   int ejections() const { return ejections_; }
   int reweights() const { return reweights_; }
   int64_t reads() const { return reads_; }
   int64_t writes() const { return writes_; }
   int64_t sheds() const { return sheds_; }
   int64_t peak_mirror_backlog() const { return peak_mirror_backlog_; }
+
+  // SloTracker::Snapshot plus the retry policy's token-bucket state —
+  // the view campaign scorecards read.
+  SloSnapshot SloWithRetry() const {
+    SloSnapshot s = slo_.Snapshot();
+    const RetrySnapshot r = retry_.Snapshot();
+    s.retry_tokens = r.tokens;
+    s.retry_denied_budget = r.denied_budget;
+    return s;
+  }
+
+  // -- NMR observability --
+  int64_t nmr_reads() const { return nmr_reads_; }
+  int64_t nmr_acks() const { return nmr_acks_; }
 
   // -- Crash-recovery observability and invariant probes --
   const RetryPolicy& retry() const { return retry_; }
@@ -230,7 +267,7 @@ class KvService {
 
  private:
   // Attempt kinds for the enum-dispatched completion path.
-  enum : uint8_t { kCtxRead = 0, kCtxWrite = 1, kCtxRepair = 2 };
+  enum : uint8_t { kCtxRead = 0, kCtxWrite = 1, kCtxRepair = 2, kCtxNmrRead = 3 };
 
   // Everything one service attempt's completion needs, carried by value
   // through the dispatch chain (request -> compute -> response). A POD
@@ -277,6 +314,12 @@ class KvService {
   void StartWriteAttempt(OpTable::Id id);
   void AttemptFailed(OpTable::Id id, bool admitted_this_attempt);
 
+  // NMR read issue: dispatches one "attempt" as a k-of-n fan-out over the
+  // admissible ranked replicas, completing at the quorum-th success via the
+  // write-style wa_* accounting columns. Returns false when fewer than one
+  // replica is admissible (caller falls back to the shed/retry path).
+  bool StartNmrFanout(OpTable::Id id);
+
   // Data plane (active when track_data or recovery.enabled): a read attempt
   // at `node` misses when the key is acked but absent from the node's
   // store — the attempt fails over without blaming the node's health.
@@ -295,10 +338,6 @@ class KvService {
   void RepairStep();
 
   void OnStateChange(const StateChange& change);
-
-  // Routes a command through control_route_ when installed, else applies
-  // it inline (the legacy omniscient path).
-  void SubmitControl(const ControlCommand& cmd);
 
   void TelemetryTick();
 
@@ -387,6 +426,10 @@ class KvService {
   int crashes_ = 0;
   int recoveries_ = 0;
   int64_t keys_repaired_ = 0;
+
+  // NMR accounting.
+  int64_t nmr_reads_ = 0;
+  int64_t nmr_acks_ = 0;
 };
 
 }  // namespace fst

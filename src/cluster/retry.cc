@@ -29,7 +29,7 @@ RetryPolicy::Decision RetryPolicy::Consider(int attempts_made,
     ++stats_.denied_attempts;
     return d;
   }
-  if (tokens_ < 1.0) {
+  if (params_.budget && tokens_ < 1.0) {
     ++stats_.denied_budget;
     return d;
   }
@@ -50,7 +50,9 @@ RetryPolicy::Decision RetryPolicy::Consider(int attempts_made,
       return d;
     }
   }
-  tokens_ -= 1.0;
+  if (params_.budget) {
+    tokens_ -= 1.0;
+  }
   ++stats_.granted;
   d.retry = true;
   d.backoff = BackoffFor(attempts_made);

@@ -49,6 +49,21 @@ struct RetryParams {
   // Token-bucket circuit breaker: tokens earned per arrival, and the cap.
   double budget_ratio = 0.2;
   double budget_cap = 32.0;
+  // Master switch for guard 3. Default on — turning it off removes the
+  // only cluster-wide brake on retry amplification, which is exactly what
+  // the retry-storm chaos scenario needs to demonstrate metastable
+  // collapse (and what production configs must never do).
+  bool budget = true;
+};
+
+// Point-in-time view of the token bucket, for SLO snapshots and campaign
+// assertions on budget behavior.
+struct RetrySnapshot {
+  double tokens = 0.0;
+  int64_t granted = 0;
+  int64_t denied_attempts = 0;
+  int64_t denied_deadline = 0;
+  int64_t denied_budget = 0;
 };
 
 class RetryPolicy {
@@ -84,6 +99,16 @@ class RetryPolicy {
   const Stats& stats() const { return stats_; }
   const RetryParams& params() const { return params_; }
   double tokens() const { return tokens_; }
+
+  RetrySnapshot Snapshot() const {
+    RetrySnapshot s;
+    s.tokens = tokens_;
+    s.granted = stats_.granted;
+    s.denied_attempts = stats_.denied_attempts;
+    s.denied_deadline = stats_.denied_deadline;
+    s.denied_budget = stats_.denied_budget;
+    return s;
+  }
 
  private:
   Duration BackoffFor(int attempts_made);

@@ -55,6 +55,12 @@ struct SloSnapshot {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
+  // Retry-budget state at snapshot time, filled by KvService::SloWithRetry
+  // (zero through the plain SloTracker::Snapshot path — the tracker itself
+  // does not know about the retry policy). Campaign code asserts on these
+  // to show the token bucket engaging during a retry storm.
+  double retry_tokens = 0.0;
+  int64_t retry_denied_budget = 0;
 
   // Terminal outcomes that failed the objective (late, shed, errored).
   int64_t bad() const { return late + shed + errors; }

@@ -1,0 +1,174 @@
+#include "src/resilience/checkpoint.h"
+
+#include <algorithm>
+
+namespace fst {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void FnvFold(uint64_t& h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+// One committed phase: its logical output plus the wall time it cost (the
+// latter is what a rollback discards, never part of the digest).
+struct PhaseEntry {
+  int phase = 0;
+  std::vector<int64_t> output;
+  Duration wall = Duration::Zero();
+};
+
+// Advances simulated time by `d` with an empty barrier event — how the
+// driver charges checkpoint commits and restart delays.
+void AdvanceTime(Simulator& sim, Duration d) {
+  sim.Schedule(d, [] {});
+  sim.Run();
+}
+
+// Evenly splits `total` into `phases` shares, remainder on the early ones.
+int64_t ShareOf(int64_t total, int phases, int phase) {
+  const int64_t base = total / phases;
+  const int64_t rem = total % phases;
+  return base + (phase < rem ? 1 : 0);
+}
+
+// The common driver. `run_phase(phase, &output)` runs one phase to
+// completion (sim.Run() inside) and returns whether it succeeded, filling
+// the phase's logical output counts.
+template <typename RunPhase>
+CheckpointStats DrivePhases(Simulator& sim, const CheckpointParams& p,
+                            RunPhase run_phase) {
+  CheckpointStats st;
+  const int phases = std::max(1, p.phases);
+  const SimTime start = sim.Now();
+  const Duration ckpt_cost =
+      p.write_mbps > 0.0 ? Duration::Seconds(p.image_mb / p.write_mbps)
+                         : Duration::Zero();
+
+  std::vector<PhaseEntry> log;       // committed phase outputs, in order
+  int durable = -1;                  // last phase covered by a checkpoint
+  bool crash_pending = p.crash_at_boundary >= 0;
+  std::vector<int> replays(static_cast<size_t>(phases), 0);
+
+  int phase = 0;
+  while (phase < phases) {
+    const SimTime phase_start = sim.Now();
+    std::vector<int64_t> output;
+    const bool ok = run_phase(phase, &output);
+    const Duration wall = sim.Now() - phase_start;
+    if (!ok) {
+      // Device-level failure mid-phase: restart and replay this phase.
+      if (++replays[static_cast<size_t>(phase)] > p.max_replays) {
+        st.makespan = sim.Now() - start;
+        return st;  // ok stays false
+      }
+      ++st.phases_replayed;
+      st.lost_work += wall;
+      AdvanceTime(sim, p.restart_delay);
+      continue;
+    }
+
+    if (crash_pending && phase == p.crash_at_boundary) {
+      // Crash at the barrier, before this phase's checkpoint commits:
+      // everything after the last durable checkpoint is lost. With
+      // checkpointing off nothing is durable, so the whole log rolls back.
+      crash_pending = false;
+      ++st.crashes;
+      st.lost_work += wall;
+      while (!log.empty() && log.back().phase > durable) {
+        st.lost_work += log.back().wall;
+        ++st.phases_replayed;
+        log.pop_back();
+      }
+      ++st.phases_replayed;  // the crashed phase itself
+      AdvanceTime(sim, p.restart_delay);
+      phase = durable + 1;
+      continue;
+    }
+
+    PhaseEntry entry;
+    entry.phase = phase;
+    entry.output = std::move(output);
+    entry.wall = wall;
+    log.push_back(std::move(entry));
+    if (p.enabled) {
+      ++st.checkpoints_written;
+      st.checkpoint_time += ckpt_cost;
+      AdvanceTime(sim, ckpt_cost);
+      durable = phase;
+    }
+    ++phase;
+  }
+
+  st.ok = true;
+  st.makespan = sim.Now() - start;
+  st.digest = kFnvOffset;
+  for (const PhaseEntry& e : log) {
+    FnvFold(st.digest, static_cast<uint64_t>(e.phase));
+    FnvFold(st.digest, static_cast<uint64_t>(e.output.size()));
+    for (int64_t v : e.output) {
+      FnvFold(st.digest, static_cast<uint64_t>(v));
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+CheckpointStats RunCheckpointedSort(Simulator& sim, const SortParams& sort,
+                                    const CheckpointParams& params,
+                                    const std::vector<Disk*>& disks,
+                                    const std::vector<Node*>& nodes) {
+  const int phases = std::max(1, params.phases);
+  return DrivePhases(
+      sim, params,
+      [&](int phase, std::vector<int64_t>* output) {
+        SortParams pp = sort;
+        pp.total_records = ShareOf(sort.total_records, phases, phase);
+        SortJob job(sim, pp, disks, nodes);
+        bool done = false;
+        bool ok = false;
+        job.Run([&](const SortResult& r) {
+          done = true;
+          ok = r.ok;
+          *output = r.records_per_node;
+        });
+        sim.Run();
+        return done && ok;
+      });
+}
+
+CheckpointStats RunCheckpointedTranspose(Simulator& sim,
+                                         const TransposeParams& transpose,
+                                         const CheckpointParams& params,
+                                         Switch& net, int nodes) {
+  const int phases = std::max(1, params.phases);
+  return DrivePhases(
+      sim, params,
+      [&](int phase, std::vector<int64_t>* output) {
+        TransposeParams pp = transpose;
+        pp.bytes_per_pair = ShareOf(transpose.bytes_per_pair, phases, phase);
+        TransposeJob job(sim, pp, net, {});
+        bool done = false;
+        TransposeResult res;
+        job.Run([&](const TransposeResult& r) {
+          done = true;
+          res = r;
+        });
+        sim.Run();
+        // Logical output: per-phase pair payload plus participant count —
+        // the committed fact rollback must reproduce exactly once per
+        // phase. (TransposeJob has no failure mode; completion is ok.)
+        output->push_back(pp.bytes_per_pair);
+        output->push_back(nodes);
+        return done;
+      });
+}
+
+}  // namespace fst

@@ -1,0 +1,93 @@
+// Coordinated checkpoint/rollback for the batch workloads (Treaster
+// survey; De Florio's application-level FT protocols).
+//
+// Both batch jobs (NOW-style sort, all-to-all transpose) are re-run as a
+// sequence of `phases` smaller jobs. A phase completing IS the coordinated
+// barrier — every participant has drained — and at each barrier the driver
+// optionally commits a checkpoint: a barrier-consistent image whose cost
+// is modeled as a pure simulated delay of image_mb / write_mbps seconds.
+//
+// Crash model: a crash at boundary k (after phase k completes, before its
+// checkpoint commits) loses phase k — the process restarts after
+// restart_delay and replays every phase after the last *committed*
+// checkpoint. With checkpointing on, that is exactly phase k; with it off,
+// it is phases 0..k. Lost work is accounted either way.
+//
+// The proof obligation from the pattern catalog: rollback must be
+// *transparent*. Each run folds the per-phase committed outputs (which
+// node processed how many records / delivered how many chunks, in phase
+// order) into an FNV-1a digest; a run crashed at any boundary and
+// replayed must produce the digest of the uncrashed run, and a
+// checkpointed run the digest of an uncheckpointed one. The digest is
+// over committed logical output, deliberately not over timing — timing is
+// where the overhead shows up, and CheckpointStats reports it separately.
+#ifndef SRC_RESILIENCE_CHECKPOINT_H_
+#define SRC_RESILIENCE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/devices/disk.h"
+#include "src/devices/network.h"
+#include "src/devices/node.h"
+#include "src/simcore/simulator.h"
+#include "src/simcore/time.h"
+#include "src/workload/sort.h"
+#include "src/workload/transpose.h"
+
+namespace fst {
+
+struct CheckpointParams {
+  // Checkpoint commits at phase barriers; off = pure phased re-run (the
+  // uncheckpointed baseline the digest is compared against).
+  bool enabled = false;
+  // Phases the job is split into (>= 1). Phase boundaries are the only
+  // checkpoint opportunities — more phases = finer-grained rollback but
+  // more barrier + checkpoint overhead.
+  int phases = 6;
+  // Checkpoint image size and writeback rate: each commit costs
+  // image_mb / write_mbps simulated seconds at the barrier.
+  double image_mb = 64.0;
+  double write_mbps = 64.0;
+  // Process restart cost after a crash, before replay begins.
+  Duration restart_delay = Duration::Millis(400);
+  // Crash once at this boundary (after phase k completes, before its
+  // checkpoint commits); -1 = no crash. The k-th boundary exists for
+  // k in [0, phases).
+  int crash_at_boundary = -1;
+  // Replay attempts allowed per phase before the run fails.
+  int max_replays = 4;
+};
+
+struct CheckpointStats {
+  bool ok = false;
+  Duration makespan = Duration::Zero();
+  // FNV-1a over the committed phase log (phase index + per-participant
+  // output counts, in commit order). Timing-invariant by construction.
+  uint64_t digest = 0;
+  int checkpoints_written = 0;
+  int crashes = 0;
+  int phases_replayed = 0;  // phases run more than once (lost + replayed)
+  Duration checkpoint_time = Duration::Zero();  // total barrier commit cost
+  Duration lost_work = Duration::Zero();        // phase time discarded
+};
+
+// Runs `sort` split into params.phases static-partition phases over the
+// borrowed fleet. The per-phase record counts split total_records evenly
+// with the remainder on the early phases (every record sorted exactly
+// once across phases).
+CheckpointStats RunCheckpointedSort(Simulator& sim, const SortParams& sort,
+                                    const CheckpointParams& params,
+                                    const std::vector<Disk*>& disks,
+                                    const std::vector<Node*>& nodes);
+
+// Runs `transpose` split into params.phases phases, each moving
+// bytes_per_pair / phases (remainder early) per src/dst pair.
+CheckpointStats RunCheckpointedTranspose(Simulator& sim,
+                                         const TransposeParams& transpose,
+                                         const CheckpointParams& params,
+                                         Switch& net, int nodes);
+
+}  // namespace fst
+
+#endif  // SRC_RESILIENCE_CHECKPOINT_H_
